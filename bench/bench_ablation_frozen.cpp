@@ -1,0 +1,41 @@
+// Design-decision ablation (DESIGN.md §4.1): FROZEN item-item graphs (the
+// paper's central design, after FREEDOM) vs. LATTICE-style DYNAMIC graphs
+// rebuilt each epoch from the learned modality projections. The paper argues
+// frozen graphs match or beat dynamic ones at a fraction of the cost
+// (§III-B: "Different from [22], the homogeneous graphs are frozen without
+// updating during the training phase").
+#include "bench/bench_common.h"
+
+#include "src/core/firzen_model.h"
+
+int main() {
+  using namespace firzen;        // NOLINT(build/namespaces)
+  using namespace firzen::bench;  // NOLINT(build/namespaces)
+  SetLogLevel(LogLevel::kError);
+  PrintHeader("Ablation: frozen vs dynamic (per-epoch) item-item graphs",
+              "paper §III-B design rationale");
+
+  const Dataset dataset = LoadProfile("Beauty-S");
+  TrainOptions train = BenchTrainOptions();
+  train.patience = 1000;  // fixed budget so training times are comparable
+
+  TablePrinter table({"Item-item graphs", "Cold M@20", "Warm M@20",
+                      "HM M@20", "Training time (s)"});
+  for (const bool dynamic : {false, true}) {
+    FirzenOptions options;
+    options.dynamic_item_graphs = dynamic;
+    FirzenModel model(options);
+    const ProtocolResult result =
+        RunStrictColdProtocol(&model, dataset, train);
+    std::fprintf(stderr, "  [%s] done (%.1fs)\n",
+                 dynamic ? "dynamic" : "frozen", result.fit_seconds);
+    table.BeginRow();
+    table.AddCell(dynamic ? "dynamic (LATTICE-style)" : "frozen (Firzen)");
+    table.AddCell(100.0 * result.cold.metrics.mrr);
+    table.AddCell(100.0 * result.warm.metrics.mrr);
+    table.AddCell(100.0 * result.hm.mrr);
+    table.AddCell(result.fit_seconds, 2);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Shared configuration for the benchmark harness. Every bench binary
+// regenerates one table or figure of the paper (see DESIGN.md §3) at a
+// CPU-friendly scale.
+//
+// Environment knobs:
+//   FIRZEN_BENCH_FULL=1    larger datasets + longer training (slower,
+//                          closer to the paper's operating point)
+//   FIRZEN_BENCH_SCALE=x   explicit dataset scale multiplier
+//   FIRZEN_BENCH_EPOCHS=n  explicit epoch budget
+#ifndef FIRZEN_BENCH_BENCH_COMMON_H_
+#define FIRZEN_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/data/stats.h"
+#include "src/data/synthetic.h"
+#include "src/eval/harmonic.h"
+#include "src/models/registry.h"
+#include "src/util/env.h"
+#include "src/util/logging.h"
+#include "src/util/table_printer.h"
+#include "src/util/thread_pool.h"
+
+namespace firzen {
+namespace bench {
+
+inline Real BenchScale() {
+  if (GetEnvBool("FIRZEN_BENCH_FULL", false)) return 1.0;
+  const long pct = GetEnvInt("FIRZEN_BENCH_SCALE", 0);
+  if (pct > 0) return static_cast<Real>(pct) / 100.0;
+  return 0.40;
+}
+
+inline int BenchEpochs() {
+  if (GetEnvBool("FIRZEN_BENCH_FULL", false)) return 40;
+  return static_cast<int>(GetEnvInt("FIRZEN_BENCH_EPOCHS", 12));
+}
+
+inline TrainOptions BenchTrainOptions() {
+  TrainOptions options;
+  options.embedding_dim = 32;
+  options.epochs = BenchEpochs();
+  options.eval_every = 4;
+  options.patience = 2;
+  options.batch_size = 512;
+  options.seed = 2024;
+  options.pool = ThreadPool::Global();
+  options.verbose = GetEnvBool("FIRZEN_VERBOSE", false);
+  return options;
+}
+
+inline Dataset LoadProfile(const std::string& name) {
+  const Real scale = BenchScale();
+  if (name == "Beauty-S") return GenerateSyntheticDataset(BeautySConfig(scale));
+  if (name == "CellPhones-S") {
+    return GenerateSyntheticDataset(CellPhonesSConfig(scale));
+  }
+  if (name == "Clothing-S") {
+    return GenerateSyntheticDataset(ClothingSConfig(scale));
+  }
+  return GenerateSyntheticDataset(WeixinSportsSConfig(scale));
+}
+
+inline void PrintHeader(const char* what, const char* paper_ref) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n(reproduces %s; synthetic benchmark profiles at scale %.2f "
+              "— compare SHAPE, not absolute values; see EXPERIMENTS.md)\n",
+              what, paper_ref, BenchScale());
+  std::printf("==============================================================\n");
+}
+
+/// Adds "label | R | M | N | H | P" percentage cells to a table.
+inline void AddMetricCells(TablePrinter* table, const MetricBundle& m) {
+  table->AddCell(100.0 * m.recall);
+  table->AddCell(100.0 * m.mrr);
+  table->AddCell(100.0 * m.ndcg);
+  table->AddCell(100.0 * m.hit);
+  table->AddCell(100.0 * m.precision);
+}
+
+}  // namespace bench
+}  // namespace firzen
+
+#endif  // FIRZEN_BENCH_BENCH_COMMON_H_

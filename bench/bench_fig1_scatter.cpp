@@ -1,0 +1,70 @@
+// Fig. 1: warm-start vs strict cold-start MRR@20 scatter on Beauty-S for
+// all sixteen methods. Printed as aligned (x, y) pairs plus an ASCII
+// scatter; the paper's claim is that Firzen sits in the top-right corner.
+#include <algorithm>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace firzen;        // NOLINT(build/namespaces)
+  using namespace firzen::bench;  // NOLINT(build/namespaces)
+  SetLogLevel(LogLevel::kError);
+  PrintHeader("Fig. 1: warm vs strict-cold MRR@20 scatter (Beauty-S)",
+              "paper Fig. 1");
+
+  const Dataset dataset = LoadProfile("Beauty-S");
+  const TrainOptions train = BenchTrainOptions();
+  struct Point {
+    std::string name;
+    Real warm;
+    Real cold;
+  };
+  std::vector<Point> points;
+  for (const ModelInfo& info : AllModels()) {
+    auto model = CreateModel(info.name);
+    const ProtocolResult result =
+        RunStrictColdProtocol(model.get(), dataset, train);
+    points.push_back({info.name, 100.0 * result.warm.metrics.mrr,
+                      100.0 * result.cold.metrics.mrr});
+    std::fprintf(stderr, "  [%s] done\n", info.name.c_str());
+  }
+
+  TablePrinter table({"Method", "Warm M@20 (x)", "Cold M@20 (y)"});
+  for (const Point& p : points) {
+    table.BeginRow();
+    table.AddCell(p.name);
+    table.AddCell(p.warm);
+    table.AddCell(p.cold);
+  }
+  table.Print();
+
+  // ASCII scatter, 48x16 grid.
+  Real max_warm = 1e-9;
+  Real max_cold = 1e-9;
+  for (const Point& p : points) {
+    max_warm = std::max(max_warm, p.warm);
+    max_cold = std::max(max_cold, p.cold);
+  }
+  const int width = 48;
+  const int height = 16;
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (size_t i = 0; i < points.size(); ++i) {
+    const int x = std::min<int>(
+        width - 1, static_cast<int>(points[i].warm / max_warm * (width - 1)));
+    const int y = std::min<int>(
+        height - 1,
+        static_cast<int>(points[i].cold / max_cold * (height - 1)));
+    const char mark = points[i].name == "Firzen" ? '*' : 'a' + (i % 26);
+    grid[static_cast<size_t>(height - 1 - y)][static_cast<size_t>(x)] = mark;
+  }
+  std::printf("\ncold M@20 ^ ('*' = Firzen; top-right is best)\n");
+  for (const std::string& row : grid) std::printf("  |%s\n", row.c_str());
+  std::printf("  +%s> warm M@20\n", std::string(width, '-').c_str());
+  for (size_t i = 0; i < points.size(); ++i) {
+    std::printf("  %c = %s\n",
+                points[i].name == "Firzen" ? '*'
+                                           : static_cast<char>('a' + (i % 26)),
+                points[i].name.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,179 @@
+// Kernel microbenchmarks (google-benchmark): the computational primitives
+// dominating training cost — SpMM over the frozen graphs, dense Gemm, the
+// kNN item-item graph build, the per-epoch KG attention rebuild (DESIGN.md
+// §4 ablation candidate), lazy vs dense Adam, and top-K ranking selection.
+#include <benchmark/benchmark.h>
+
+#include "src/data/synthetic.h"
+#include "src/graph/collaborative_kg.h"
+#include "src/graph/knn_graph.h"
+#include "src/models/kg_common.h"
+#include "src/tensor/csr.h"
+#include "src/tensor/init.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/optim.h"
+#include "src/util/rng.h"
+
+namespace firzen {
+namespace {
+
+CsrMatrix RandomGraph(Index n, Index degree, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CooEntry> entries;
+  for (Index r = 0; r < n; ++r) {
+    for (Index d = 0; d < degree; ++d) {
+      entries.push_back({r, rng.UniformInt(n), 1.0});
+    }
+  }
+  return CsrMatrix::FromCoo(n, n, std::move(entries)).SymNormalized();
+}
+
+void BM_SpMM(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Index d = state.range(1);
+  const CsrMatrix graph = RandomGraph(n, 10, 1);
+  Rng rng(2);
+  Matrix x(n, d);
+  x.FillNormal(&rng, 1.0);
+  Matrix y;
+  for (auto _ : state) {
+    graph.SpMM(x, &y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * graph.nnz() * d);
+}
+BENCHMARK(BM_SpMM)->Args({2000, 32})->Args({2000, 64})->Args({8000, 32});
+
+void BM_Gemm(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(3);
+  Matrix a(n, 64);
+  a.FillNormal(&rng, 1.0);
+  Matrix b(n, 64);
+  b.FillNormal(&rng, 1.0);
+  Matrix c;
+  for (auto _ : state) {
+    Gemm(false, true, 1.0, a, b, 0.0, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * 64);
+}
+BENCHMARK(BM_Gemm)->Arg(256)->Arg(512);
+
+void BM_KnnGraphBuild(benchmark::State& state) {
+  const Index items = state.range(0);
+  Rng rng(4);
+  Matrix features(items, 48);
+  features.FillNormal(&rng, 1.0);
+  KnnGraphOptions options;
+  options.top_k = 10;
+  for (auto _ : state) {
+    CsrMatrix g = BuildItemItemGraph(features, options);
+    benchmark::DoNotOptimize(g.nnz());
+  }
+  state.SetItemsProcessed(state.iterations() * items * items);
+}
+BENCHMARK(BM_KnnGraphBuild)->Arg(400)->Arg(800)->Unit(benchmark::kMillisecond);
+
+void BM_KgAttentionRebuild(benchmark::State& state) {
+  const Dataset dataset = GenerateSyntheticDataset(BeautySConfig(0.2));
+  const CollaborativeKg ckg =
+      BuildCollaborativeKg(dataset.train, dataset.num_users, dataset.kg);
+  Rng rng(5);
+  Matrix entity(ckg.num_entities, 32);
+  entity.FillNormal(&rng, 0.1);
+  Matrix relation(ckg.num_relations, 32);
+  relation.FillNormal(&rng, 0.1);
+  Matrix proj(ckg.num_relations, 32, 1.0);
+  for (auto _ : state) {
+    CsrMatrix att = ComputeKgAttention(ckg, entity, relation, proj);
+    benchmark::DoNotOptimize(att.nnz());
+  }
+  state.SetItemsProcessed(state.iterations() * ckg.topology.nnz());
+}
+BENCHMARK(BM_KgAttentionRebuild)->Unit(benchmark::kMillisecond);
+
+void BM_AdamStep(benchmark::State& state) {
+  const bool lazy = state.range(0) != 0;
+  Rng rng(6);
+  Tensor table = XavierVariable(20000, 32, &rng);
+  Adam::Options options;
+  options.lazy = lazy;
+  Adam adam(options);
+  // Sparse batch touches 512 rows.
+  std::vector<Index> idx;
+  for (Index i = 0; i < 512; ++i) idx.push_back(rng.UniformInt(20000));
+  for (auto _ : state) {
+    Tensor batch = ops::GatherRows(table, idx);
+    Tensor loss = ops::SumSquares(batch);
+    Backward(loss);
+    adam.Step({table});
+  }
+  state.SetLabel(lazy ? "lazy" : "dense");
+}
+BENCHMARK(BM_AdamStep)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+void BM_TopKSelection(benchmark::State& state) {
+  const Index items = state.range(0);
+  Rng rng(7);
+  std::vector<Real> scores(static_cast<size_t>(items));
+  for (auto& s : scores) s = rng.Normal();
+  std::vector<std::pair<Real, Index>> heap;
+  for (auto _ : state) {
+    heap.clear();
+    auto worse = [](const auto& a, const auto& b) {
+      return a.first > b.first;
+    };
+    for (Index i = 0; i < items; ++i) {
+      const std::pair<Real, Index> e{scores[static_cast<size_t>(i)], i};
+      if (heap.size() < 20) {
+        heap.push_back(e);
+        std::push_heap(heap.begin(), heap.end(), worse);
+      } else if (worse(e, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), worse);
+        heap.back() = e;
+        std::push_heap(heap.begin(), heap.end(), worse);
+      }
+    }
+    benchmark::DoNotOptimize(heap.data());
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+}
+BENCHMARK(BM_TopKSelection)->Arg(1000)->Arg(10000);
+
+void BM_AutogradBprStep(benchmark::State& state) {
+  // One full LightGCN-style training step: propagate, gather, BPR, backward.
+  const Index n = 3000;
+  const CsrMatrix graph_val = RandomGraph(n, 8, 8);
+  auto graph = std::make_shared<const CsrMatrix>(graph_val);
+  Rng rng(9);
+  Tensor table = XavierVariable(n, 32, &rng);
+  std::vector<Index> users;
+  std::vector<Index> pos;
+  std::vector<Index> neg;
+  for (Index i = 0; i < 512; ++i) {
+    users.push_back(rng.UniformInt(n));
+    pos.push_back(rng.UniformInt(n));
+    neg.push_back(rng.UniformInt(n));
+  }
+  Adam adam(Adam::Options{});
+  for (auto _ : state) {
+    using namespace ops;  // NOLINT(build/namespaces)
+    Tensor h = SpMM(graph, table);
+    h = Scale(Add(h, table), 0.5);
+    Tensor eu = GatherRows(h, users);
+    Tensor ep = GatherRows(h, pos);
+    Tensor en = GatherRows(h, neg);
+    Tensor diff = Sub(RowDot(eu, ep), RowDot(eu, en));
+    Tensor loss = Scale(ReduceMean(LogSigmoid(diff)), -1.0);
+    Backward(loss);
+    adam.Step({table});
+    benchmark::DoNotOptimize(loss.scalar());
+  }
+}
+BENCHMARK(BM_AutogradBprStep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace firzen
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Scenario: an e-commerce catalog receives a batch of brand-new products
+// (strict cold items — no interactions anywhere). We train Firzen on the
+// historical catalog, then rank the NEW items for a few users and show how
+// the frozen item-item graphs fire the cold items from their warm neighbors.
+//
+//   ./build/examples/cold_start_catalog
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/core/firzen_model.h"
+#include "src/data/synthetic.h"
+#include "src/eval/evaluator.h"
+#include "src/util/logging.h"
+
+int main() {
+  using namespace firzen;  // NOLINT(build/namespaces)
+  SetLogLevel(LogLevel::kWarning);
+
+  Dataset dataset = GenerateSyntheticDataset(CellPhonesSConfig(0.4));
+  const std::vector<Index> cold_items = dataset.ColdItems();
+  std::printf("catalog: %lld products, %zu just arrived (strict cold)\n",
+              static_cast<long long>(dataset.num_items), cold_items.size());
+
+  FirzenModel model;
+  TrainOptions train;
+  train.embedding_dim = 32;
+  train.epochs = 15;
+  train.eval_every = 5;
+  train.pool = ThreadPool::Global();
+  model.Fit(dataset, train);
+
+  // New items arrive: rebuild the frozen inference graphs. Warm items are
+  // isolated from the newcomers (Eq. 34 mask) so existing recommendations
+  // stay stable, while newcomers inherit signal from similar warm products.
+  model.PrepareColdInference(dataset);
+
+  // Rank the new arrivals for the first few users with cold ground truth.
+  std::vector<Index> demo_users;
+  for (const Interaction& x : dataset.cold_test) {
+    if (demo_users.size() >= 3) break;
+    if (std::find(demo_users.begin(), demo_users.end(), x.user) ==
+        demo_users.end()) {
+      demo_users.push_back(x.user);
+    }
+  }
+  Matrix scores;
+  model.Score(demo_users, &scores);
+  for (size_t r = 0; r < demo_users.size(); ++r) {
+    std::vector<std::pair<Real, Index>> ranked;
+    for (Index item : cold_items) {
+      ranked.emplace_back(scores(static_cast<Index>(r), item), item);
+    }
+    std::partial_sort(ranked.begin(), ranked.begin() + 5, ranked.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    std::printf("user %lld -> new arrivals: ",
+                static_cast<long long>(demo_users[r]));
+    for (int k = 0; k < 5; ++k) {
+      std::printf("%lld(%.3f) ", static_cast<long long>(ranked[k].second),
+                  ranked[k].first);
+    }
+    std::printf("\n");
+  }
+
+  // How good are these rankings? Evaluate against held-out cold truth.
+  ScoreFn score_fn = [&model](const std::vector<Index>& users, Matrix* out) {
+    model.Score(users, out);
+  };
+  EvalOptions eval_options;
+  eval_options.pool = train.pool;
+  const EvalResult cold = EvaluateRanking(dataset, dataset.cold_test,
+                                          EvalSetting::kCold, score_fn,
+                                          eval_options);
+  std::printf("strict cold-start quality: %s\n",
+              FormatEvalResult(cold).c_str());
+  return 0;
+}

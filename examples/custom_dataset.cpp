@@ -1,0 +1,79 @@
+// Bring-your-own-data walkthrough: writes a tiny dataset to TSV files (the
+// formats documented in data/io.h), loads it back, assembles a Dataset with
+// a strict cold split, and trains Firzen on it.
+//
+//   ./build/examples/custom_dataset
+#include <cstdio>
+
+#include "src/core/firzen_model.h"
+#include "src/data/io.h"
+#include "src/data/split.h"
+#include "src/data/synthetic.h"
+#include "src/models/registry.h"
+#include "src/util/logging.h"
+
+int main() {
+  using namespace firzen;  // NOLINT(build/namespaces)
+  SetLogLevel(LogLevel::kWarning);
+
+  // --- Pretend this synthetic world is "your" data, exported to TSV ---
+  const Dataset source = GenerateSyntheticDataset(BeautySConfig(0.25));
+  std::vector<Interaction> all;
+  for (const auto* split : {&source.train, &source.warm_val,
+                            &source.warm_test, &source.cold_val,
+                            &source.cold_test}) {
+    all.insert(all.end(), split->begin(), split->end());
+  }
+  const char* inter_path = "/tmp/firzen_demo_interactions.tsv";
+  const char* text_path = "/tmp/firzen_demo_text.tsv";
+  const char* image_path = "/tmp/firzen_demo_image.tsv";
+  const char* kg_path = "/tmp/firzen_demo_kg.tsv";
+  if (!SaveInteractionsTsv(inter_path, all).ok() ||
+      !SaveFeaturesTsv(text_path, source.modalities[0].features).ok() ||
+      !SaveFeaturesTsv(image_path, source.modalities[1].features).ok() ||
+      !SaveKgTsv(kg_path, source.kg).ok()) {
+    std::fprintf(stderr, "failed to write demo TSVs\n");
+    return 1;
+  }
+
+  // --- Load it back the way a downstream user would ---
+  auto interactions = LoadInteractionsTsv(inter_path);
+  auto text = LoadFeaturesTsv(text_path, source.num_items);
+  auto image = LoadFeaturesTsv(image_path, source.num_items);
+  auto kg = LoadKgTsv(kg_path, source.num_items, source.kg.num_entities,
+                      source.kg.num_relations);
+  if (!interactions.ok() || !text.ok() || !image.ok() || !kg.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 interactions.ok() ? "features/kg" : interactions.status()
+                                                         .ToString()
+                                                         .c_str());
+    return 1;
+  }
+
+  Dataset dataset;
+  dataset.name = "custom";
+  dataset.num_users = source.num_users;
+  dataset.num_items = source.num_items;
+  dataset.modalities.push_back({"text", std::move(text.value())});
+  dataset.modalities.push_back({"image", std::move(image.value())});
+  dataset.kg = std::move(kg.value());
+
+  // Strict cold split on the raw interactions (paper §IV-A.1 arrangement).
+  SplitOptions split_options;
+  Rng rng(7);
+  ApplyStrictColdSplit(interactions.value(), split_options, &rng, &dataset);
+  dataset.CheckValid();
+  std::printf("loaded custom dataset: %zu interactions, %zu cold items\n",
+              interactions.value().size(), dataset.ColdItems().size());
+
+  FirzenModel model;
+  TrainOptions train;
+  train.embedding_dim = 32;
+  train.epochs = 10;
+  train.eval_every = 5;
+  train.pool = ThreadPool::Global();
+  const ProtocolResult result = RunStrictColdProtocol(&model, dataset, train);
+  std::printf("cold: %s\nwarm: %s\n", FormatEvalResult(result.cold).c_str(),
+              FormatEvalResult(result.warm).c_str());
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Scenario: your product knowledge graph is scraped and noisy — duplicate
+// facts, phantom brands, mislabeled categories. This example injects each
+// noise type (paper §IV-E) and shows Firzen's degradation staying mild.
+//
+//   ./build/examples/kg_noise_robustness
+#include <cstdio>
+
+#include "src/core/firzen_model.h"
+#include "src/data/noise.h"
+#include "src/data/synthetic.h"
+#include "src/models/registry.h"
+#include "src/util/logging.h"
+#include "src/util/table_printer.h"
+
+int main() {
+  using namespace firzen;  // NOLINT(build/namespaces)
+  SetLogLevel(LogLevel::kWarning);
+
+  const Dataset clean = GenerateSyntheticDataset(BeautySConfig(0.35));
+  TrainOptions train;
+  train.embedding_dim = 32;
+  train.epochs = 12;
+  train.eval_every = 4;
+  train.pool = ThreadPool::Global();
+
+  auto run = [&](const Dataset& dataset) {
+    FirzenModel model;
+    return RunStrictColdProtocol(&model, dataset, train);
+  };
+
+  const ProtocolResult base = run(clean);
+  TablePrinter table({"KG condition", "Cold M@20", "Warm M@20", "HM M@20",
+                      "HM drop vs clean (%)"});
+  auto add_row = [&](const char* name, const ProtocolResult& r) {
+    table.BeginRow();
+    table.AddCell(name);
+    table.AddCell(100.0 * r.cold.metrics.mrr);
+    table.AddCell(100.0 * r.warm.metrics.mrr);
+    table.AddCell(100.0 * r.hm.mrr);
+    const Real drop = base.hm.mrr > 0
+                          ? 100.0 * (base.hm.mrr - r.hm.mrr) / base.hm.mrr
+                          : 0.0;
+    table.AddCell(drop);
+  };
+  add_row("clean", base);
+
+  Rng rng(99);
+  for (KgNoiseKind kind : {KgNoiseKind::kOutlier, KgNoiseKind::kDuplicate,
+                           KgNoiseKind::kDiscrepancy}) {
+    Dataset noisy = clean;
+    noisy.kg = InjectKgNoise(clean.kg, kind, /*rate=*/0.2, &rng);
+    add_row(KgNoiseKindName(kind), run(noisy));
+  }
+  table.Print();
+  return 0;
+}

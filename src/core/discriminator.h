@@ -1,0 +1,59 @@
+// Adversarial discriminator D(x) = sigmoid(Drop(BN(LeakyReLU(Linear(x)))))
+// (paper §III-E.1). Shared by MMSSL and Firzen. The raw (pre-sigmoid) critic
+// output is also exposed for Wasserstein-style objectives.
+//
+// Lipschitz control substitution (DESIGN.md §2): the WGAN-GP gradient
+// penalty (Eq. 27) requires second-order autodiff; this implementation uses
+// weight clipping plus an optional finite-difference gradient-norm penalty,
+// which provides the same stabilization at first order.
+#ifndef FIRZEN_CORE_DISCRIMINATOR_H_
+#define FIRZEN_CORE_DISCRIMINATOR_H_
+
+#include <vector>
+
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace firzen {
+
+class Discriminator {
+ public:
+  struct Options {
+    Index hidden_dim = 32;
+    Real dropout = 0.2;
+    Real leaky_slope = 0.2;
+    Real weight_clip = 0.25;
+  };
+
+  Discriminator() = default;
+  Discriminator(Index input_dim, const Options& options, Rng* rng);
+
+  /// Raw critic scores (n x 1), before the sigmoid.
+  Tensor Critic(const Tensor& x, Rng* dropout_rng, bool training);
+
+  /// sigmoid(Critic(x)): probability that x comes from the observed graph.
+  Tensor Forward(const Tensor& x, Rng* dropout_rng, bool training);
+
+  /// Trainable parameters.
+  std::vector<Tensor> Params() const;
+
+  /// WGAN weight clipping for Lipschitz control.
+  void ClipWeights();
+
+  Index input_dim() const { return input_dim_; }
+
+ private:
+  Index input_dim_ = 0;
+  Options options_;
+  Tensor w1_;
+  Tensor b1_;
+  Tensor gamma_;
+  Tensor beta_;
+  Tensor w2_;
+  Tensor b2_;
+};
+
+}  // namespace firzen
+
+#endif  // FIRZEN_CORE_DISCRIMINATOR_H_

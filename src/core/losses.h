@@ -1,0 +1,35 @@
+// Firzen's self-supervised objectives (paper §III-E): the contrastive loss
+// for diverse modality-specific user preferences (Eqs. 28-29) and the
+// Gumbel-augmented observed interaction block used as the "real" sample of
+// the adversarial task (Eqs. 23-25).
+#ifndef FIRZEN_CORE_LOSSES_H_
+#define FIRZEN_CORE_LOSSES_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace firzen {
+
+/// InfoNCE between final user embeddings and one modality's user embeddings
+/// over a batch (Eqs. 28-29): positives are aligned rows; the denominator
+/// sums similarities of the modal anchor against all final AND modal batch
+/// embeddings.
+Tensor ModalContrastiveLoss(const Tensor& final_user_batch,
+                            const Tensor& modal_user_batch);
+
+/// Observed interaction block with Gumbel-softmax augmentation plus the
+/// auxiliary cosine signal from the final embeddings (Eq. 23). Returned as a
+/// constant (the "real" discriminator input).
+Matrix BuildAugmentedBlock(
+    const std::vector<Index>& users, const std::vector<Index>& items,
+    const std::vector<std::unordered_set<Index>>& train_sets,
+    const Matrix& final_user, const Matrix& final_item, Real temperature,
+    Real aux_gamma, Rng* rng);
+
+}  // namespace firzen
+
+#endif  // FIRZEN_CORE_LOSSES_H_

@@ -1,0 +1,105 @@
+#include "src/core/mshgl.h"
+
+#include <cmath>
+
+#include "src/tensor/init.h"
+#include "src/util/check.h"
+
+namespace firzen {
+
+Mshgl::Mshgl(Index num_modalities, const MshglOptions& options, Rng* rng)
+    : options_(options) {
+  FIRZEN_CHECK_GT(num_modalities, 0);
+  FIRZEN_CHECK_EQ(options.embedding_dim % options.attention_heads, 0);
+  for (Index m = 0; m < num_modalities; ++m) {
+    w_query_.push_back(
+        XavierVariable(options.embedding_dim, options.embedding_dim, rng));
+    w_key_.push_back(
+        XavierVariable(options.embedding_dim, options.embedding_dim, rng));
+  }
+}
+
+std::vector<Tensor> Mshgl::Params() const {
+  std::vector<Tensor> params;
+  for (const Tensor& w : w_query_) params.push_back(w);
+  for (const Tensor& w : w_key_) params.push_back(w);
+  return params;
+}
+
+MshglOutput Mshgl::Forward(const FrozenGraphs& graphs,
+                           const Tensor& fused_user,
+                           const Tensor& fused_item) const {
+  using namespace ops;  // NOLINT(build/namespaces)
+  MshglOutput out;
+  const Index d = options_.embedding_dim;
+  const Index heads = options_.attention_heads;
+  const Index head_dim = d / heads;
+  const size_t num_modalities = graphs.item_item.size();
+  FIRZEN_CHECK_EQ(num_modalities, w_query_.size());
+
+  // ---- Eq. 18: modality-specific item-item propagation ----
+  std::vector<Tensor> per_modality;
+  per_modality.reserve(num_modalities);
+  for (size_t m = 0; m < num_modalities; ++m) {
+    Tensor h = fused_item;
+    for (int l = 0; l < options_.item_layers; ++l) {
+      h = SpMM(graphs.item_item[m], h);
+    }
+    per_modality.push_back(h);
+  }
+
+  // ---- Eqs. 20-21: dependency-aware multi-head self-attention fusion ----
+  Tensor item_out;
+  if (num_modalities == 1) {
+    item_out = per_modality[0];
+  } else {
+    std::vector<Tensor> fused_per_modality;
+    for (size_t m = 0; m < num_modalities; ++m) {
+      Tensor q_all = MatMul(per_modality[m], w_query_[m]);
+      std::vector<Tensor> head_outputs;
+      for (Index h = 0; h < heads; ++h) {
+        const Index begin = h * head_dim;
+        const Index end = begin + head_dim;
+        Tensor q = SliceCols(q_all, begin, end);
+        // Scores against every source modality for this head.
+        std::vector<Tensor> exp_scores;
+        Tensor denom;
+        for (size_t mp = 0; mp < num_modalities; ++mp) {
+          Tensor k = SliceCols(MatMul(per_modality[mp], w_key_[mp]), begin,
+                               end);
+          Tensor score = Scale(RowDot(q, k),
+                               1.0 / std::sqrt(static_cast<Real>(head_dim)));
+          Tensor e = Exp(score);
+          exp_scores.push_back(e);
+          denom = mp == 0 ? e : Add(denom, e);
+        }
+        // Head output: attention-weighted sum of source-modality head
+        // slices (Eq. 20).
+        Tensor head_out;
+        for (size_t mp = 0; mp < num_modalities; ++mp) {
+          Tensor weight = Div(exp_scores[mp], denom);  // n x 1
+          Tensor value = SliceCols(per_modality[mp], begin, end);
+          Tensor contribution = RowScale(value, weight);
+          head_out = mp == 0 ? contribution : Add(head_out, contribution);
+        }
+        head_outputs.push_back(head_out);
+      }
+      fused_per_modality.push_back(ConcatCols(head_outputs));
+    }
+    // Eq. 21: mean across modalities.
+    item_out = Scale(AddN(fused_per_modality),
+                     1.0 / static_cast<Real>(num_modalities));
+  }
+
+  // ---- Eq. 19: user-user attention message passing ----
+  Tensor user_out = fused_user;
+  for (int l = 0; l < options_.user_layers; ++l) {
+    user_out = SpMM(graphs.user_user_softmax, user_out);
+  }
+
+  out.user = user_out;
+  out.item = item_out;
+  return out;
+}
+
+}  // namespace firzen

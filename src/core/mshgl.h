@@ -1,0 +1,49 @@
+// Modality-Specific Homogeneous Graph Learning (paper §III-D): light-weight
+// GCN over the frozen per-modality item-item graphs (Eq. 18), attention
+// message passing over the user-user co-occurrence graph (Eq. 19), and
+// dependency-aware multi-head self-attention fusion across modalities
+// (Eqs. 20-21). This is the component that transfers collaborative signal
+// from warm to strict cold items.
+#ifndef FIRZEN_CORE_MSHGL_H_
+#define FIRZEN_CORE_MSHGL_H_
+
+#include <vector>
+
+#include "src/core/frozen_graphs.h"
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+
+namespace firzen {
+
+struct MshglOptions {
+  Index embedding_dim = 32;
+  int item_layers = 1;       // L_{i-i}
+  int user_layers = 1;       // L_{u-u}
+  Index attention_heads = 2;  // H (must divide embedding_dim)
+};
+
+struct MshglOutput {
+  Tensor user;  // e-breve_u (Eq. 19 output), U x d
+  Tensor item;  // e-breve_i (Eq. 21 output), I x d
+};
+
+class Mshgl {
+ public:
+  Mshgl() = default;
+  Mshgl(Index num_modalities, const MshglOptions& options, Rng* rng);
+
+  /// Propagates fused SAHGL embeddings over the frozen homogeneous graphs.
+  MshglOutput Forward(const FrozenGraphs& graphs, const Tensor& fused_user,
+                      const Tensor& fused_item) const;
+
+  std::vector<Tensor> Params() const;
+
+ private:
+  MshglOptions options_;
+  std::vector<Tensor> w_query_;  // per modality, d x d (heads sliced)
+  std::vector<Tensor> w_key_;
+};
+
+}  // namespace firzen
+
+#endif  // FIRZEN_CORE_MSHGL_H_

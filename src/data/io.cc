@@ -1,0 +1,147 @@
+#include "src/data/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace firzen {
+namespace {
+
+Status OpenFailed(const std::string& path) {
+  return Status::IOError("cannot open " + path);
+}
+
+}  // namespace
+
+Result<std::vector<Interaction>> LoadInteractionsTsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return OpenFailed(path);
+  std::vector<Interaction> out;
+  std::string line;
+  Index line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    long long user = -1;
+    long long item = -1;
+    if (!(ss >> user >> item) || user < 0 || item < 0) {
+      return Status::InvalidArgument(path + ": malformed line " +
+                                     std::to_string(line_no));
+    }
+    out.push_back({static_cast<Index>(user), static_cast<Index>(item)});
+  }
+  return out;
+}
+
+Status SaveInteractionsTsv(const std::string& path,
+                           const std::vector<Interaction>& interactions) {
+  std::ofstream out(path);
+  if (!out) return OpenFailed(path);
+  for (const Interaction& x : interactions) {
+    out << x.user << '\t' << x.item << '\n';
+  }
+  return out ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Result<Matrix> LoadFeaturesTsv(const std::string& path, Index num_items) {
+  std::ifstream in(path);
+  if (!in) return OpenFailed(path);
+  std::string line;
+  Index dim = -1;
+  std::vector<std::pair<Index, std::vector<Real>>> rows;
+  Index line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return Status::InvalidArgument(path + ": malformed line " +
+                                     std::to_string(line_no));
+    }
+    const Index item = static_cast<Index>(std::stoll(line.substr(0, tab)));
+    if (item < 0 || item >= num_items) {
+      return Status::OutOfRange(path + ": item id out of range at line " +
+                                std::to_string(line_no));
+    }
+    std::vector<Real> values;
+    std::istringstream ss(line.substr(tab + 1));
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      values.push_back(std::stod(cell));
+    }
+    if (dim < 0) {
+      dim = static_cast<Index>(values.size());
+    } else if (dim != static_cast<Index>(values.size())) {
+      return Status::InvalidArgument(path + ": inconsistent dimension at line " +
+                                     std::to_string(line_no));
+    }
+    rows.emplace_back(item, std::move(values));
+  }
+  if (dim <= 0) return Status::InvalidArgument(path + ": no feature rows");
+  Matrix features(num_items, dim);
+  for (const auto& [item, values] : rows) {
+    for (Index c = 0; c < dim; ++c) {
+      features(item, c) = values[static_cast<size_t>(c)];
+    }
+  }
+  return features;
+}
+
+Status SaveFeaturesTsv(const std::string& path, const Matrix& features) {
+  std::ofstream out(path);
+  if (!out) return OpenFailed(path);
+  for (Index r = 0; r < features.rows(); ++r) {
+    out << r << '\t';
+    for (Index c = 0; c < features.cols(); ++c) {
+      if (c > 0) out << ',';
+      out << features(r, c);
+    }
+    out << '\n';
+  }
+  return out ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Result<KnowledgeGraph> LoadKgTsv(const std::string& path, Index num_items,
+                                 Index min_entities, Index min_relations) {
+  std::ifstream in(path);
+  if (!in) return OpenFailed(path);
+  KnowledgeGraph kg;
+  kg.num_items = num_items;
+  std::string line;
+  Index line_no = 0;
+  Index max_entity = num_items - 1;
+  Index max_relation = -1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    long long h = -1;
+    long long r = -1;
+    long long t = -1;
+    if (!(ss >> h >> r >> t) || h < 0 || r < 0 || t < 0) {
+      return Status::InvalidArgument(path + ": malformed line " +
+                                     std::to_string(line_no));
+    }
+    kg.triplets.push_back({static_cast<Index>(h), static_cast<Index>(r),
+                           static_cast<Index>(t)});
+    max_entity = std::max<Index>(max_entity, std::max<Index>(h, t));
+    max_relation = std::max<Index>(max_relation, static_cast<Index>(r));
+  }
+  kg.num_entities = std::max(min_entities, max_entity + 1);
+  kg.num_relations = std::max(min_relations, max_relation + 1);
+  kg.CheckValid();
+  return kg;
+}
+
+Status SaveKgTsv(const std::string& path, const KnowledgeGraph& kg) {
+  std::ofstream out(path);
+  if (!out) return OpenFailed(path);
+  for (const Triplet& t : kg.triplets) {
+    out << t.head << '\t' << t.relation << '\t' << t.tail << '\n';
+  }
+  return out ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+}  // namespace firzen

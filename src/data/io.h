@@ -1,0 +1,42 @@
+// TSV serialization so users can bring their own data (see
+// examples/custom_dataset.cc). Formats:
+//   interactions: "user<TAB>item" per line
+//   features:     "item<TAB>v0,v1,..." per line
+//   kg:           "head<TAB>relation<TAB>tail" per line
+#ifndef FIRZEN_DATA_IO_H_
+#define FIRZEN_DATA_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/util/status.h"
+
+namespace firzen {
+
+/// Parses "user<TAB>item" lines. Ids must be non-negative integers.
+Result<std::vector<Interaction>> LoadInteractionsTsv(const std::string& path);
+
+/// Writes interactions in the same format.
+Status SaveInteractionsTsv(const std::string& path,
+                           const std::vector<Interaction>& interactions);
+
+/// Parses an "item<TAB>comma-separated-floats" feature table. All rows must
+/// share one dimension; items absent from the file get zero rows.
+Result<Matrix> LoadFeaturesTsv(const std::string& path, Index num_items);
+
+/// Writes a feature table in the same format.
+Status SaveFeaturesTsv(const std::string& path, const Matrix& features);
+
+/// Parses "head<TAB>relation<TAB>tail" triplets; entity/relation counts are
+/// inferred as max id + 1, then overridden upward by the optional minimums.
+Result<KnowledgeGraph> LoadKgTsv(const std::string& path, Index num_items,
+                                 Index min_entities = 0,
+                                 Index min_relations = 0);
+
+/// Writes triplets in the same format.
+Status SaveKgTsv(const std::string& path, const KnowledgeGraph& kg);
+
+}  // namespace firzen
+
+#endif  // FIRZEN_DATA_IO_H_

@@ -1,0 +1,61 @@
+// Knowledge graph container. Entity ids are globally indexed with the
+// convention that the first `num_items` entity ids are the catalog items
+// themselves (the paper's item-entity alignment).
+#ifndef FIRZEN_DATA_KG_H_
+#define FIRZEN_DATA_KG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/common.h"
+
+namespace firzen {
+
+/// One (head, relation, tail) fact.
+struct Triplet {
+  Index head;
+  Index relation;
+  Index tail;
+
+  bool operator==(const Triplet& other) const {
+    return head == other.head && relation == other.relation &&
+           tail == other.tail;
+  }
+};
+
+/// Entity types mirroring the constructed Amazon KGs (paper Fig. 5).
+enum class EntityType : int8_t {
+  kItem = 0,
+  kFeature = 1,
+  kBrand = 2,
+  kCategory = 3,
+};
+
+/// Relation names used by the synthetic KG builder (paper Fig. 5).
+enum KgRelation : Index {
+  kDescribedBy = 0,   // item -> feature
+  kProducedBy = 1,    // item -> brand
+  kBelongTo = 2,      // item -> category
+  kAlsoBought = 3,    // item -> item
+  kAlsoViewed = 4,    // item -> item
+  kBoughtTogether = 5,  // item -> item
+  kNumBaseRelations = 6,
+};
+
+/// External knowledge organized as triplets over typed entities.
+struct KnowledgeGraph {
+  Index num_entities = 0;   // first num_items ids are items
+  Index num_items = 0;      // item-entity alignment prefix
+  Index num_relations = 0;
+  std::vector<Triplet> triplets;
+  /// Optional per-entity type tag (size num_entities); used by the noise
+  /// injector to generate type-consistent "discrepancy" corruptions.
+  std::vector<EntityType> entity_type;
+
+  /// Validates index ranges; aborts on malformed graphs.
+  void CheckValid() const;
+};
+
+}  // namespace firzen
+
+#endif  // FIRZEN_DATA_KG_H_

@@ -1,0 +1,80 @@
+#include "src/data/noise.h"
+
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace firzen {
+
+const char* KgNoiseKindName(KgNoiseKind kind) {
+  switch (kind) {
+    case KgNoiseKind::kOutlier:
+      return "Outlier";
+    case KgNoiseKind::kDuplicate:
+      return "Duplicate";
+    case KgNoiseKind::kDiscrepancy:
+      return "Discrepancy";
+  }
+  return "?";
+}
+
+KnowledgeGraph InjectKgNoise(const KnowledgeGraph& kg, KgNoiseKind kind,
+                             Real rate, Rng* rng) {
+  FIRZEN_CHECK(rng != nullptr);
+  FIRZEN_CHECK_GE(rate, 0.0);
+  kg.CheckValid();
+  KnowledgeGraph out = kg;
+  const Index extra =
+      static_cast<Index>(rate * static_cast<Real>(kg.triplets.size()));
+  if (extra == 0 || kg.triplets.empty()) return out;
+
+  // Entities of each type, for type-consistent discrepancy rewiring.
+  std::vector<std::vector<Index>> by_type(4);
+  for (Index e = 0; e < kg.num_entities; ++e) {
+    const int type = kg.entity_type.empty()
+                         ? 0
+                         : static_cast<int>(
+                               kg.entity_type[static_cast<size_t>(e)]);
+    by_type[static_cast<size_t>(type)].push_back(e);
+  }
+
+  for (Index n = 0; n < extra; ++n) {
+    const Triplet& base = kg.triplets[static_cast<size_t>(
+        rng->UniformInt(static_cast<Index>(kg.triplets.size())))];
+    switch (kind) {
+      case KgNoiseKind::kOutlier: {
+        // Brand-new tail entity (e.g., an unseen brand), same type tag.
+        const Index new_entity = out.num_entities++;
+        if (!out.entity_type.empty()) {
+          out.entity_type.push_back(
+              kg.entity_type.empty()
+                  ? EntityType::kBrand
+                  : kg.entity_type[static_cast<size_t>(base.tail)]);
+        }
+        out.triplets.push_back({base.head, base.relation, new_entity});
+        break;
+      }
+      case KgNoiseKind::kDuplicate: {
+        out.triplets.push_back(base);
+        break;
+      }
+      case KgNoiseKind::kDiscrepancy: {
+        const int type = kg.entity_type.empty()
+                             ? 0
+                             : static_cast<int>(
+                                   kg.entity_type[static_cast<size_t>(
+                                       base.tail)]);
+        const auto& pool = by_type[static_cast<size_t>(type)];
+        if (pool.empty()) break;
+        Index wrong = pool[static_cast<size_t>(
+            rng->UniformInt(static_cast<Index>(pool.size())))];
+        out.triplets.push_back({base.head, base.relation, wrong});
+        break;
+      }
+    }
+  }
+  out.CheckValid();
+  return out;
+}
+
+}  // namespace firzen

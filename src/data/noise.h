@@ -1,0 +1,32 @@
+// KG noise injection for the robustness study (paper §IV-E, Table V):
+// inject 20% extra triplets as (1) outliers — non-existent tail entities,
+// (2) duplicates — copies of existing triplets, (3) discrepancies — existing
+// but wrong tail entities of the same type.
+#ifndef FIRZEN_DATA_NOISE_H_
+#define FIRZEN_DATA_NOISE_H_
+
+#include "src/data/kg.h"
+#include "src/util/rng.h"
+
+namespace firzen {
+
+enum class KgNoiseKind {
+  kOutlier,
+  kDuplicate,
+  kDiscrepancy,
+};
+
+/// Returns a copy of `kg` with `rate` * |triplets| extra noisy triplets of
+/// the given kind. Outliers append brand-new entity ids (growing
+/// num_entities); duplicates repeat existing triplets verbatim;
+/// discrepancies reuse an existing head/relation with a wrong same-type tail.
+KnowledgeGraph InjectKgNoise(const KnowledgeGraph& kg, KgNoiseKind kind,
+                             Real rate, Rng* rng);
+
+/// Human-readable name for reports ("Outlier" / "Duplicate" /
+/// "Discrepancy").
+const char* KgNoiseKindName(KgNoiseKind kind);
+
+}  // namespace firzen
+
+#endif  // FIRZEN_DATA_NOISE_H_

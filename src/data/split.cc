@@ -1,0 +1,156 @@
+#include "src/data/split.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/util/check.h"
+
+namespace firzen {
+
+void ApplyStrictColdSplit(const std::vector<Interaction>& interactions,
+                          const SplitOptions& options, Rng* rng,
+                          Dataset* dataset) {
+  FIRZEN_CHECK(rng != nullptr);
+  FIRZEN_CHECK(dataset != nullptr);
+  FIRZEN_CHECK_GT(dataset->num_users, 0);
+  FIRZEN_CHECK_GT(dataset->num_items, 0);
+  FIRZEN_CHECK_GT(options.cold_fraction, 0.0);
+  FIRZEN_CHECK_LT(options.cold_fraction, 1.0);
+
+  const Index num_items = dataset->num_items;
+  const Index num_cold = std::max<Index>(
+      1, static_cast<Index>(options.cold_fraction * num_items));
+
+  dataset->is_cold_item.assign(static_cast<size_t>(num_items), false);
+  for (Index i : rng->SampleWithoutReplacement(num_items, num_cold)) {
+    dataset->is_cold_item[static_cast<size_t>(i)] = true;
+  }
+
+  std::vector<Interaction> warm;
+  std::vector<Interaction> cold;
+  for (const Interaction& x : interactions) {
+    if (dataset->is_cold_item[static_cast<size_t>(x.item)]) {
+      cold.push_back(x);
+    } else {
+      warm.push_back(x);
+    }
+  }
+
+  // Cold pool -> cold val : cold test, 1:1.
+  rng->Shuffle(&cold);
+  dataset->cold_val.assign(cold.begin(), cold.begin() + cold.size() / 2);
+  dataset->cold_test.assign(cold.begin() + cold.size() / 2, cold.end());
+
+  // Warm pool -> train : val : test = train_ratio : rest/2 : rest/2.
+  rng->Shuffle(&warm);
+  const size_t train_count =
+      static_cast<size_t>(options.train_ratio * warm.size());
+  const size_t val_count = (warm.size() - train_count) / 2;
+  dataset->train.assign(warm.begin(), warm.begin() + train_count);
+  dataset->warm_val.assign(warm.begin() + train_count,
+                           warm.begin() + train_count + val_count);
+  dataset->warm_test.assign(warm.begin() + train_count + val_count,
+                            warm.end());
+
+  // Repair pass 1: every warm item must keep >= 1 training interaction,
+  // otherwise it would behave as an (unlabelled) cold item.
+  std::vector<int> item_train_count(static_cast<size_t>(num_items), 0);
+  for (const Interaction& x : dataset->train) {
+    ++item_train_count[static_cast<size_t>(x.item)];
+  }
+  auto rescue_from = [&](std::vector<Interaction>* held) {
+    for (size_t k = 0; k < held->size();) {
+      const Interaction x = (*held)[k];
+      if (item_train_count[static_cast<size_t>(x.item)] == 0) {
+        dataset->train.push_back(x);
+        ++item_train_count[static_cast<size_t>(x.item)];
+        (*held)[k] = held->back();
+        held->pop_back();
+      } else {
+        ++k;
+      }
+    }
+  };
+  rescue_from(&dataset->warm_val);
+  rescue_from(&dataset->warm_test);
+  // Items with no warm interaction at all (never observed) are re-labelled
+  // cold so the invariant "warm => trainable" holds.
+  for (Index i = 0; i < num_items; ++i) {
+    if (!dataset->is_cold_item[static_cast<size_t>(i)] &&
+        item_train_count[static_cast<size_t>(i)] == 0) {
+      dataset->is_cold_item[static_cast<size_t>(i)] = true;
+    }
+  }
+  // Drop warm-eval rows that reference re-labelled items.
+  auto drop_cold_rows = [&](std::vector<Interaction>* split) {
+    split->erase(std::remove_if(split->begin(), split->end(),
+                                [&](const Interaction& x) {
+                                  return dataset->is_cold_item
+                                      [static_cast<size_t>(x.item)];
+                                }),
+                 split->end());
+  };
+  drop_cold_rows(&dataset->warm_val);
+  drop_cold_rows(&dataset->warm_test);
+
+  // Repair pass 2: every user that interacts with warm items keeps at least
+  // one training interaction (move one back from val/test if needed).
+  std::vector<int> user_train_count(static_cast<size_t>(dataset->num_users),
+                                    0);
+  for (const Interaction& x : dataset->train) {
+    ++user_train_count[static_cast<size_t>(x.user)];
+  }
+  auto rescue_user_from = [&](std::vector<Interaction>* held) {
+    for (size_t k = 0; k < held->size();) {
+      const Interaction x = (*held)[k];
+      if (user_train_count[static_cast<size_t>(x.user)] == 0) {
+        dataset->train.push_back(x);
+        ++user_train_count[static_cast<size_t>(x.user)];
+        (*held)[k] = held->back();
+        held->pop_back();
+      } else {
+        ++k;
+      }
+    }
+  };
+  rescue_user_from(&dataset->warm_val);
+  rescue_user_from(&dataset->warm_test);
+
+  dataset->cold_known.clear();
+}
+
+Dataset MakeNormalColdProtocol(const Dataset& dataset, Rng* rng) {
+  FIRZEN_CHECK(rng != nullptr);
+  Dataset out = dataset;
+  out.cold_known.clear();
+
+  auto split_known = [&](const std::vector<Interaction>& in,
+                         std::vector<Interaction>* unknown) {
+    unknown->clear();
+    // Group per item so every normal-cold item with >= 2 interactions gets at
+    // least one revealed link.
+    std::unordered_map<Index, std::vector<Interaction>> by_item;
+    for (const Interaction& x : in) by_item[x.item].push_back(x);
+    for (auto& [item, rows] : by_item) {
+      (void)item;
+      rng->Shuffle(&rows);
+      const size_t known_count = rows.size() / 2;
+      for (size_t k = 0; k < rows.size(); ++k) {
+        if (k < known_count) {
+          out.cold_known.push_back(rows[k]);
+        } else {
+          unknown->push_back(rows[k]);
+        }
+      }
+    }
+  };
+  std::vector<Interaction> unknown_val;
+  std::vector<Interaction> unknown_test;
+  split_known(dataset.cold_val, &unknown_val);
+  split_known(dataset.cold_test, &unknown_test);
+  out.cold_val = std::move(unknown_val);
+  out.cold_test = std::move(unknown_test);
+  return out;
+}
+
+}  // namespace firzen

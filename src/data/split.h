@@ -1,0 +1,40 @@
+// Interaction split machinery for the paper's evaluation protocols:
+//  * strict cold-start (§IV-A.1): 20% of items become strict cold items whose
+//    interactions form cold val/test (1:1); warm interactions split 8:1:1.
+//  * normal cold-start (§IV-F, Table VI): cold sets further split 1:1 into
+//    `known` links (revealed at inference) and `unknown` eval targets.
+#ifndef FIRZEN_DATA_SPLIT_H_
+#define FIRZEN_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/util/rng.h"
+
+namespace firzen {
+
+struct SplitOptions {
+  /// Fraction of items chosen as strict cold-start items.
+  Real cold_fraction = 0.2;
+  /// Fraction of warm interactions used for training; the remainder is
+  /// split 1:1 into warm validation and warm test.
+  Real train_ratio = 0.8;
+};
+
+/// Partitions `interactions` into the strict cold-start arrangement, filling
+/// dataset->train/warm_val/warm_test/cold_val/cold_test and is_cold_item.
+/// Guarantees: every warm item retains at least one training interaction
+/// (otherwise it would be accidentally cold) and every user with a warm
+/// interaction retains at least one training interaction.
+void ApplyStrictColdSplit(const std::vector<Interaction>& interactions,
+                          const SplitOptions& options, Rng* rng,
+                          Dataset* dataset);
+
+/// Returns a copy of `dataset` arranged for the normal cold-start protocol:
+/// each cold item's val/test interactions are split 1:1 into known links
+/// (moved to cold_known) and unknown eval targets (kept in cold_val/test).
+Dataset MakeNormalColdProtocol(const Dataset& dataset, Rng* rng);
+
+}  // namespace firzen
+
+#endif  // FIRZEN_DATA_SPLIT_H_

@@ -1,0 +1,43 @@
+#include "src/data/stats.h"
+
+namespace firzen {
+
+DatasetStats ComputeDatasetStats(const Dataset& dataset) {
+  DatasetStats stats;
+  stats.name = dataset.name;
+  stats.num_users = dataset.num_users;
+  stats.num_items = dataset.num_items;
+  for (bool cold : dataset.is_cold_item) {
+    if (cold) {
+      ++stats.num_cold_items;
+    } else {
+      ++stats.num_warm_items;
+    }
+  }
+  stats.num_interactions = static_cast<Index>(
+      dataset.train.size() + dataset.warm_val.size() +
+      dataset.warm_test.size() + dataset.cold_val.size() +
+      dataset.cold_test.size() + dataset.cold_known.size());
+  if (dataset.num_users > 0) {
+    stats.avg_interactions_per_user =
+        static_cast<Real>(stats.num_interactions) / dataset.num_users;
+  }
+  if (dataset.num_items > 0) {
+    stats.avg_interactions_per_item =
+        static_cast<Real>(stats.num_interactions) / dataset.num_items;
+  }
+  const Real denom =
+      static_cast<Real>(dataset.num_users) * static_cast<Real>(dataset.num_items);
+  if (denom > 0) {
+    stats.sparsity_percent =
+        100.0 * (1.0 - static_cast<Real>(stats.num_interactions) / denom);
+  }
+  stats.num_entities = dataset.kg.num_entities;
+  // The paper's Table I counts the Interact relation alongside KG relations.
+  stats.num_relations =
+      dataset.kg.num_relations > 0 ? dataset.kg.num_relations + 1 : 0;
+  stats.num_triplets = static_cast<Index>(dataset.kg.triplets.size());
+  return stats;
+}
+
+}  // namespace firzen

@@ -1,0 +1,32 @@
+// Dataset statistics matching the paper's Table I rows.
+#ifndef FIRZEN_DATA_STATS_H_
+#define FIRZEN_DATA_STATS_H_
+
+#include <string>
+
+#include "src/data/dataset.h"
+
+namespace firzen {
+
+/// Aggregate statistics for one benchmark (Table I layout).
+struct DatasetStats {
+  std::string name;
+  Index num_users = 0;
+  Index num_items = 0;
+  Index num_warm_items = 0;
+  Index num_cold_items = 0;
+  Index num_interactions = 0;
+  Real avg_interactions_per_user = 0.0;
+  Real avg_interactions_per_item = 0.0;
+  Real sparsity_percent = 0.0;  // 100 * (1 - inter / (U * I))
+  Index num_entities = 0;
+  Index num_relations = 0;  // KG relations + Interact (paper counts both)
+  Index num_triplets = 0;
+};
+
+/// Computes Table I statistics over all splits of the dataset.
+DatasetStats ComputeDatasetStats(const Dataset& dataset);
+
+}  // namespace firzen
+
+#endif  // FIRZEN_DATA_STATS_H_

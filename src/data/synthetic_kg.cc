@@ -1,0 +1,169 @@
+#include "src/data/synthetic_kg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace firzen {
+namespace {
+
+Index PoissonCount(Real mean, Rng* rng) {
+  const Real l = std::exp(-mean);
+  Index k = 0;
+  Real p = 1.0;
+  do {
+    ++k;
+    p *= rng->Uniform();
+  } while (p > l);
+  return k - 1;
+}
+
+}  // namespace
+
+KnowledgeGraph BuildSyntheticKg(const SyntheticConfig& config,
+                                const std::vector<Index>& item_cluster,
+                                const Matrix& item_latent, Rng* rng) {
+  const Index items = static_cast<Index>(item_cluster.size());
+  const Index k = config.num_clusters;
+  FIRZEN_CHECK_GT(items, 0);
+  FIRZEN_CHECK_GT(config.num_brands, 0);
+  FIRZEN_CHECK_GT(config.num_categories, 0);
+  FIRZEN_CHECK_GT(config.num_feature_words, 0);
+  FIRZEN_CHECK_GE(config.relation_split, 1);
+
+  KnowledgeGraph kg;
+  kg.num_items = items;
+  const Index feature_base = items;
+  const Index brand_base = feature_base + config.num_feature_words;
+  const Index category_base = brand_base + config.num_brands;
+  kg.num_entities = category_base + config.num_categories;
+  kg.num_relations = kNumBaseRelations * config.relation_split;
+
+  kg.entity_type.assign(static_cast<size_t>(kg.num_entities),
+                        EntityType::kItem);
+  for (Index e = feature_base; e < brand_base; ++e) {
+    kg.entity_type[static_cast<size_t>(e)] = EntityType::kFeature;
+  }
+  for (Index e = brand_base; e < category_base; ++e) {
+    kg.entity_type[static_cast<size_t>(e)] = EntityType::kBrand;
+  }
+  for (Index e = category_base; e < kg.num_entities; ++e) {
+    kg.entity_type[static_cast<size_t>(e)] = EntityType::kCategory;
+  }
+
+  // Sub-relation ids emulate many-relation KGs (Weixin's WikiSports).
+  auto rel = [&](KgRelation base, Index variant) {
+    return static_cast<Index>(base) * config.relation_split +
+           (variant % config.relation_split);
+  };
+
+  // Brand pools per cluster: brands are partitioned, purity controls how
+  // often an item draws from its own cluster's pool.
+  auto brand_for = [&](Index cluster) {
+    const Index pool = config.num_brands / k > 0 ? config.num_brands / k : 1;
+    Index chosen_cluster = cluster;
+    if (!rng->Bernoulli(config.brand_cluster_purity)) {
+      chosen_cluster = rng->UniformInt(k);
+    }
+    const Index start = (chosen_cluster * pool) % config.num_brands;
+    return brand_base + (start + rng->UniformInt(pool)) % config.num_brands;
+  };
+
+  // Cluster -> category map (stable, slightly noisy at triplet level).
+  auto category_for = [&](Index cluster) {
+    return category_base + (cluster % config.num_categories);
+  };
+
+  // Per-cluster topic over feature words: each cluster owns a window of the
+  // vocabulary; words are drawn from the window with occasional global draws
+  // (TF-IDF-filtered review vocabulary in the paper).
+  const Index window =
+      std::max<Index>(8, config.num_feature_words / std::max<Index>(1, k));
+  auto feature_for = [&](Index cluster) {
+    if (rng->Bernoulli(0.15)) {
+      return feature_base + rng->UniformInt(config.num_feature_words);
+    }
+    const Index start = (cluster * window) % config.num_feature_words;
+    return feature_base +
+           (start + rng->UniformInt(window)) % config.num_feature_words;
+  };
+
+  // Co-purchase style item-item edges toward latent-similar cluster peers.
+  std::vector<std::vector<Index>> cluster_members(static_cast<size_t>(k));
+  for (Index i = 0; i < items; ++i) {
+    cluster_members[static_cast<size_t>(item_cluster[static_cast<size_t>(i)])]
+        .push_back(i);
+  }
+  const Index ld = item_latent.cols();
+  auto similar_peer = [&](Index i) -> Index {
+    const auto& members =
+        cluster_members[static_cast<size_t>(
+            item_cluster[static_cast<size_t>(i)])];
+    if (members.size() < 2) return -1;
+    // Best of a small random sample by latent dot product.
+    Index best = -1;
+    Real best_score = -1e30;
+    for (int trial = 0; trial < 6; ++trial) {
+      const Index cand =
+          members[static_cast<size_t>(rng->UniformInt(
+              static_cast<Index>(members.size())))];
+      if (cand == i) continue;
+      Real score = 0.0;
+      for (Index d = 0; d < ld; ++d) score += item_latent(i, d) * item_latent(cand, d);
+      if (score > best_score) {
+        best_score = score;
+        best = cand;
+      }
+    }
+    return best;
+  };
+
+  for (Index i = 0; i < items; ++i) {
+    const Index cluster = item_cluster[static_cast<size_t>(i)];
+    kg.triplets.push_back({i, rel(kProducedBy, i), brand_for(cluster)});
+    kg.triplets.push_back({i, rel(kBelongTo, i), category_for(cluster)});
+    const Index num_words =
+        std::max<Index>(1, PoissonCount(config.mean_features_per_item, rng));
+    for (Index w = 0; w < num_words; ++w) {
+      kg.triplets.push_back({i, rel(kDescribedBy, i + w), feature_for(cluster)});
+    }
+    for (Index e = 0; e < config.also_edges_per_item; ++e) {
+      const Index peer = similar_peer(i);
+      if (peer < 0) continue;
+      const KgRelation base = e % 3 == 0   ? kAlsoBought
+                              : e % 3 == 1 ? kAlsoViewed
+                                           : kBoughtTogether;
+      kg.triplets.push_back({i, rel(base, i + e), peer});
+    }
+  }
+
+  // Structured noise: rewire a fraction of tails to a random entity of the
+  // same type (knowledge is useful but imperfect).
+  const size_t noisy =
+      static_cast<size_t>(config.kg_noise_rate * kg.triplets.size());
+  for (size_t n = 0; n < noisy; ++n) {
+    Triplet& t = kg.triplets[static_cast<size_t>(
+        rng->UniformInt(static_cast<Index>(kg.triplets.size())))];
+    const EntityType type = kg.entity_type[static_cast<size_t>(t.tail)];
+    switch (type) {
+      case EntityType::kItem:
+        t.tail = rng->UniformInt(items);
+        break;
+      case EntityType::kFeature:
+        t.tail = feature_base + rng->UniformInt(config.num_feature_words);
+        break;
+      case EntityType::kBrand:
+        t.tail = brand_base + rng->UniformInt(config.num_brands);
+        break;
+      case EntityType::kCategory:
+        t.tail = category_base + rng->UniformInt(config.num_categories);
+        break;
+    }
+  }
+
+  kg.CheckValid();
+  return kg;
+}
+
+}  // namespace firzen

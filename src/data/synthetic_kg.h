@@ -1,0 +1,26 @@
+// Synthetic knowledge graph builder following the paper's Fig. 5 schema:
+// entities {item, feature, brand, category}, relations {described_by,
+// produced_by, belong_to, also_bought, also_viewed, bought_together}.
+#ifndef FIRZEN_DATA_SYNTHETIC_KG_H_
+#define FIRZEN_DATA_SYNTHETIC_KG_H_
+
+#include <vector>
+
+#include "src/data/kg.h"
+#include "src/data/synthetic.h"
+#include "src/tensor/matrix.h"
+#include "src/util/rng.h"
+
+namespace firzen {
+
+/// Builds the typed KG for a generated item population. Brand/category/
+/// feature assignment correlates with `item_cluster` (knowledge is useful),
+/// while `config.kg_noise_rate` rewires a fraction of tails at random
+/// (knowledge is noisy).
+KnowledgeGraph BuildSyntheticKg(const SyntheticConfig& config,
+                                const std::vector<Index>& item_cluster,
+                                const Matrix& item_latent, Rng* rng);
+
+}  // namespace firzen
+
+#endif  // FIRZEN_DATA_SYNTHETIC_KG_H_

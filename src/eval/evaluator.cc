@@ -1,0 +1,153 @@
+#include "src/eval/evaluator.h"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/check.h"
+#include "src/util/table_printer.h"
+
+namespace firzen {
+namespace {
+
+// Fixed-size top-K selection over candidate columns with deterministic
+// tie-breaking (higher score first, then lower item id).
+std::vector<Index> TopK(const Real* scores, const std::vector<Index>& candidates,
+                        Index k) {
+  using Entry = std::pair<Real, Index>;
+  std::vector<Entry> heap;  // min-heap on (score, -item)
+  heap.reserve(static_cast<size_t>(k) + 1);
+  auto worse = [](const Entry& a, const Entry& b) {
+    // a is "better" than b => a should sit deeper in the min-heap.
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  };
+  for (Index item : candidates) {
+    const Entry e{scores[item], item};
+    if (static_cast<Index>(heap.size()) < k) {
+      heap.push_back(e);
+      std::push_heap(heap.begin(), heap.end(), worse);
+    } else if (worse(e, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), worse);
+      heap.back() = e;
+      std::push_heap(heap.begin(), heap.end(), worse);
+    }
+  }
+  // sort_heap with this comparator yields best-first order (the "least"
+  // element under `worse` is the highest-scoring one).
+  std::sort_heap(heap.begin(), heap.end(), worse);
+  std::vector<Index> out;
+  out.reserve(heap.size());
+  for (const Entry& e : heap) out.push_back(e.second);
+  return out;
+}
+
+}  // namespace
+
+EvalResult EvaluateRanking(const Dataset& dataset,
+                           const std::vector<Interaction>& split,
+                           EvalSetting setting, const ScoreFn& score_fn,
+                           const EvalOptions& options) {
+  FIRZEN_CHECK_GT(options.k, 0);
+
+  // Ground truth per user.
+  std::unordered_map<Index, std::unordered_set<Index>> relevant_by_user;
+  for (const Interaction& x : split) {
+    relevant_by_user[x.user].insert(x.item);
+  }
+  std::vector<Index> eval_users;
+  eval_users.reserve(relevant_by_user.size());
+  for (const auto& [user, items] : relevant_by_user) {
+    (void)items;
+    eval_users.push_back(user);
+  }
+  std::sort(eval_users.begin(), eval_users.end());
+
+  EvalResult result;
+  if (eval_users.empty()) return result;
+
+  // Candidate pools. Warm candidates exclude each user's training items
+  // (handled per user below); cold candidates are shared.
+  const std::vector<Index> base_candidates = setting == EvalSetting::kWarm
+                                                 ? dataset.WarmItems()
+                                                 : dataset.ColdItems();
+  FIRZEN_CHECK(!base_candidates.empty());
+  std::vector<std::vector<Index>> train_items;
+  if (setting == EvalSetting::kWarm) {
+    train_items = dataset.TrainItemsByUser();
+  }
+
+  MetricBundle total;
+  Index counted = 0;
+  std::mutex total_mu;
+
+  for (size_t begin = 0; begin < eval_users.size();
+       begin += static_cast<size_t>(options.user_batch)) {
+    const size_t end = std::min(
+        begin + static_cast<size_t>(options.user_batch), eval_users.size());
+    const std::vector<Index> batch(eval_users.begin() + begin,
+                                   eval_users.begin() + end);
+    Matrix scores;
+    score_fn(batch, &scores);
+    FIRZEN_CHECK_EQ(scores.rows(), static_cast<Index>(batch.size()));
+    FIRZEN_CHECK_EQ(scores.cols(), dataset.num_items);
+
+    ParallelFor(
+        options.pool, static_cast<Index>(batch.size()),
+        [&](Index row_begin, Index row_end) {
+          MetricBundle local;
+          Index local_count = 0;
+          std::vector<Index> candidates;
+          for (Index r = row_begin; r < row_end; ++r) {
+            const Index user = batch[static_cast<size_t>(r)];
+            // find() not operator[]: this map is shared across worker
+            // threads and must stay strictly read-only here.
+            const auto& relevant = relevant_by_user.find(user)->second;
+
+            const std::vector<Index>* pool_items = &base_candidates;
+            if (setting == EvalSetting::kWarm) {
+              const auto& seen = train_items[static_cast<size_t>(user)];
+              candidates.clear();
+              std::unordered_set<Index> seen_set(seen.begin(), seen.end());
+              for (Index item : base_candidates) {
+                if (seen_set.count(item) == 0) candidates.push_back(item);
+              }
+              pool_items = &candidates;
+            }
+            // Relevant items inside the candidate pool.
+            Index num_relevant = 0;
+            for (Index item : *pool_items) {
+              if (relevant.count(item) > 0) ++num_relevant;
+            }
+            if (num_relevant == 0) continue;
+
+            const std::vector<Index> top =
+                TopK(scores.row(r), *pool_items, options.k);
+            local += ComputeUserMetrics(top, relevant, num_relevant,
+                                        options.k);
+            ++local_count;
+          }
+          std::lock_guard<std::mutex> lock(total_mu);
+          total += local;
+          counted += local_count;
+        },
+        /*min_shard_size=*/16);
+  }
+
+  if (counted > 0) total /= static_cast<Real>(counted);
+  result.metrics = total;
+  result.num_users = counted;
+  return result;
+}
+
+std::string FormatEvalResult(const EvalResult& result) {
+  const MetricBundle& m = result.metrics;
+  return "R@20=" + FormatReal(100.0 * m.recall) +
+         " M@20=" + FormatReal(100.0 * m.mrr) +
+         " N@20=" + FormatReal(100.0 * m.ndcg) +
+         " H@20=" + FormatReal(100.0 * m.hit) +
+         " P@20=" + FormatReal(100.0 * m.precision) +
+         " (users=" + std::to_string(result.num_users) + ")";
+}
+
+}  // namespace firzen

@@ -1,0 +1,49 @@
+// All-ranking evaluation protocol (paper §IV-A.2): for each user with at
+// least one relevant item in the split, rank ALL candidate items (no sampled
+// negatives) and average Top-K metrics. Candidate sets:
+//   * warm setting: every warm item the user has not interacted with in
+//     training;
+//   * cold setting: every strict cold item.
+#ifndef FIRZEN_EVAL_EVALUATOR_H_
+#define FIRZEN_EVAL_EVALUATOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/eval/metrics.h"
+#include "src/util/thread_pool.h"
+
+namespace firzen {
+
+/// Produces a (users.size() x num_items) score matrix for the given users.
+using ScoreFn =
+    std::function<void(const std::vector<Index>& users, Matrix* scores)>;
+
+enum class EvalSetting { kWarm, kCold };
+
+struct EvalOptions {
+  Index k = 20;
+  Index user_batch = 512;
+  ThreadPool* pool = nullptr;
+};
+
+/// Averaged metrics plus the evaluated-user count.
+struct EvalResult {
+  MetricBundle metrics;
+  Index num_users = 0;
+};
+
+/// Evaluates `score_fn` against `split` under the given setting.
+EvalResult EvaluateRanking(const Dataset& dataset,
+                           const std::vector<Interaction>& split,
+                           EvalSetting setting, const ScoreFn& score_fn,
+                           const EvalOptions& options = {});
+
+/// Pretty one-line summary "R=.. M=.. N=.. H=.. P=.." in percentage points.
+std::string FormatEvalResult(const EvalResult& result);
+
+}  // namespace firzen
+
+#endif  // FIRZEN_EVAL_EVALUATOR_H_

@@ -1,0 +1,20 @@
+#include "src/eval/harmonic.h"
+
+namespace firzen {
+
+Real HarmonicMean(Real a, Real b) {
+  if (a <= 0.0 || b <= 0.0) return 0.0;
+  return 2.0 * a * b / (a + b);
+}
+
+MetricBundle HarmonicMean(const MetricBundle& a, const MetricBundle& b) {
+  MetricBundle m;
+  m.recall = HarmonicMean(a.recall, b.recall);
+  m.mrr = HarmonicMean(a.mrr, b.mrr);
+  m.ndcg = HarmonicMean(a.ndcg, b.ndcg);
+  m.hit = HarmonicMean(a.hit, b.hit);
+  m.precision = HarmonicMean(a.precision, b.precision);
+  return m;
+}
+
+}  // namespace firzen

@@ -1,0 +1,19 @@
+// Harmonic-mean balancing of cold and warm results (paper §IV-A.2: "a
+// harmonic mean of metrics in two settings, which ... penalizes models with
+// a short barrel").
+#ifndef FIRZEN_EVAL_HARMONIC_H_
+#define FIRZEN_EVAL_HARMONIC_H_
+
+#include "src/eval/evaluator.h"
+
+namespace firzen {
+
+/// Scalar harmonic mean; returns 0 when either input is <= 0.
+Real HarmonicMean(Real a, Real b);
+
+/// Metric-wise harmonic mean of two bundles.
+MetricBundle HarmonicMean(const MetricBundle& a, const MetricBundle& b);
+
+}  // namespace firzen
+
+#endif  // FIRZEN_EVAL_HARMONIC_H_

@@ -1,0 +1,59 @@
+#include "src/eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace firzen {
+
+MetricBundle& MetricBundle::operator+=(const MetricBundle& other) {
+  recall += other.recall;
+  mrr += other.mrr;
+  ndcg += other.ndcg;
+  hit += other.hit;
+  precision += other.precision;
+  return *this;
+}
+
+MetricBundle& MetricBundle::operator/=(Real denom) {
+  recall /= denom;
+  mrr /= denom;
+  ndcg /= denom;
+  hit /= denom;
+  precision /= denom;
+  return *this;
+}
+
+MetricBundle ComputeUserMetrics(const std::vector<Index>& ranked_top_k,
+                                const std::unordered_set<Index>& relevant,
+                                Index num_relevant, Index k) {
+  FIRZEN_CHECK_GT(num_relevant, 0);
+  FIRZEN_CHECK_GT(k, 0);
+  MetricBundle m;
+  Index hits = 0;
+  Real dcg = 0.0;
+  bool first_hit_seen = false;
+  const Index limit = std::min<Index>(k, static_cast<Index>(ranked_top_k.size()));
+  for (Index rank = 0; rank < limit; ++rank) {
+    if (relevant.count(ranked_top_k[static_cast<size_t>(rank)]) == 0) continue;
+    ++hits;
+    dcg += 1.0 / std::log2(static_cast<Real>(rank) + 2.0);
+    if (!first_hit_seen) {
+      first_hit_seen = true;
+      m.mrr = 1.0 / static_cast<Real>(rank + 1);
+    }
+  }
+  Real idcg = 0.0;
+  const Index ideal = std::min<Index>(k, num_relevant);
+  for (Index rank = 0; rank < ideal; ++rank) {
+    idcg += 1.0 / std::log2(static_cast<Real>(rank) + 2.0);
+  }
+  m.recall = static_cast<Real>(hits) / static_cast<Real>(num_relevant);
+  m.precision = static_cast<Real>(hits) / static_cast<Real>(k);
+  m.hit = hits > 0 ? 1.0 : 0.0;
+  m.ndcg = idcg > 0 ? dcg / idcg : 0.0;
+  return m;
+}
+
+}  // namespace firzen

@@ -1,0 +1,34 @@
+// Top-K ranking metrics (paper §IV-A.2): Recall, MRR, NDCG, Hit Ratio and
+// Precision at K, computed per user and averaged.
+#ifndef FIRZEN_EVAL_METRICS_H_
+#define FIRZEN_EVAL_METRICS_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "src/util/common.h"
+
+namespace firzen {
+
+/// Per-user metric bundle at one cutoff.
+struct MetricBundle {
+  Real recall = 0.0;
+  Real mrr = 0.0;
+  Real ndcg = 0.0;
+  Real hit = 0.0;
+  Real precision = 0.0;
+
+  MetricBundle& operator+=(const MetricBundle& other);
+  MetricBundle& operator/=(Real denom);
+};
+
+/// Computes all five metrics for one user given a ranked top-K item list and
+/// the user's relevant item set (num_relevant = |relevant| among candidates;
+/// must be > 0).
+MetricBundle ComputeUserMetrics(const std::vector<Index>& ranked_top_k,
+                                const std::unordered_set<Index>& relevant,
+                                Index num_relevant, Index k);
+
+}  // namespace firzen
+
+#endif  // FIRZEN_EVAL_METRICS_H_

@@ -1,0 +1,61 @@
+#include "src/eval/serving.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace firzen {
+
+ServingIndex::ServingIndex(const Recommender* model, const Dataset& dataset)
+    : model_(model),
+      num_items_(dataset.num_items),
+      seen_(dataset.TrainItemsByUser()) {
+  FIRZEN_CHECK(model != nullptr);
+}
+
+std::vector<Recommendation> ServingIndex::TopK(
+    Index user, Index k, const std::vector<Index>& candidates) const {
+  return TopKBatch({user}, k, candidates)[0];
+}
+
+std::vector<std::vector<Recommendation>> ServingIndex::TopKBatch(
+    const std::vector<Index>& users, Index k,
+    const std::vector<Index>& candidates) const {
+  FIRZEN_CHECK_GT(k, 0);
+  Matrix scores;
+  model_->Score(users, &scores);
+  FIRZEN_CHECK_EQ(scores.cols(), num_items_);
+
+  std::vector<std::vector<Recommendation>> results;
+  results.reserve(users.size());
+  std::vector<Index> pool;
+  for (size_t r = 0; r < users.size(); ++r) {
+    const Index user = users[r];
+    const auto& exclude = seen_[static_cast<size_t>(user)];
+    pool.clear();
+    if (candidates.empty()) {
+      for (Index i = 0; i < num_items_; ++i) pool.push_back(i);
+    } else {
+      pool = candidates;
+    }
+    std::vector<Recommendation> ranked;
+    ranked.reserve(pool.size());
+    for (Index item : pool) {
+      FIRZEN_CHECK_LT(item, num_items_);
+      if (std::binary_search(exclude.begin(), exclude.end(), item)) continue;
+      ranked.push_back({item, scores(static_cast<Index>(r), item)});
+    }
+    const size_t keep = std::min<size_t>(static_cast<size_t>(k),
+                                         ranked.size());
+    std::partial_sort(ranked.begin(), ranked.begin() + keep, ranked.end(),
+                      [](const Recommendation& a, const Recommendation& b) {
+                        return a.score != b.score ? a.score > b.score
+                                                  : a.item < b.item;
+                      });
+    ranked.resize(keep);
+    results.push_back(std::move(ranked));
+  }
+  return results;
+}
+
+}  // namespace firzen

@@ -1,0 +1,45 @@
+// Online-serving helper: top-K recommendation queries against a trained
+// Recommender, with per-user exclusion of already-consumed items and
+// optional restriction to a candidate pool (e.g. only cold items for a
+// "new arrivals" shelf).
+#ifndef FIRZEN_EVAL_SERVING_H_
+#define FIRZEN_EVAL_SERVING_H_
+
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/models/recommender.h"
+
+namespace firzen {
+
+/// One recommendation with its model score.
+struct Recommendation {
+  Index item;
+  Real score;
+};
+
+class ServingIndex {
+ public:
+  /// The model must outlive the index. Exclusions default to each user's
+  /// training interactions from `dataset`.
+  ServingIndex(const Recommender* model, const Dataset& dataset);
+
+  /// Top-k items for one user, best first. `candidates` empty = all items.
+  /// Items the user already interacted with (train split) are excluded.
+  std::vector<Recommendation> TopK(
+      Index user, Index k, const std::vector<Index>& candidates = {}) const;
+
+  /// Batched variant, one result list per user, preserving order.
+  std::vector<std::vector<Recommendation>> TopKBatch(
+      const std::vector<Index>& users, Index k,
+      const std::vector<Index>& candidates = {}) const;
+
+ private:
+  const Recommender* model_;
+  Index num_items_;
+  std::vector<std::vector<Index>> seen_;  // sorted train items per user
+};
+
+}  // namespace firzen
+
+#endif  // FIRZEN_EVAL_SERVING_H_

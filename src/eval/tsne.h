@@ -1,0 +1,46 @@
+// Exact t-SNE (van der Maaten & Hinton, 2008) for the Fig. 8 embedding
+// visualization, plus quantitative cold/warm mixing statistics that turn the
+// figure's visual claim into a measurable number.
+#ifndef FIRZEN_EVAL_TSNE_H_
+#define FIRZEN_EVAL_TSNE_H_
+
+#include <vector>
+
+#include "src/tensor/matrix.h"
+#include "src/util/rng.h"
+
+namespace firzen {
+
+struct TsneOptions {
+  Real perplexity = 30.0;
+  int iterations = 300;
+  Real learning_rate = 100.0;
+  Real momentum = 0.8;
+  Real early_exaggeration = 12.0;
+  int exaggeration_iters = 80;
+  uint64_t seed = 13;
+};
+
+/// Embeds the rows of `x` (n x d) into n x 2 via exact t-SNE. O(n^2) per
+/// iteration; intended for n <= ~1000 samples.
+Matrix TsneEmbed(const Matrix& x, const TsneOptions& options = {});
+
+/// Distribution statistics between cold and warm item embeddings.
+struct MixingStats {
+  /// Mean fraction of each cold item's k nearest neighbours (cosine, in the
+  /// original space) that are WARM. 1.0 = perfectly mixed into the warm
+  /// manifold; 0.0 = cold items form an isolated cluster (the LightGCN
+  /// failure mode in Fig. 8a).
+  Real cold_warm_knn_mix = 0.0;
+  /// Distance between cold and warm centroids, normalized by the mean warm
+  /// pairwise distance. Smaller = distributions overlap more.
+  Real centroid_distance_ratio = 0.0;
+};
+
+/// Computes MixingStats over item embeddings with the given cold labels.
+MixingStats ComputeMixingStats(const Matrix& embeddings,
+                               const std::vector<bool>& is_cold, Index knn_k);
+
+}  // namespace firzen
+
+#endif  // FIRZEN_EVAL_TSNE_H_

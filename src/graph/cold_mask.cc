@@ -1,0 +1,19 @@
+#include "src/graph/cold_mask.h"
+
+#include "src/util/check.h"
+
+namespace firzen {
+
+CsrMatrix ApplyColdStartMask(const CsrMatrix& item_item,
+                             const std::vector<bool>& is_cold_item) {
+  FIRZEN_CHECK_EQ(item_item.rows(),
+                  static_cast<Index>(is_cold_item.size()));
+  FIRZEN_CHECK_EQ(item_item.rows(), item_item.cols());
+  return item_item.Filtered([&is_cold_item](Index row, Index col) {
+    const bool row_warm = !is_cold_item[static_cast<size_t>(row)];
+    const bool col_cold = is_cold_item[static_cast<size_t>(col)];
+    return !(row_warm && col_cold);
+  });
+}
+
+}  // namespace firzen

@@ -1,0 +1,23 @@
+// Strict cold-start inference mask (paper §III-F, Eqs. 34-35): at inference
+// the item-item graphs are rebuilt over ALL items, but information must not
+// propagate FROM strict cold items INTO warm items:
+//   M(a, b) = 0  iff  a is warm and b is cold;  Ĝ = G̃ ⊙ M.
+// Cold rows still aggregate from warm columns — that is the warm->cold
+// transfer that "fires" the cold items.
+#ifndef FIRZEN_GRAPH_COLD_MASK_H_
+#define FIRZEN_GRAPH_COLD_MASK_H_
+
+#include <vector>
+
+#include "src/tensor/csr.h"
+
+namespace firzen {
+
+/// Applies the Eq. 34 mask to an (unnormalized) item-item adjacency: removes
+/// every edge whose source row is warm and whose neighbor column is cold.
+CsrMatrix ApplyColdStartMask(const CsrMatrix& item_item,
+                             const std::vector<bool>& is_cold_item);
+
+}  // namespace firzen
+
+#endif  // FIRZEN_GRAPH_COLD_MASK_H_

@@ -1,0 +1,55 @@
+#include "src/graph/collaborative_kg.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace firzen {
+
+CollaborativeKg BuildCollaborativeKg(
+    const std::vector<Interaction>& interactions, Index num_users,
+    const KnowledgeGraph& kg) {
+  kg.CheckValid();
+  CollaborativeKg ckg;
+  ckg.num_users = num_users;
+  ckg.num_items = kg.num_items;
+  ckg.num_kg_entities = kg.num_entities;
+  ckg.num_entities = kg.num_entities + num_users;
+  // Forward relations: [0, R) from the KG, Interact = R.
+  // Reverse relations: forward id + (R + 1).
+  const Index r_base = kg.num_relations;
+  ckg.num_relations = 2 * (r_base + 1);
+  const Index interact = r_base;
+
+  ckg.triplets.reserve(2 * (kg.triplets.size() + interactions.size()));
+  for (const Triplet& t : kg.triplets) {
+    ckg.triplets.push_back(t);
+    ckg.triplets.push_back({t.tail, t.relation + r_base + 1, t.head});
+  }
+  for (const Interaction& x : interactions) {
+    const Index ue = ckg.UserEntity(x.user);
+    const Index ie = ckg.ItemEntity(x.item);
+    ckg.triplets.push_back({ue, interact, ie});
+    ckg.triplets.push_back({ie, interact + r_base + 1, ue});
+  }
+
+  // Group triplets by head so the CSR storage order matches exactly.
+  std::stable_sort(ckg.triplets.begin(), ckg.triplets.end(),
+                   [](const Triplet& a, const Triplet& b) {
+                     return a.head < b.head;
+                   });
+  std::vector<CooEntry> entries;
+  entries.reserve(ckg.triplets.size());
+  ckg.edge_relation.reserve(ckg.triplets.size());
+  for (const Triplet& t : ckg.triplets) {
+    entries.push_back({t.head, t.tail, 1.0});
+    ckg.edge_relation.push_back(t.relation);
+  }
+  ckg.topology = CsrMatrix::FromCooNoMerge(ckg.num_entities, ckg.num_entities,
+                                           std::move(entries));
+  FIRZEN_CHECK_EQ(ckg.topology.nnz(),
+                  static_cast<Index>(ckg.edge_relation.size()));
+  return ckg;
+}
+
+}  // namespace firzen

@@ -1,0 +1,58 @@
+#include "src/graph/cooccurrence_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/util/check.h"
+
+namespace firzen {
+
+CsrMatrix BuildUserCooccurrenceGraph(
+    const std::vector<Interaction>& interactions, Index num_users,
+    Index num_items, Index top_k) {
+  FIRZEN_CHECK_GT(top_k, 0);
+  // Users per item (deduplicated).
+  std::vector<std::vector<Index>> users_by_item(
+      static_cast<size_t>(num_items));
+  std::vector<std::vector<Index>> items_by_user(
+      static_cast<size_t>(num_users));
+  for (const Interaction& x : interactions) {
+    users_by_item[static_cast<size_t>(x.item)].push_back(x.user);
+    items_by_user[static_cast<size_t>(x.user)].push_back(x.item);
+  }
+  for (auto& v : users_by_item) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  for (auto& v : items_by_user) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+
+  std::vector<CooEntry> entries;
+  std::unordered_map<Index, Index> counts;
+  for (Index u = 0; u < num_users; ++u) {
+    counts.clear();
+    for (Index item : items_by_user[static_cast<size_t>(u)]) {
+      for (Index peer : users_by_item[static_cast<size_t>(item)]) {
+        if (peer != u) ++counts[peer];
+      }
+    }
+    if (counts.empty()) continue;
+    std::vector<std::pair<Index, Index>> scored(counts.begin(), counts.end());
+    const size_t keep =
+        std::min<size_t>(static_cast<size_t>(top_k), scored.size());
+    std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.second != b.second ? a.second > b.second
+                                                    : a.first < b.first;
+                      });
+    for (size_t j = 0; j < keep; ++j) {
+      entries.push_back(
+          {u, scored[j].first, static_cast<Real>(scored[j].second)});
+    }
+  }
+  return CsrMatrix::FromCoo(num_users, num_users, std::move(entries));
+}
+
+}  // namespace firzen

@@ -1,0 +1,22 @@
+// User-user co-occurrence graph (paper §III-B.3, Eq. 4): edge weight is the
+// number of commonly interacted items; each user keeps its top-K neighbors.
+// Message passing uses a per-row softmax over these counts (Eq. 19).
+#ifndef FIRZEN_GRAPH_COOCCURRENCE_GRAPH_H_
+#define FIRZEN_GRAPH_COOCCURRENCE_GRAPH_H_
+
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/tensor/csr.h"
+
+namespace firzen {
+
+/// Top-K user-user co-occurrence adjacency with raw common-item counts as
+/// values (Eq. 4). Users with no co-occurring peer have an empty row.
+CsrMatrix BuildUserCooccurrenceGraph(
+    const std::vector<Interaction>& interactions, Index num_users,
+    Index num_items, Index top_k);
+
+}  // namespace firzen
+
+#endif  // FIRZEN_GRAPH_COOCCURRENCE_GRAPH_H_

@@ -1,0 +1,94 @@
+#include "src/graph/interaction_graph.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace firzen {
+namespace {
+
+// Deduplicated undirected bipartite COO entries over the joint node space.
+std::vector<CooEntry> BipartiteEntries(
+    const std::vector<Interaction>& interactions, Index num_users,
+    Index num_items) {
+  std::vector<CooEntry> entries;
+  entries.reserve(interactions.size() * 2);
+  for (const Interaction& x : interactions) {
+    FIRZEN_CHECK_LT(x.user, num_users);
+    FIRZEN_CHECK_LT(x.item, num_items);
+    entries.push_back({x.user, num_users + x.item, 1.0});
+    entries.push_back({num_users + x.item, x.user, 1.0});
+  }
+  return entries;
+}
+
+// Clamp duplicate-interaction weights back to binary {0, 1}.
+CsrMatrix Binarized(CsrMatrix m) {
+  std::vector<CooEntry> entries;
+  entries.reserve(static_cast<size_t>(m.nnz()));
+  for (Index r = 0; r < m.rows(); ++r) {
+    for (Index p = m.row_ptr()[r]; p < m.row_ptr()[r + 1]; ++p) {
+      entries.push_back({r, m.col_idx()[static_cast<size_t>(p)], 1.0});
+    }
+  }
+  return CsrMatrix::FromCoo(m.rows(), m.cols(), std::move(entries));
+}
+
+}  // namespace
+
+CsrMatrix BuildNormalizedInteractionGraph(
+    const std::vector<Interaction>& interactions, Index num_users,
+    Index num_items) {
+  const Index n = num_users + num_items;
+  CsrMatrix adj = Binarized(CsrMatrix::FromCoo(
+      n, n, BipartiteEntries(interactions, num_users, num_items)));
+  return adj.SymNormalized();
+}
+
+CsrMatrix BuildUserToItemGraph(const std::vector<Interaction>& interactions,
+                               Index num_users, Index num_items) {
+  std::vector<CooEntry> entries;
+  entries.reserve(interactions.size());
+  for (const Interaction& x : interactions) {
+    entries.push_back({x.user, x.item, 1.0});
+  }
+  CsrMatrix m =
+      Binarized(CsrMatrix::FromCoo(num_users, num_items, std::move(entries)));
+  // Eq. 7 normalizes by sqrt(|N_u|); using 1/sqrt(deg) per row mirrors the
+  // paper's asymmetric normalization.
+  std::vector<CooEntry> normalized;
+  normalized.reserve(static_cast<size_t>(m.nnz()));
+  for (Index r = 0; r < m.rows(); ++r) {
+    const Index deg = m.RowNnz(r);
+    if (deg == 0) continue;
+    const Real w = 1.0 / std::sqrt(static_cast<Real>(deg));
+    for (Index p = m.row_ptr()[r]; p < m.row_ptr()[r + 1]; ++p) {
+      normalized.push_back({r, m.col_idx()[static_cast<size_t>(p)], w});
+    }
+  }
+  return CsrMatrix::FromCoo(num_users, num_items, std::move(normalized));
+}
+
+CsrMatrix BuildItemToUserGraph(const std::vector<Interaction>& interactions,
+                               Index num_users, Index num_items) {
+  std::vector<Interaction> flipped;
+  flipped.reserve(interactions.size());
+  for (const Interaction& x : interactions) {
+    flipped.push_back({x.item, x.user});
+  }
+  return BuildUserToItemGraph(flipped, num_items, num_users);
+}
+
+CsrMatrix BuildDroppedInteractionGraph(
+    const std::vector<Interaction>& interactions, Index num_users,
+    Index num_items, Real drop_rate, Rng* rng) {
+  FIRZEN_CHECK(rng != nullptr);
+  std::vector<Interaction> kept;
+  kept.reserve(interactions.size());
+  for (const Interaction& x : interactions) {
+    if (!rng->Bernoulli(drop_rate)) kept.push_back(x);
+  }
+  return BuildNormalizedInteractionGraph(kept, num_users, num_items);
+}
+
+}  // namespace firzen

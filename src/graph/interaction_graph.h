@@ -1,0 +1,40 @@
+// User-item interaction graph construction (paper §II and Eqs. 5-6).
+#ifndef FIRZEN_GRAPH_INTERACTION_GRAPH_H_
+#define FIRZEN_GRAPH_INTERACTION_GRAPH_H_
+
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/tensor/csr.h"
+
+namespace firzen {
+
+/// Symmetrically normalized bipartite adjacency over the joint node set
+/// [users | items] (shape (U+I) x (U+I)):
+///   A = [[0, R], [R^T, 0]],   Â = D^{-1/2} A D^{-1/2}
+/// This is the LightGCN propagation operator; strict cold items have zero
+/// degree and therefore stay zero vectors under propagation (paper §III-C.1).
+CsrMatrix BuildNormalizedInteractionGraph(
+    const std::vector<Interaction>& interactions, Index num_users,
+    Index num_items);
+
+/// Row-normalized user->item matrix (U x I): row u averages u's items.
+/// Used by the modality-aware convolution (Eq. 7).
+CsrMatrix BuildUserToItemGraph(const std::vector<Interaction>& interactions,
+                               Index num_users, Index num_items);
+
+/// Row-normalized item->user matrix (I x U): row i averages i's users
+/// (Eq. 8). Transpose counterpart of BuildUserToItemGraph.
+CsrMatrix BuildItemToUserGraph(const std::vector<Interaction>& interactions,
+                               Index num_users, Index num_items);
+
+/// Â with a fraction of edges dropped (used by SGL's graph augmentation;
+/// NOT used by Firzen whose graphs are frozen). Each undirected interaction
+/// edge is kept with probability (1 - drop_rate); the result is renormalized.
+CsrMatrix BuildDroppedInteractionGraph(
+    const std::vector<Interaction>& interactions, Index num_users,
+    Index num_items, Real drop_rate, Rng* rng);
+
+}  // namespace firzen
+
+#endif  // FIRZEN_GRAPH_INTERACTION_GRAPH_H_

@@ -1,0 +1,92 @@
+#include "src/graph/knn_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "src/util/check.h"
+
+namespace firzen {
+namespace {
+
+// Row-normalized copy so cosine similarity reduces to a dot product.
+Matrix L2NormalizedRows(const Matrix& features) {
+  Matrix out = features;
+  for (Index r = 0; r < out.rows(); ++r) {
+    const Real norm = out.RowNorm(r);
+    if (norm <= 1e-12) continue;
+    Real* row = out.row(r);
+    for (Index c = 0; c < out.cols(); ++c) row[c] /= norm;
+  }
+  return out;
+}
+
+}  // namespace
+
+CsrMatrix BuildItemKnnAdjacency(const Matrix& features,
+                                const KnnGraphOptions& options) {
+  const Index n = features.rows();
+  const Index d = features.cols();
+  FIRZEN_CHECK_GT(options.top_k, 0);
+
+  std::vector<Index> candidates = options.candidate_items;
+  if (candidates.empty()) {
+    candidates.resize(static_cast<size_t>(n));
+    for (Index i = 0; i < n; ++i) candidates[static_cast<size_t>(i)] = i;
+  }
+  std::vector<Index> queries = options.query_items;
+  if (queries.empty()) {
+    queries.resize(static_cast<size_t>(n));
+    for (Index i = 0; i < n; ++i) queries[static_cast<size_t>(i)] = i;
+  }
+
+  const Matrix normalized = L2NormalizedRows(features);
+  const Index k =
+      std::min<Index>(options.top_k, static_cast<Index>(candidates.size()) - 1);
+  FIRZEN_CHECK_GT(k, 0);
+
+  std::vector<CooEntry> entries;
+  std::mutex entries_mu;
+
+  ParallelFor(
+      options.pool, static_cast<Index>(queries.size()),
+      [&](Index begin, Index end) {
+        std::vector<std::pair<Real, Index>> scored;
+        std::vector<CooEntry> local;
+        for (Index qi = begin; qi < end; ++qi) {
+          const Index a = queries[static_cast<size_t>(qi)];
+          const Real* arow = normalized.row(a);
+          scored.clear();
+          scored.reserve(candidates.size());
+          for (Index b : candidates) {
+            if (b == a) continue;
+            const Real* brow = normalized.row(b);
+            Real sim = 0.0;
+            for (Index c = 0; c < d; ++c) sim += arow[c] * brow[c];
+            scored.emplace_back(sim, b);
+          }
+          const size_t keep =
+              std::min<size_t>(static_cast<size_t>(k), scored.size());
+          std::partial_sort(scored.begin(), scored.begin() + keep,
+                            scored.end(),
+                            [](const auto& x, const auto& y) {
+                              return x.first != y.first ? x.first > y.first
+                                                        : x.second < y.second;
+                            });
+          for (size_t j = 0; j < keep; ++j) {
+            local.push_back({a, scored[j].second, 1.0});
+          }
+        }
+        std::lock_guard<std::mutex> lock(entries_mu);
+        entries.insert(entries.end(), local.begin(), local.end());
+      });
+
+  return CsrMatrix::FromCoo(n, n, std::move(entries));
+}
+
+CsrMatrix BuildItemItemGraph(const Matrix& features,
+                             const KnnGraphOptions& options) {
+  return BuildItemKnnAdjacency(features, options).SymNormalized();
+}
+
+}  // namespace firzen

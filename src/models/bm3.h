@@ -1,0 +1,31 @@
+// BM3 (Zhou et al., 2023), faithful core: negative-free bootstrap learning.
+// Two dropout-perturbed views of the propagated ID embeddings are aligned
+// through a latent predictor against stop-gradient targets, and per-modality
+// projections are aligned with the item view. No BPR negatives are used.
+#ifndef FIRZEN_MODELS_BM3_H_
+#define FIRZEN_MODELS_BM3_H_
+
+#include "src/models/embedding_model.h"
+
+namespace firzen {
+
+class Bm3 : public EmbeddingModel {
+ public:
+  struct Options {
+    Real dropout = 0.3;
+    Real modal_weight = 1.0;
+  };
+
+  Bm3() = default;
+  explicit Bm3(Options options) : options_(options) {}
+
+  std::string Name() const override { return "BM3"; }
+  void Fit(const Dataset& dataset, const TrainOptions& options) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace firzen
+
+#endif  // FIRZEN_MODELS_BM3_H_

@@ -1,0 +1,18 @@
+// BPR matrix factorization (Rendle et al., 2009): ID embeddings only,
+// pairwise ranking loss. The canonical "strong warm / blind cold" baseline.
+#ifndef FIRZEN_MODELS_BPR_MF_H_
+#define FIRZEN_MODELS_BPR_MF_H_
+
+#include "src/models/embedding_model.h"
+
+namespace firzen {
+
+class BprMf : public EmbeddingModel {
+ public:
+  std::string Name() const override { return "BPR"; }
+  void Fit(const Dataset& dataset, const TrainOptions& options) override;
+};
+
+}  // namespace firzen
+
+#endif  // FIRZEN_MODELS_BPR_MF_H_

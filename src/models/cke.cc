@@ -1,0 +1,91 @@
+#include "src/models/cke.h"
+
+#include "src/models/kg_common.h"
+#include "src/models/sampler.h"
+#include "src/tensor/init.h"
+#include "src/tensor/optim.h"
+#include "src/util/logging.h"
+
+namespace firzen {
+
+void Cke::Fit(const Dataset& dataset, const TrainOptions& options) {
+  using namespace ops;  // NOLINT(build/namespaces)
+  Rng rng(options.seed);
+  Tensor user_table = XavierVariable(dataset.num_users,
+                                     options.embedding_dim, &rng);
+  Tensor item_table = XavierVariable(dataset.num_items,
+                                     options.embedding_dim, &rng);
+  KgEmbeddings kg = MakeKgEmbeddings(dataset.kg.num_entities,
+                                     dataset.kg.num_relations,
+                                     options.embedding_dim, &rng);
+
+  Adam::Options adam_options;
+  adam_options.lr = options.lr;
+  adam_options.lazy = true;
+  Adam optimizer(adam_options);
+  BprSampler sampler(dataset, options.seed + 1);
+  Rng kg_rng(options.seed + 2);
+  EarlyStopper stopper(options.patience);
+
+  auto compute_final = [&] {
+    // Item representation = ID embedding + structural (entity) embedding.
+    final_user_ = user_table.value();
+    final_item_ = item_table.value();
+    for (Index i = 0; i < dataset.num_items; ++i) {
+      for (Index c = 0; c < final_item_.cols(); ++c) {
+        final_item_(i, c) += kg.entity.value()(i, c);
+      }
+    }
+  };
+
+  const int steps = options.steps_per_epoch > 0
+                        ? options.steps_per_epoch
+                        : static_cast<int>(dataset.train.size() /
+                                               options.batch_size +
+                                           1);
+  std::vector<Index> users;
+  std::vector<Index> pos;
+  std::vector<Index> neg;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    Real epoch_loss = 0.0;
+    for (int step = 0; step < steps; ++step) {
+      // Alternate: recommendation objective ...
+      sampler.SampleBatch(options.batch_size, &users, &pos, &neg);
+      Tensor eu = GatherRows(user_table, users);
+      Tensor ep = Add(GatherRows(item_table, pos),
+                      GatherRows(kg.entity, pos));
+      Tensor en = Add(GatherRows(item_table, neg),
+                      GatherRows(kg.entity, neg));
+      Tensor loss = Add(BprLoss(eu, ep, en),
+                        BatchL2({eu, ep, en}, options.reg,
+                                options.batch_size));
+      epoch_loss += loss.scalar();
+      Backward(loss);
+      optimizer.Step({user_table, item_table, kg.entity});
+
+      // ... then the KG representation objective.
+      const KgBatch batch = SampleKgBatch(dataset.kg.triplets,
+                                          dataset.kg.num_entities,
+                                          options.batch_size, &kg_rng);
+      Tensor kg_loss = TransRLoss(kg, batch, options.reg);
+      Backward(kg_loss);
+      optimizer.Step({kg.entity, kg.relation, kg.rel_proj});
+    }
+    if ((epoch + 1) % options.eval_every == 0) {
+      compute_final();
+      const Real mrr =
+          ValidationMrr(dataset, final_user_, final_item_, options.pool);
+      const bool stop = stopper.Update(mrr);
+      SnapshotIfImproved(stopper.improved());
+      if (options.verbose) {
+        Logf(LogLevel::kInfo, "[CKE] epoch %d loss=%.4f val-mrr=%.4f", epoch,
+             epoch_loss / steps, mrr);
+      }
+      if (stop) break;
+    }
+  }
+  compute_final();
+  RestoreBestSnapshot();
+}
+
+}  // namespace firzen

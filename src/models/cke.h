@@ -1,0 +1,19 @@
+// CKE (Zhang et al., 2016): matrix factorization where each item embedding
+// is enriched with its TransR structural embedding from the KG; the KG
+// representation loss and the recommendation loss are optimized jointly.
+#ifndef FIRZEN_MODELS_CKE_H_
+#define FIRZEN_MODELS_CKE_H_
+
+#include "src/models/embedding_model.h"
+
+namespace firzen {
+
+class Cke : public EmbeddingModel {
+ public:
+  std::string Name() const override { return "CKE"; }
+  void Fit(const Dataset& dataset, const TrainOptions& options) override;
+};
+
+}  // namespace firzen
+
+#endif  // FIRZEN_MODELS_CKE_H_

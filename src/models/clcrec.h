@@ -1,0 +1,38 @@
+// CLCRec (Wei et al., 2021): contrastive learning between item content
+// representations and collaborative embeddings, so content encodes
+// collaborative signal and can stand in for cold items. The hybrid item
+// representation trades warm accuracy for cold coverage (Table II).
+#ifndef FIRZEN_MODELS_CLCREC_H_
+#define FIRZEN_MODELS_CLCREC_H_
+
+#include "src/models/embedding_model.h"
+
+namespace firzen {
+
+class ClcRec : public EmbeddingModel {
+ public:
+  struct Options {
+    Real hybrid_alpha = 0.5;       // alpha . e_i + (1 - alpha) . c_i
+    Real contrastive_weight = 0.5;
+    Real temperature = 0.3;
+    Index hidden_dim = 64;
+  };
+
+  ClcRec() = default;
+  explicit ClcRec(Options options) : options_(options) {}
+
+  std::string Name() const override { return "CLCRec"; }
+  void Fit(const Dataset& dataset, const TrainOptions& options) override;
+
+  /// Strict cold items are represented purely by their content encoding.
+  void PrepareColdInference(const Dataset& dataset) override;
+
+ private:
+  Options options_;
+  Matrix content_;  // encoded content per item (num_items x d)
+  Matrix hybrid_;   // alpha-blended warm representations
+};
+
+}  // namespace firzen
+
+#endif  // FIRZEN_MODELS_CLCREC_H_

@@ -1,0 +1,128 @@
+#include "src/models/dragon.h"
+
+#include "src/graph/cooccurrence_graph.h"
+#include "src/graph/interaction_graph.h"
+#include "src/graph/knn_graph.h"
+#include "src/models/lightgcn.h"
+#include "src/models/mm_common.h"
+#include "src/models/sampler.h"
+#include "src/tensor/init.h"
+#include "src/tensor/optim.h"
+#include "src/util/logging.h"
+
+namespace firzen {
+
+void Dragon::Fit(const Dataset& dataset, const TrainOptions& options) {
+  using namespace ops;  // NOLINT(build/namespaces)
+  Rng rng(options.seed);
+  const Index num_users = dataset.num_users;
+  const Index num_items = dataset.num_items;
+  const Index d = options.embedding_dim;
+
+  Tensor joint = XavierVariable(num_users + num_items, d, &rng);
+  Matrix raw = ConcatModalFeatures(dataset);
+  StandardizeColumns(&raw);
+  Tensor proj = XavierVariable(raw.cols(), d, &rng);
+  Tensor features = Tensor::Constant(std::move(raw));
+
+  auto inter = std::make_shared<CsrMatrix>(BuildNormalizedInteractionGraph(
+      dataset.train, num_users, num_items));
+  KnnGraphOptions knn_options;
+  knn_options.top_k = options_.knn_k;
+  knn_options.candidate_items = dataset.WarmItems();
+  knn_options.query_items = knn_options.candidate_items;
+  knn_options.pool = options.pool;
+  auto item_graph = std::make_shared<CsrMatrix>(
+      BuildItemItemGraph(features.value(), knn_options));
+  auto user_graph = std::make_shared<CsrMatrix>(
+      BuildUserCooccurrenceGraph(dataset.train, num_users, num_items,
+                                 options_.user_topk)
+          .RowSoftmax());
+
+  Adam::Options adam_options;
+  adam_options.lr = options.lr;
+  Adam optimizer(adam_options);
+  BprSampler sampler(dataset, options.seed + 1);
+  EarlyStopper stopper(options.patience);
+
+  // Forward: behavior tower from the bipartite graph; homogeneous towers
+  // refine items over the item-item graph and users over the user-user
+  // graph, starting from projected modal content.
+  auto forward = [&](Tensor* user_out, Tensor* item_out) {
+    Tensor behavior = LightGcn::Propagate(inter, joint, options.num_layers);
+    Tensor modal = MatMul(features, proj);
+    Tensor item_homo = modal;
+    for (int l = 0; l < options_.homo_layers; ++l) {
+      item_homo = SpMM(item_graph, item_homo);
+    }
+    // Users: propagate their behavior embedding over co-occurrence.
+    std::vector<Index> user_rows(static_cast<size_t>(num_users));
+    for (Index u = 0; u < num_users; ++u) {
+      user_rows[static_cast<size_t>(u)] = u;
+    }
+    Tensor behavior_users = GatherRows(behavior, user_rows);
+    Tensor user_homo = behavior_users;
+    for (int l = 0; l < options_.homo_layers; ++l) {
+      user_homo = SpMM(user_graph, user_homo);
+    }
+    std::vector<Index> item_rows(static_cast<size_t>(num_items));
+    for (Index i = 0; i < num_items; ++i) {
+      item_rows[static_cast<size_t>(i)] = num_users + i;
+    }
+    Tensor behavior_items = GatherRows(behavior, item_rows);
+    *user_out = Add(behavior_users, user_homo);
+    *item_out = Add(behavior_items, item_homo);
+  };
+
+  auto compute_final = [&] {
+    Tensor user_out;
+    Tensor item_out;
+    forward(&user_out, &item_out);
+    final_user_ = user_out.value();
+    final_item_ = item_out.value();
+  };
+
+  const int steps = options.steps_per_epoch > 0
+                        ? options.steps_per_epoch
+                        : static_cast<int>(dataset.train.size() /
+                                               options.batch_size +
+                                           1);
+  std::vector<Index> users;
+  std::vector<Index> pos;
+  std::vector<Index> neg;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    Real epoch_loss = 0.0;
+    for (int step = 0; step < steps; ++step) {
+      sampler.SampleBatch(options.batch_size, &users, &pos, &neg);
+      Tensor user_out;
+      Tensor item_out;
+      forward(&user_out, &item_out);
+      Tensor eu = GatherRows(user_out, users);
+      Tensor ep = GatherRows(item_out, pos);
+      Tensor en = GatherRows(item_out, neg);
+      Tensor eu0 = GatherRows(joint, users);
+      Tensor loss = Add(BprLoss(eu, ep, en),
+                        BatchL2({eu0, ep, en}, options.reg,
+                                options.batch_size));
+      epoch_loss += loss.scalar();
+      Backward(loss);
+      optimizer.Step({joint, proj});
+    }
+    if ((epoch + 1) % options.eval_every == 0) {
+      compute_final();
+      const Real mrr =
+          ValidationMrr(dataset, final_user_, final_item_, options.pool);
+      const bool stop = stopper.Update(mrr);
+      SnapshotIfImproved(stopper.improved());
+      if (options.verbose) {
+        Logf(LogLevel::kInfo, "[DRAGON] epoch %d loss=%.4f val-mrr=%.4f",
+             epoch, epoch_loss / steps, mrr);
+      }
+      if (stop) break;
+    }
+  }
+  compute_final();
+  RestoreBestSnapshot();
+}
+
+}  // namespace firzen

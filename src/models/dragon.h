@@ -1,0 +1,37 @@
+// DRAGON (Zhou et al., 2023), faithful core: dyadic user-item propagation
+// plus homogeneous graphs on both sides — a multimodal item-item kNN graph
+// and a user-user co-occurrence graph. Final representations concatenate the
+// behavior tower and the homogeneous-graph tower.
+//
+// Simplifications vs. the full system (documented per DESIGN.md §2): single
+// fused item-item graph over concatenated modal features instead of per-
+// modality attentive fusion. Its strict-cold behaviour (mediocre — the item
+// ID tower stays uninformed) matches the paper's Table II placement.
+#ifndef FIRZEN_MODELS_DRAGON_H_
+#define FIRZEN_MODELS_DRAGON_H_
+
+#include "src/models/embedding_model.h"
+
+namespace firzen {
+
+class Dragon : public EmbeddingModel {
+ public:
+  struct Options {
+    Index knn_k = 10;
+    Index user_topk = 10;
+    int homo_layers = 1;
+  };
+
+  Dragon() = default;
+  explicit Dragon(Options options) : options_(options) {}
+
+  std::string Name() const override { return "DRAGON"; }
+  void Fit(const Dataset& dataset, const TrainOptions& options) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace firzen
+
+#endif  // FIRZEN_MODELS_DRAGON_H_

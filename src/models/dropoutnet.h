@@ -1,0 +1,49 @@
+// DropoutNet (Volkovs et al., 2017): train item towers on a mix of behavior
+// and content inputs while randomly dropping the behavior part, so the model
+// learns to reconstruct relevance from content alone — exactly the strict
+// cold-start situation at inference.
+#ifndef FIRZEN_MODELS_DROPOUTNET_H_
+#define FIRZEN_MODELS_DROPOUTNET_H_
+
+#include "src/models/embedding_model.h"
+
+namespace firzen {
+
+class DropoutNet : public EmbeddingModel {
+ public:
+  struct Options {
+    Real behavior_dropout = 0.5;  // P(zero the behavior input of a row)
+  };
+
+  DropoutNet() = default;
+  explicit DropoutNet(Options options) : options_(options) {}
+
+  std::string Name() const override { return "DropoutNet"; }
+  void Fit(const Dataset& dataset, const TrainOptions& options) override;
+
+  /// Strict cold: recompute item towers with zeroed behavior inputs for
+  /// cold items.
+  void PrepareColdInference(const Dataset& dataset) override;
+
+  /// Normal cold (Table VI): cold items get the mean embedding of their
+  /// revealed users as the behavior input.
+  void PrepareNormalColdInference(const Dataset& dataset) override;
+
+ private:
+  void RecomputeItems(const Dataset& dataset, bool zero_cold_behavior,
+                      bool use_known_links);
+
+  Options options_;
+  Matrix user_table_;
+  Matrix item_table_;
+  Matrix features_;   // standardized concat modal features
+  Matrix w_user_;     // d x d
+  Matrix w_behavior_;  // d x d
+  Matrix w_content_;   // F x d
+  Matrix bias_user_;
+  Matrix bias_item_;
+};
+
+}  // namespace firzen
+
+#endif  // FIRZEN_MODELS_DROPOUTNET_H_

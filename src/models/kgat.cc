@@ -1,0 +1,148 @@
+#include "src/models/kgat.h"
+
+#include "src/models/sampler.h"
+#include "src/tensor/init.h"
+#include "src/tensor/optim.h"
+#include "src/util/logging.h"
+
+namespace firzen {
+
+Tensor Kgat::PropagateAll(const std::shared_ptr<const CsrMatrix>& attention) {
+  using namespace ops;  // NOLINT(build/namespaces)
+  std::vector<Tensor> layers{kg_.entity};
+  Tensor current = kg_.entity;
+  for (int l = 0; l < num_layers_; ++l) {
+    current = BiInteraction(attention, current, w1_[static_cast<size_t>(l)],
+                            w2_[static_cast<size_t>(l)]);
+    layers.push_back(current);
+  }
+  // Mean pooling across layers (the original concatenates; mean keeps the
+  // embedding width constant — documented substitution in DESIGN.md).
+  return Scale(AddN(layers), 1.0 / static_cast<Real>(layers.size()));
+}
+
+void Kgat::ComputeFinal(const CollaborativeKg& ckg,
+                        const std::shared_ptr<const CsrMatrix>& attention) {
+  const Tensor all = PropagateAll(attention);
+  const Matrix& propagated = all.value();
+  final_user_.Resize(ckg.num_users, propagated.cols());
+  final_item_.Resize(ckg.num_items, propagated.cols());
+  for (Index u = 0; u < ckg.num_users; ++u) {
+    const Real* src = propagated.row(ckg.UserEntity(u));
+    for (Index c = 0; c < propagated.cols(); ++c) final_user_(u, c) = src[c];
+  }
+  for (Index i = 0; i < ckg.num_items; ++i) {
+    const Real* src = propagated.row(ckg.ItemEntity(i));
+    for (Index c = 0; c < propagated.cols(); ++c) final_item_(i, c) = src[c];
+  }
+}
+
+void Kgat::Fit(const Dataset& dataset, const TrainOptions& options) {
+  using namespace ops;  // NOLINT(build/namespaces)
+  Rng rng(options.seed);
+  num_layers_ = options.num_layers;
+
+  const KnowledgeGraph kg_data = AugmentKg(dataset);
+  const CollaborativeKg ckg =
+      BuildCollaborativeKg(dataset.train, dataset.num_users, kg_data);
+
+  kg_ = MakeKgEmbeddings(ckg.num_entities, ckg.num_relations,
+                         options.embedding_dim, &rng);
+  SeedEntityRows(dataset, kg_.entity.mutable_value());
+  w1_.clear();
+  w2_.clear();
+  for (int l = 0; l < num_layers_; ++l) {
+    w1_.push_back(XavierVariable(options.embedding_dim,
+                                 options.embedding_dim, &rng));
+    w2_.push_back(XavierVariable(options.embedding_dim,
+                                 options.embedding_dim, &rng));
+  }
+
+  Adam::Options adam_options;
+  adam_options.lr = options.lr;
+  Adam optimizer(adam_options);
+  BprSampler sampler(dataset, options.seed + 1);
+  Rng kg_rng(options.seed + 2);
+  EarlyStopper stopper(options.patience);
+
+  std::vector<Tensor> rec_params{kg_.entity};
+  for (int l = 0; l < num_layers_; ++l) {
+    rec_params.push_back(w1_[static_cast<size_t>(l)]);
+    rec_params.push_back(w2_[static_cast<size_t>(l)]);
+  }
+
+  const int steps = options.steps_per_epoch > 0
+                        ? options.steps_per_epoch
+                        : static_cast<int>(dataset.train.size() /
+                                               options.batch_size +
+                                           1);
+  std::vector<Index> users;
+  std::vector<Index> pos;
+  std::vector<Index> neg;
+  std::shared_ptr<const CsrMatrix> attention;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    // Refresh attentive adjacency once per epoch (reference behaviour).
+    attention = std::make_shared<const CsrMatrix>(
+        ComputeKgAttention(ckg, kg_.entity.value(), kg_.relation.value(),
+                           kg_.rel_proj.value()));
+    Real epoch_loss = 0.0;
+    for (int step = 0; step < steps; ++step) {
+      sampler.SampleBatch(options.batch_size, &users, &pos, &neg);
+      std::vector<Index> user_nodes;
+      std::vector<Index> pos_nodes;
+      std::vector<Index> neg_nodes;
+      for (Index u : users) user_nodes.push_back(ckg.UserEntity(u));
+      for (Index i : pos) pos_nodes.push_back(ckg.ItemEntity(i));
+      for (Index i : neg) neg_nodes.push_back(ckg.ItemEntity(i));
+
+      Tensor all = PropagateAll(attention);
+      Tensor eu = GatherRows(all, user_nodes);
+      Tensor ep = GatherRows(all, pos_nodes);
+      Tensor en = GatherRows(all, neg_nodes);
+      Tensor loss = Add(BprLoss(eu, ep, en),
+                        BatchL2({eu, ep, en}, options.reg,
+                                options.batch_size));
+      epoch_loss += loss.scalar();
+      Backward(loss);
+      optimizer.Step(rec_params);
+
+      const KgBatch batch = SampleKgBatch(ckg.triplets, ckg.num_entities,
+                                          options.batch_size, &kg_rng);
+      Tensor kg_loss = TransRLoss(kg_, batch, options.reg);
+      Backward(kg_loss);
+      optimizer.Step({kg_.entity, kg_.relation, kg_.rel_proj});
+    }
+    if ((epoch + 1) % options.eval_every == 0) {
+      ComputeFinal(ckg, attention);
+      const Real mrr =
+          ValidationMrr(dataset, final_user_, final_item_, options.pool);
+      const bool stop = stopper.Update(mrr);
+      SnapshotIfImproved(stopper.improved());
+      if (options.verbose) {
+        Logf(LogLevel::kInfo, "[%s] epoch %d loss=%.4f val-mrr=%.4f",
+             Name().c_str(), epoch, epoch_loss / steps, mrr);
+      }
+      if (stop) break;
+    }
+  }
+  if (attention != nullptr) ComputeFinal(ckg, attention);
+  RestoreBestSnapshot();
+}
+
+void Kgat::PrepareNormalColdInference(const Dataset& dataset) {
+  if (dataset.cold_known.empty()) return;
+  // Rebuild the CKG with the revealed cold links so propagation reaches the
+  // normal-cold items through users as well as KG entities.
+  std::vector<Interaction> merged = dataset.train;
+  merged.insert(merged.end(), dataset.cold_known.begin(),
+                dataset.cold_known.end());
+  const KnowledgeGraph kg_data = AugmentKg(dataset);
+  const CollaborativeKg ckg =
+      BuildCollaborativeKg(merged, dataset.num_users, kg_data);
+  auto attention = std::make_shared<const CsrMatrix>(
+      ComputeKgAttention(ckg, kg_.entity.value(), kg_.relation.value(),
+                         kg_.rel_proj.value()));
+  ComputeFinal(ckg, attention);
+}
+
+}  // namespace firzen

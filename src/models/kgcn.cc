@@ -1,0 +1,248 @@
+#include "src/models/kgcn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/eval/evaluator.h"
+#include "src/models/sampler.h"
+#include "src/tensor/init.h"
+#include "src/tensor/optim.h"
+#include "src/util/check.h"
+#include "src/util/logging.h"
+
+namespace firzen {
+
+void Kgcn::Fit(const Dataset& dataset, const TrainOptions& options) {
+  using namespace ops;  // NOLINT(build/namespaces)
+  Rng rng(options.seed);
+  num_items_ = dataset.num_items;
+  dim_ = options.embedding_dim;
+  const Index s = kgcn_options_.neighbor_samples;
+
+  // Freeze per-item neighbor samples from the (item-headed) KG triplets.
+  std::vector<std::vector<std::pair<Index, Index>>> by_item(
+      static_cast<size_t>(num_items_));
+  for (const Triplet& t : dataset.kg.triplets) {
+    if (t.head < num_items_) {
+      by_item[static_cast<size_t>(t.head)].emplace_back(t.tail, t.relation);
+    }
+  }
+  neighbor_tails_.assign(static_cast<size_t>(num_items_ * s), 0);
+  neighbor_rels_.assign(static_cast<size_t>(num_items_ * s), 0);
+  for (Index i = 0; i < num_items_; ++i) {
+    const auto& pool = by_item[static_cast<size_t>(i)];
+    for (Index j = 0; j < s; ++j) {
+      if (pool.empty()) {
+        // Self-loop fallback for KG-isolated items.
+        neighbor_tails_[static_cast<size_t>(i * s + j)] = i;
+        neighbor_rels_[static_cast<size_t>(i * s + j)] = 0;
+      } else {
+        const auto& pick = pool[static_cast<size_t>(
+            rng.UniformInt(static_cast<Index>(pool.size())))];
+        neighbor_tails_[static_cast<size_t>(i * s + j)] = pick.first;
+        neighbor_rels_[static_cast<size_t>(i * s + j)] = pick.second;
+      }
+    }
+  }
+
+  Tensor user_table = XavierVariable(dataset.num_users, dim_, &rng);
+  Tensor entity_table = XavierVariable(dataset.kg.num_entities, dim_, &rng);
+  Tensor relation_table =
+      XavierVariable(std::max<Index>(1, dataset.kg.num_relations), dim_, &rng);
+  Tensor w = XavierVariable(dim_, dim_, &rng);
+  Tensor bias = ZerosVariable(1, dim_);
+
+  Adam::Options adam_options;
+  adam_options.lr = options.lr;
+  adam_options.lazy = true;
+  Adam optimizer(adam_options);
+  BprSampler sampler(dataset, options.seed + 1);
+  EarlyStopper stopper(options.patience);
+
+  auto item_tower = [&](const std::vector<Index>& items,
+                        const Tensor& eu) -> Tensor {
+    const Index b = static_cast<Index>(items.size());
+    std::vector<Index> tails(static_cast<size_t>(b * s));
+    std::vector<Index> rels(static_cast<size_t>(b * s));
+    for (Index k = 0; k < b; ++k) {
+      for (Index j = 0; j < s; ++j) {
+        tails[static_cast<size_t>(k * s + j)] =
+            neighbor_tails_[static_cast<size_t>(items[static_cast<size_t>(k)] * s + j)];
+        rels[static_cast<size_t>(k * s + j)] =
+            neighbor_rels_[static_cast<size_t>(items[static_cast<size_t>(k)] * s + j)];
+      }
+    }
+    Tensor er = GatherRows(relation_table, rels);          // (B*S) x d
+    Tensor eu_rep = RepeatInterleaveRows(eu, s);           // (B*S) x d
+    Tensor pi = Reshape(RowDot(eu_rep, er), b, s);         // B x S
+    Tensor weights = Reshape(RowSoftmax(pi), b * s, 1);    // (B*S) x 1
+    Tensor tails_emb = GatherRows(entity_table, tails);    // (B*S) x d
+    Tensor agg = SumGroups(RowScale(tails_emb, weights), s);  // B x d
+    Tensor ego = GatherRows(entity_table, items);
+    return Tanh(AddRowBroadcast(MatMul(Add(agg, ego), w), bias));
+  };
+
+  auto snapshot_tables = [&] {
+    user_emb_ = user_table.value();
+    entity_emb_ = entity_table.value();
+    relation_emb_ = relation_table.value();
+    w_ = w.value();
+    bias_ = bias.value();
+  };
+
+  const int steps = options.steps_per_epoch > 0
+                        ? options.steps_per_epoch
+                        : static_cast<int>(dataset.train.size() /
+                                               options.batch_size +
+                                           1);
+  std::vector<Index> users;
+  std::vector<Index> pos;
+  std::vector<Index> neg;
+  Matrix best_user;
+  Matrix best_entity;
+  Matrix best_relation;
+  Matrix best_w;
+  Matrix best_bias;
+  bool has_best = false;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    Real epoch_loss = 0.0;
+    for (int step = 0; step < steps; ++step) {
+      sampler.SampleBatch(options.batch_size, &users, &pos, &neg);
+      Tensor eu = GatherRows(user_table, users);
+      Tensor vp = item_tower(pos, eu);
+      Tensor vn = item_tower(neg, eu);
+      Tensor loss = Add(BprLoss(eu, vp, vn),
+                        BatchL2({eu, vp, vn}, options.reg,
+                                options.batch_size));
+      if (SmoothnessWeight() > 0.0) {
+        // Embedding smoothness over positive neighborhoods: pull sampled
+        // tails toward the item embedding (label-smoothness substitution).
+        const Index b = static_cast<Index>(pos.size());
+        std::vector<Index> tails(static_cast<size_t>(b * s));
+        for (Index k = 0; k < b; ++k) {
+          for (Index j = 0; j < s; ++j) {
+            tails[static_cast<size_t>(k * s + j)] = neighbor_tails_
+                [static_cast<size_t>(pos[static_cast<size_t>(k)] * s + j)];
+          }
+        }
+        Tensor t_emb = GatherRows(entity_table, tails);
+        Tensor ego_rep =
+            RepeatInterleaveRows(GatherRows(entity_table, pos), s);
+        Tensor diff = Sub(t_emb, ego_rep);
+        loss = Add(loss, Scale(ReduceMean(Mul(diff, diff)),
+                               SmoothnessWeight()));
+      }
+      epoch_loss += loss.scalar();
+      Backward(loss);
+      optimizer.Step({user_table, entity_table, relation_table, w, bias});
+    }
+    if ((epoch + 1) % options.eval_every == 0) {
+      snapshot_tables();
+      const Real mrr = ScoreValidationMrr(dataset, options.pool);
+      const bool stop = stopper.Update(mrr);
+      if (stopper.improved()) {
+        best_user = user_emb_;
+        best_entity = entity_emb_;
+        best_relation = relation_emb_;
+        best_w = w_;
+        best_bias = bias_;
+        has_best = true;
+      }
+      if (options.verbose) {
+        Logf(LogLevel::kInfo, "[%s] epoch %d loss=%.4f val-mrr=%.4f",
+             Name().c_str(), epoch, epoch_loss / steps, mrr);
+      }
+      if (stop) break;
+    }
+  }
+  snapshot_tables();
+  if (has_best) {
+    user_emb_ = best_user;
+    entity_emb_ = best_entity;
+    relation_emb_ = best_relation;
+    w_ = best_w;
+    bias_ = best_bias;
+  }
+  // final_* kept for ItemEmbeddings()/diagnostics; Score() is overridden.
+  final_user_ = user_emb_;
+  final_item_ = ItemEmbeddings();
+}
+
+void Kgcn::Score(const std::vector<Index>& users, Matrix* scores) const {
+  FIRZEN_CHECK(!user_emb_.empty());
+  const Index s = kgcn_options_.neighbor_samples;
+  const Index d = dim_;
+  // Precompute entity_emb * W once per call.
+  Matrix projected;
+  Gemm(false, false, 1.0, entity_emb_, w_, 0.0, &projected);
+
+  scores->Resize(static_cast<Index>(users.size()), num_items_);
+  std::vector<Real> rel_score(static_cast<size_t>(relation_emb_.rows()));
+  std::vector<Real> weight(static_cast<size_t>(s));
+  std::vector<Real> tower(static_cast<size_t>(d));
+  for (size_t r = 0; r < users.size(); ++r) {
+    const Real* eu = user_emb_.row(users[r]);
+    for (Index rel = 0; rel < relation_emb_.rows(); ++rel) {
+      const Real* er = relation_emb_.row(rel);
+      Real acc = 0.0;
+      for (Index c = 0; c < d; ++c) acc += eu[c] * er[c];
+      rel_score[static_cast<size_t>(rel)] = acc;
+    }
+    for (Index i = 0; i < num_items_; ++i) {
+      // Softmax over the item's sampled neighbor relations.
+      Real max_v = -1e30;
+      for (Index j = 0; j < s; ++j) {
+        max_v = std::max(
+            max_v, rel_score[static_cast<size_t>(
+                       neighbor_rels_[static_cast<size_t>(i * s + j)])]);
+      }
+      Real denom = 0.0;
+      for (Index j = 0; j < s; ++j) {
+        weight[static_cast<size_t>(j)] = std::exp(
+            rel_score[static_cast<size_t>(
+                neighbor_rels_[static_cast<size_t>(i * s + j)])] -
+            max_v);
+        denom += weight[static_cast<size_t>(j)];
+      }
+      const Real* ego = projected.row(i);
+      for (Index c = 0; c < d; ++c) tower[static_cast<size_t>(c)] = ego[c];
+      for (Index j = 0; j < s; ++j) {
+        const Real wj = weight[static_cast<size_t>(j)] / denom;
+        const Real* tail = projected.row(
+            neighbor_tails_[static_cast<size_t>(i * s + j)]);
+        for (Index c = 0; c < d; ++c) {
+          tower[static_cast<size_t>(c)] += wj * tail[c];
+        }
+      }
+      Real score = 0.0;
+      for (Index c = 0; c < d; ++c) {
+        score += eu[c] * std::tanh(tower[static_cast<size_t>(c)] +
+                                   bias_(0, c));
+      }
+      (*scores)(static_cast<Index>(r), i) = score;
+    }
+  }
+}
+
+Matrix Kgcn::ItemEmbeddings() const {
+  Matrix out(num_items_, dim_);
+  for (Index i = 0; i < num_items_; ++i) {
+    for (Index c = 0; c < dim_; ++c) out(i, c) = entity_emb_(i, c);
+  }
+  return out;
+}
+
+Real Kgcn::ScoreValidationMrr(const Dataset& dataset,
+                              ThreadPool* pool) const {
+  if (dataset.warm_val.empty()) return 0.0;
+  ScoreFn fn = [this](const std::vector<Index>& users, Matrix* scores) {
+    Score(users, scores);
+  };
+  EvalOptions options;
+  options.pool = pool;
+  return EvaluateRanking(dataset, dataset.warm_val, EvalSetting::kWarm, fn,
+                         options)
+      .metrics.mrr;
+}
+
+}  // namespace firzen

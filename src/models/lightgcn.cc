@@ -1,0 +1,126 @@
+#include "src/models/lightgcn.h"
+
+#include "src/graph/interaction_graph.h"
+#include "src/models/sampler.h"
+#include "src/tensor/init.h"
+#include "src/tensor/optim.h"
+#include "src/util/logging.h"
+
+namespace firzen {
+
+Tensor LightGcn::Propagate(const std::shared_ptr<const CsrMatrix>& graph,
+                           const Tensor& table, int num_layers) {
+  using namespace ops;  // NOLINT(build/namespaces)
+  std::vector<Tensor> layers{table};
+  Tensor current = table;
+  for (int l = 0; l < num_layers; ++l) {
+    current = SpMM(graph, current);
+    layers.push_back(current);
+  }
+  return Scale(AddN(layers), 1.0 / static_cast<Real>(layers.size()));
+}
+
+void LightGcn::ComputeFinal(const CsrMatrix& graph) {
+  Matrix propagated = joint_table_.value();
+  Matrix current = joint_table_.value();
+  Matrix next;
+  for (int l = 0; l < num_layers_; ++l) {
+    graph.SpMM(current, &next);
+    current = next;
+    propagated.Add(current);
+  }
+  propagated.Scale(1.0 / static_cast<Real>(num_layers_ + 1));
+
+  final_user_.Resize(num_users_, propagated.cols());
+  final_item_.Resize(num_items_, propagated.cols());
+  for (Index u = 0; u < num_users_; ++u) {
+    for (Index c = 0; c < propagated.cols(); ++c) {
+      final_user_(u, c) = propagated(u, c);
+    }
+  }
+  for (Index i = 0; i < num_items_; ++i) {
+    for (Index c = 0; c < propagated.cols(); ++c) {
+      final_item_(i, c) = propagated(num_users_ + i, c);
+    }
+  }
+}
+
+void LightGcn::Fit(const Dataset& dataset, const TrainOptions& options) {
+  using namespace ops;  // NOLINT(build/namespaces)
+  Rng rng(options.seed);
+  num_users_ = dataset.num_users;
+  num_items_ = dataset.num_items;
+  num_layers_ = options.num_layers;
+  joint_table_ = XavierVariable(num_users_ + num_items_,
+                                options.embedding_dim, &rng);
+
+  auto graph = std::make_shared<CsrMatrix>(BuildNormalizedInteractionGraph(
+      dataset.train, num_users_, num_items_));
+
+  Adam::Options adam_options;
+  adam_options.lr = options.lr;
+  Adam optimizer(adam_options);
+  BprSampler sampler(dataset, options.seed + 1);
+  EarlyStopper stopper(options.patience);
+
+  const int steps = options.steps_per_epoch > 0
+                        ? options.steps_per_epoch
+                        : static_cast<int>(dataset.train.size() /
+                                               options.batch_size +
+                                           1);
+  std::vector<Index> users;
+  std::vector<Index> pos;
+  std::vector<Index> neg;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    Real epoch_loss = 0.0;
+    for (int step = 0; step < steps; ++step) {
+      sampler.SampleBatch(options.batch_size, &users, &pos, &neg);
+      Tensor propagated = Propagate(graph, joint_table_, num_layers_);
+      std::vector<Index> pos_nodes;
+      std::vector<Index> neg_nodes;
+      pos_nodes.reserve(pos.size());
+      neg_nodes.reserve(neg.size());
+      for (Index i : pos) pos_nodes.push_back(num_users_ + i);
+      for (Index i : neg) neg_nodes.push_back(num_users_ + i);
+      Tensor eu = GatherRows(propagated, users);
+      Tensor ep = GatherRows(propagated, pos_nodes);
+      Tensor en = GatherRows(propagated, neg_nodes);
+      // Regularize the layer-0 (ego) embeddings as in the reference code.
+      Tensor eu0 = GatherRows(joint_table_, users);
+      Tensor ep0 = GatherRows(joint_table_, pos_nodes);
+      Tensor en0 = GatherRows(joint_table_, neg_nodes);
+      Tensor loss = Add(BprLoss(eu, ep, en),
+                        BatchL2({eu0, ep0, en0}, options.reg,
+                                options.batch_size));
+      epoch_loss += loss.scalar();
+      Backward(loss);
+      optimizer.Step({joint_table_});
+    }
+    if ((epoch + 1) % options.eval_every == 0) {
+      ComputeFinal(*graph);
+      const Real mrr =
+          ValidationMrr(dataset, final_user_, final_item_, options.pool);
+      const bool stop = stopper.Update(mrr);
+      SnapshotIfImproved(stopper.improved());
+      if (options.verbose) {
+        Logf(LogLevel::kInfo, "[LightGCN] epoch %d loss=%.4f val-mrr=%.4f",
+             epoch, epoch_loss / steps, mrr);
+      }
+      if (stop) break;
+    }
+  }
+  ComputeFinal(*graph);
+  RestoreBestSnapshot();
+}
+
+void LightGcn::PrepareNormalColdInference(const Dataset& dataset) {
+  if (dataset.cold_known.empty()) return;
+  std::vector<Interaction> merged = dataset.train;
+  merged.insert(merged.end(), dataset.cold_known.begin(),
+                dataset.cold_known.end());
+  const CsrMatrix graph =
+      BuildNormalizedInteractionGraph(merged, num_users_, num_items_);
+  ComputeFinal(graph);
+}
+
+}  // namespace firzen

@@ -1,0 +1,56 @@
+#include "src/models/mkgat.h"
+
+#include <cmath>
+
+#include "src/models/mm_common.h"
+#include "src/util/check.h"
+
+namespace firzen {
+
+KnowledgeGraph Mkgat::AugmentKg(const Dataset& dataset) {
+  KnowledgeGraph kg = dataset.kg;
+  const Index items = dataset.num_items;
+  const Index base_entities = kg.num_entities;
+  const Index num_modalities = static_cast<Index>(dataset.modalities.size());
+  // One modal node per (item, modality); relation ids appended at the end.
+  kg.num_entities += items * num_modalities;
+  const Index first_modal_relation = kg.num_relations;
+  kg.num_relations += num_modalities;
+  if (!kg.entity_type.empty()) {
+    kg.entity_type.resize(static_cast<size_t>(kg.num_entities),
+                          EntityType::kFeature);
+  }
+  for (Index m = 0; m < num_modalities; ++m) {
+    for (Index i = 0; i < items; ++i) {
+      kg.triplets.push_back(
+          {i, first_modal_relation + m, base_entities + m * items + i});
+    }
+  }
+  kg.CheckValid();
+  return kg;
+}
+
+void Mkgat::SeedEntityRows(const Dataset& dataset, Matrix* entity_init) {
+  const Index items = dataset.num_items;
+  const Index d = entity_init->cols();
+  const Index base_entities = dataset.kg.num_entities;
+  Rng proj_rng(977);
+  for (size_t m = 0; m < dataset.modalities.size(); ++m) {
+    Matrix raw = dataset.modalities[m].features;
+    StandardizeColumns(&raw);
+    // Fixed random projection to the embedding width; rows remain trainable.
+    Matrix proj(raw.cols(), d);
+    proj.FillNormal(&proj_rng, 1.0 / std::sqrt(static_cast<Real>(raw.cols())));
+    Matrix seeded;
+    Gemm(false, false, 0.1, raw, proj, 0.0, &seeded);
+    for (Index i = 0; i < items; ++i) {
+      const Index row = base_entities + static_cast<Index>(m) * items + i;
+      FIRZEN_CHECK_LT(row, entity_init->rows());
+      for (Index c = 0; c < d; ++c) {
+        (*entity_init)(row, c) = seeded(i, c);
+      }
+    }
+  }
+}
+
+}  // namespace firzen

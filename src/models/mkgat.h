@@ -1,0 +1,25 @@
+// MKGAT (Sun et al., 2020): multi-modal knowledge graph attention — each
+// item's visual and textual features become first-class KG entities linked
+// by has_image / has_text relations, and the KGAT machinery runs over the
+// augmented graph. As the paper's §IV-B.4 analysis notes, modal nodes are
+// vastly outnumbered by ordinary entities, which limits how much modal
+// signal reaches users/items — reproduced here by construction.
+#ifndef FIRZEN_MODELS_MKGAT_H_
+#define FIRZEN_MODELS_MKGAT_H_
+
+#include "src/models/kgat.h"
+
+namespace firzen {
+
+class Mkgat : public Kgat {
+ public:
+  std::string Name() const override { return "MKGAT"; }
+
+ protected:
+  KnowledgeGraph AugmentKg(const Dataset& dataset) override;
+  void SeedEntityRows(const Dataset& dataset, Matrix* entity_init) override;
+};
+
+}  // namespace firzen
+
+#endif  // FIRZEN_MODELS_MKGAT_H_

@@ -1,0 +1,41 @@
+// MMSSL (Wei et al., 2023), faithful core: modality-aware user/item
+// representations aggregated over the interaction graph, adversarially
+// aligned with the observed interaction structure, plus cross-modality
+// contrastive learning on top of a LightGCN ID backbone.
+//
+// The adversarial "virtual graph" is built per mini-batch block (B x B), as
+// in the reference implementation; the Gumbel-augmented observed block is
+// the real sample (Eqs. 22-27 with the first-order Lipschitz substitution
+// described in core/discriminator.h).
+#ifndef FIRZEN_MODELS_MMSSL_H_
+#define FIRZEN_MODELS_MMSSL_H_
+
+#include "src/models/embedding_model.h"
+
+namespace firzen {
+
+class Mmssl : public EmbeddingModel {
+ public:
+  struct Options {
+    Real modal_weight = 0.4;      // weight of modal features in fusion
+    Real adv_weight = 0.2;        // lambda_adv
+    Real contrastive_weight = 0.05;  // lambda_contr
+    Real temperature = 0.5;       // Gumbel temperature tau
+    Real aux_weight = 0.1;        // gamma on the auxiliary cosine signal
+    Index adv_batch = 128;        // B for the adversarial graph block
+    Real d_lr = 1e-3;             // discriminator learning rate
+  };
+
+  Mmssl() = default;
+  explicit Mmssl(Options options) : options_(options) {}
+
+  std::string Name() const override { return "MMSSL"; }
+  void Fit(const Dataset& dataset, const TrainOptions& options) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace firzen
+
+#endif  // FIRZEN_MODELS_MMSSL_H_

@@ -1,0 +1,83 @@
+// Common interface implemented by Firzen and all baseline recommenders.
+#ifndef FIRZEN_MODELS_RECOMMENDER_H_
+#define FIRZEN_MODELS_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/tensor/matrix.h"
+#include "src/util/thread_pool.h"
+
+namespace firzen {
+
+/// Shared training hyperparameters. Model-specific knobs live in each
+/// model's own Options struct (RocksDB-style configuration).
+struct TrainOptions {
+  Index embedding_dim = 32;
+  int epochs = 60;
+  int batch_size = 512;
+  Real lr = 5e-3;
+  Real reg = 1e-4;       // L2 weight on the sampled batch embeddings
+  int num_layers = 2;    // GNN propagation depth L
+  int steps_per_epoch = 0;  // 0 = ceil(|train| / batch_size)
+  int eval_every = 5;       // epochs between early-stopping validations
+  int patience = 3;         // early-stop patience (validation MRR@20)
+  uint64_t seed = 42;
+  bool verbose = false;
+  ThreadPool* pool = nullptr;
+};
+
+/// Abstract recommender. Lifecycle: Fit() -> [PrepareColdInference()] ->
+/// Score(). Scoring returns one row per requested user over ALL items; the
+/// evaluator applies candidate masking.
+class Recommender {
+ public:
+  virtual ~Recommender();
+
+  virtual std::string Name() const = 0;
+
+  /// Trains on dataset.train (strict cold items never appear there).
+  virtual void Fit(const Dataset& dataset, const TrainOptions& options) = 0;
+
+  /// Fills `scores` (users.size() x num_items).
+  virtual void Score(const std::vector<Index>& users,
+                     Matrix* scores) const = 0;
+
+  /// Rebuilds inference-time structures that may include strict cold items
+  /// (e.g. expanded + masked item-item graphs, Eqs. 34-35). Default: no-op.
+  virtual void PrepareColdInference(const Dataset& dataset);
+
+  /// Normal cold-start protocol (Table VI): `dataset.cold_known` holds the
+  /// revealed links. Default: delegates to PrepareColdInference.
+  virtual void PrepareNormalColdInference(const Dataset& dataset);
+
+  /// Final item embeddings for visualization (Fig. 8). Default: empty.
+  virtual Matrix ItemEmbeddings() const;
+
+  /// Final user embeddings for serialization/serving. Empty for models
+  /// whose scores are not a user-vector dot product (e.g. KGCN).
+  virtual Matrix UserEmbeddings() const;
+};
+
+/// Early-stopping tracker on a to-be-maximized validation metric.
+class EarlyStopper {
+ public:
+  explicit EarlyStopper(int patience) : patience_(patience) {}
+
+  /// Records a validation score; returns true when training should stop.
+  bool Update(Real metric);
+
+  bool improved() const { return improved_; }
+  Real best() const { return best_; }
+
+ private:
+  int patience_;
+  int strikes_ = 0;
+  Real best_ = -1.0;
+  bool improved_ = false;
+};
+
+}  // namespace firzen
+
+#endif  // FIRZEN_MODELS_RECOMMENDER_H_

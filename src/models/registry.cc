@@ -1,0 +1,90 @@
+#include "src/models/registry.h"
+
+#include "src/core/firzen_model.h"
+#include "src/eval/harmonic.h"
+#include "src/models/bm3.h"
+#include "src/models/bpr_mf.h"
+#include "src/models/cke.h"
+#include "src/models/clcrec.h"
+#include "src/models/dragon.h"
+#include "src/models/dropoutnet.h"
+#include "src/models/kgat.h"
+#include "src/models/kgcn.h"
+#include "src/models/lightgcn.h"
+#include "src/models/mkgat.h"
+#include "src/models/mmssl.h"
+#include "src/models/sgl.h"
+#include "src/models/simplex.h"
+#include "src/models/vbpr.h"
+#include "src/util/stopwatch.h"
+
+namespace firzen {
+
+std::vector<ModelInfo> AllModels() {
+  return {
+      {"BPR", "CF"},         {"LightGCN", "CF"},  {"SGL", "CF"},
+      {"SimpleX", "CF"},     {"CKE", "KG"},       {"KGAT", "KG"},
+      {"KGCN", "KG"},        {"KGNNLS", "KG"},    {"VBPR", "MM"},
+      {"DRAGON", "MM"},      {"BM3", "MM"},       {"MMSSL", "MM"},
+      {"DropoutNet", "CS"},  {"CLCRec", "CS"},    {"MKGAT", "MM+KG"},
+      {"Firzen", "Ours"},
+  };
+}
+
+std::unique_ptr<Recommender> CreateModel(const std::string& name) {
+  if (name == "BPR") return std::make_unique<BprMf>();
+  if (name == "LightGCN") return std::make_unique<LightGcn>();
+  if (name == "SGL") return std::make_unique<Sgl>();
+  if (name == "SimpleX") return std::make_unique<SimpleX>();
+  if (name == "CKE") return std::make_unique<Cke>();
+  if (name == "KGAT") return std::make_unique<Kgat>();
+  if (name == "KGCN") return std::make_unique<Kgcn>();
+  if (name == "KGNNLS") return std::make_unique<KgnnLs>();
+  if (name == "VBPR") return std::make_unique<Vbpr>();
+  if (name == "DRAGON") return std::make_unique<Dragon>();
+  if (name == "BM3") return std::make_unique<Bm3>();
+  if (name == "MMSSL") return std::make_unique<Mmssl>();
+  if (name == "DropoutNet") return std::make_unique<DropoutNet>();
+  if (name == "CLCRec") return std::make_unique<ClcRec>();
+  if (name == "MKGAT") return std::make_unique<Mkgat>();
+  if (name == "Firzen") return std::make_unique<FirzenModel>();
+  return nullptr;
+}
+
+ProtocolResult RunStrictColdProtocol(Recommender* model,
+                                     const Dataset& dataset,
+                                     const TrainOptions& options) {
+  ProtocolResult result;
+  Stopwatch fit_watch;
+  model->Fit(dataset, options);
+  result.fit_seconds = fit_watch.ElapsedSeconds();
+
+  ScoreFn score_fn = [model](const std::vector<Index>& users,
+                             Matrix* scores) {
+    model->Score(users, scores);
+  };
+  EvalOptions eval_options;
+  eval_options.pool = options.pool;
+  result.warm = EvaluateRanking(dataset, dataset.warm_test,
+                                EvalSetting::kWarm, score_fn, eval_options);
+  model->PrepareColdInference(dataset);
+  result.cold = EvaluateRanking(dataset, dataset.cold_test,
+                                EvalSetting::kCold, score_fn, eval_options);
+  result.hm = HarmonicMean(result.cold.metrics, result.warm.metrics);
+  return result;
+}
+
+EvalResult RunNormalColdEval(Recommender* model, const Dataset& dataset,
+                             const TrainOptions& options) {
+  model->PrepareNormalColdInference(dataset);
+  ScoreFn score_fn = [model](const std::vector<Index>& users,
+                             Matrix* scores) {
+    model->Score(users, scores);
+  };
+  EvalOptions eval_options;
+  eval_options.pool = options.pool;
+  return EvaluateRanking(dataset, dataset.cold_test, EvalSetting::kCold,
+                         score_fn, eval_options);
+}
+
+}  // namespace firzen

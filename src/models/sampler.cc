@@ -1,0 +1,79 @@
+#include "src/models/sampler.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace firzen {
+
+BprSampler::BprSampler(const Dataset& dataset, uint64_t seed)
+    : train_(dataset.train),
+      items_by_user_(dataset.TrainItemsByUser()),
+      warm_items_(dataset.WarmItems()),
+      rng_(seed) {
+  FIRZEN_CHECK(!train_.empty());
+  FIRZEN_CHECK(!warm_items_.empty());
+  for (Index u = 0; u < dataset.num_users; ++u) {
+    if (!items_by_user_[static_cast<size_t>(u)].empty()) {
+      active_users_.push_back(u);
+    }
+  }
+}
+
+bool BprSampler::UserHasItem(Index user, Index item) const {
+  const auto& items = items_by_user_[static_cast<size_t>(user)];
+  return std::binary_search(items.begin(), items.end(), item);
+}
+
+BprSampler::Triple BprSampler::Sample() {
+  const Interaction& x = train_[static_cast<size_t>(
+      rng_.UniformInt(static_cast<Index>(train_.size())))];
+  // Bounded rejection sampling: a user who has consumed (nearly) the whole
+  // warm catalog must not hang the trainer — fall back to any warm item.
+  Index neg = warm_items_[static_cast<size_t>(
+      rng_.UniformInt(static_cast<Index>(warm_items_.size())))];
+  for (int attempt = 0; attempt < 64 && UserHasItem(x.user, neg); ++attempt) {
+    neg = warm_items_[static_cast<size_t>(
+        rng_.UniformInt(static_cast<Index>(warm_items_.size())))];
+  }
+  return {x.user, x.item, neg};
+}
+
+void BprSampler::SampleBatch(Index batch_size, std::vector<Index>* users,
+                             std::vector<Index>* pos,
+                             std::vector<Index>* neg) {
+  users->clear();
+  pos->clear();
+  neg->clear();
+  users->reserve(batch_size);
+  pos->reserve(batch_size);
+  neg->reserve(batch_size);
+  for (Index b = 0; b < batch_size; ++b) {
+    const Triple t = Sample();
+    users->push_back(t.user);
+    pos->push_back(t.pos);
+    neg->push_back(t.neg);
+  }
+}
+
+std::vector<Index> BprSampler::SampleUsers(Index count) {
+  std::vector<Index> out;
+  out.reserve(count);
+  for (Index i = 0; i < count; ++i) {
+    out.push_back(active_users_[static_cast<size_t>(
+        rng_.UniformInt(static_cast<Index>(active_users_.size())))]);
+  }
+  return out;
+}
+
+std::vector<Index> BprSampler::SampleWarmItems(Index count) {
+  std::vector<Index> out;
+  out.reserve(count);
+  for (Index i = 0; i < count; ++i) {
+    out.push_back(warm_items_[static_cast<size_t>(
+        rng_.UniformInt(static_cast<Index>(warm_items_.size())))]);
+  }
+  return out;
+}
+
+}  // namespace firzen

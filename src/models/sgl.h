@@ -1,0 +1,34 @@
+// SGL (Wu et al., 2021): LightGCN plus self-supervised contrastive learning
+// between two edge-dropout augmented graph views. Note the contrast with
+// Firzen: SGL *perturbs* the graph during training, Firzen freezes it.
+#ifndef FIRZEN_MODELS_SGL_H_
+#define FIRZEN_MODELS_SGL_H_
+
+#include "src/models/embedding_model.h"
+
+namespace firzen {
+
+class Sgl : public EmbeddingModel {
+ public:
+  struct Options {
+    Real edge_drop_rate = 0.1;
+    // Tuned down vs the reference 0.1: at this library's CPU-scale training
+    // budgets a heavier SSL term drowns the ranking signal before early
+    // stopping triggers.
+    Real ssl_weight = 0.02;
+    Real ssl_temperature = 0.2;
+  };
+
+  Sgl() = default;
+  explicit Sgl(Options options) : options_(options) {}
+
+  std::string Name() const override { return "SGL"; }
+  void Fit(const Dataset& dataset, const TrainOptions& options) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace firzen
+
+#endif  // FIRZEN_MODELS_SGL_H_

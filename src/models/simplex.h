@@ -1,0 +1,32 @@
+// SimpleX (Mao et al., 2021): user tower = ID embedding fused with the mean
+// of interacted item embeddings; cosine contrastive loss (CCL) with margin
+// over multiple negatives.
+#ifndef FIRZEN_MODELS_SIMPLEX_H_
+#define FIRZEN_MODELS_SIMPLEX_H_
+
+#include "src/models/embedding_model.h"
+
+namespace firzen {
+
+class SimpleX : public EmbeddingModel {
+ public:
+  struct Options {
+    Real fusion_weight = 0.5;   // g: user ID vs aggregated-behavior share
+    Real margin = 0.4;          // CCL margin
+    Real negative_weight = 0.5; // CCL w
+    Index num_negatives = 10;
+  };
+
+  SimpleX() = default;
+  explicit SimpleX(Options options) : options_(options) {}
+
+  std::string Name() const override { return "SimpleX"; }
+  void Fit(const Dataset& dataset, const TrainOptions& options) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace firzen
+
+#endif  // FIRZEN_MODELS_SIMPLEX_H_

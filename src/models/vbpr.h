@@ -1,0 +1,20 @@
+// VBPR (He & McAuley, 2016): BPR extended with a content pathway — item
+// score adds a user "visual preference" vector dotted with a learned linear
+// projection of the item's raw multi-modal features. The content pathway is
+// what gives VBPR respectable strict cold-start numbers in Table II.
+#ifndef FIRZEN_MODELS_VBPR_H_
+#define FIRZEN_MODELS_VBPR_H_
+
+#include "src/models/embedding_model.h"
+
+namespace firzen {
+
+class Vbpr : public EmbeddingModel {
+ public:
+  std::string Name() const override { return "VBPR"; }
+  void Fit(const Dataset& dataset, const TrainOptions& options) override;
+};
+
+}  // namespace firzen
+
+#endif  // FIRZEN_MODELS_VBPR_H_

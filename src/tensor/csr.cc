@@ -1,0 +1,219 @@
+#include "src/tensor/csr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace firzen {
+
+CsrMatrix CsrMatrix::FromCoo(Index rows, Index cols,
+                             std::vector<CooEntry> entries) {
+  for (const auto& e : entries) {
+    FIRZEN_CHECK_GE(e.row, 0);
+    FIRZEN_CHECK_LT(e.row, rows);
+    FIRZEN_CHECK_GE(e.col, 0);
+    FIRZEN_CHECK_LT(e.col, cols);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const CooEntry& a, const CooEntry& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  // Merge duplicates by summation.
+  size_t w = 0;
+  for (size_t r = 0; r < entries.size(); ++r) {
+    if (w > 0 && entries[w - 1].row == entries[r].row &&
+        entries[w - 1].col == entries[r].col) {
+      entries[w - 1].value += entries[r].value;
+    } else {
+      entries[w++] = entries[r];
+    }
+  }
+  entries.resize(w);
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(static_cast<size_t>(rows) + 1, 0);
+  m.col_idx_.reserve(entries.size());
+  m.values_.reserve(entries.size());
+  for (const auto& e : entries) {
+    ++m.row_ptr_[static_cast<size_t>(e.row) + 1];
+    m.col_idx_.push_back(e.col);
+    m.values_.push_back(e.value);
+  }
+  for (Index r = 0; r < rows; ++r) {
+    m.row_ptr_[static_cast<size_t>(r) + 1] +=
+        m.row_ptr_[static_cast<size_t>(r)];
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::FromCooNoMerge(Index rows, Index cols,
+                                    std::vector<CooEntry> entries) {
+  for (const auto& e : entries) {
+    FIRZEN_CHECK_GE(e.row, 0);
+    FIRZEN_CHECK_LT(e.row, rows);
+    FIRZEN_CHECK_GE(e.col, 0);
+    FIRZEN_CHECK_LT(e.col, cols);
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const CooEntry& a, const CooEntry& b) {
+                     return a.row < b.row;
+                   });
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(static_cast<size_t>(rows) + 1, 0);
+  m.col_idx_.reserve(entries.size());
+  m.values_.reserve(entries.size());
+  for (const auto& e : entries) {
+    ++m.row_ptr_[static_cast<size_t>(e.row) + 1];
+    m.col_idx_.push_back(e.col);
+    m.values_.push_back(e.value);
+  }
+  for (Index r = 0; r < rows; ++r) {
+    m.row_ptr_[static_cast<size_t>(r) + 1] +=
+        m.row_ptr_[static_cast<size_t>(r)];
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::WithValues(std::vector<Real> values) const {
+  FIRZEN_CHECK_EQ(static_cast<Index>(values.size()), nnz());
+  CsrMatrix m = *this;
+  m.transpose_.reset();
+  m.values_ = std::move(values);
+  return m;
+}
+
+void CsrMatrix::SpMM(const Matrix& x, Matrix* y) const {
+  FIRZEN_CHECK_EQ(x.rows(), cols_);
+  y->Resize(rows_, x.cols());
+  SpMMAccum(1.0, x, y);
+}
+
+void CsrMatrix::SpMMAccum(Real alpha, const Matrix& x, Matrix* y) const {
+  FIRZEN_CHECK_EQ(x.rows(), cols_);
+  FIRZEN_CHECK_EQ(y->rows(), rows_);
+  FIRZEN_CHECK_EQ(y->cols(), x.cols());
+  const Index d = x.cols();
+  for (Index r = 0; r < rows_; ++r) {
+    Real* out = y->row(r);
+    for (Index p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      const Real v = alpha * values_[static_cast<size_t>(p)];
+      const Real* in = x.row(col_idx_[static_cast<size_t>(p)]);
+      for (Index c = 0; c < d; ++c) out[c] += v * in[c];
+    }
+  }
+}
+
+const CsrMatrix& CsrMatrix::Transposed() const {
+  if (transpose_ == nullptr) {
+    std::vector<CooEntry> entries;
+    entries.reserve(static_cast<size_t>(nnz()));
+    for (Index r = 0; r < rows_; ++r) {
+      for (Index p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+        entries.push_back({col_idx_[static_cast<size_t>(p)], r,
+                           values_[static_cast<size_t>(p)]});
+      }
+    }
+    transpose_ = std::make_shared<CsrMatrix>(
+        FromCoo(cols_, rows_, std::move(entries)));
+  }
+  return *transpose_;
+}
+
+CsrMatrix CsrMatrix::RowNormalized() const {
+  CsrMatrix m = *this;
+  m.transpose_.reset();
+  for (Index r = 0; r < rows_; ++r) {
+    Real sum = 0.0;
+    for (Index p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      sum += std::abs(values_[static_cast<size_t>(p)]);
+    }
+    if (sum <= 0.0) continue;
+    for (Index p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      m.values_[static_cast<size_t>(p)] /= sum;
+    }
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::SymNormalized() const {
+  FIRZEN_CHECK_EQ(rows_, cols_);
+  std::vector<Real> degree(static_cast<size_t>(rows_), 0.0);
+  for (Index r = 0; r < rows_; ++r) {
+    for (Index p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      degree[static_cast<size_t>(r)] += values_[static_cast<size_t>(p)];
+    }
+  }
+  CsrMatrix m = *this;
+  m.transpose_.reset();
+  for (Index r = 0; r < rows_; ++r) {
+    const Real dr = degree[static_cast<size_t>(r)];
+    if (dr <= 0.0) continue;
+    for (Index p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      const Real dc =
+          degree[static_cast<size_t>(col_idx_[static_cast<size_t>(p)])];
+      if (dc <= 0.0) {
+        m.values_[static_cast<size_t>(p)] = 0.0;
+      } else {
+        m.values_[static_cast<size_t>(p)] /= std::sqrt(dr) * std::sqrt(dc);
+      }
+    }
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::RowSoftmax() const {
+  CsrMatrix m = *this;
+  m.transpose_.reset();
+  for (Index r = 0; r < rows_; ++r) {
+    const Index begin = row_ptr_[r];
+    const Index end = row_ptr_[r + 1];
+    if (begin == end) continue;
+    Real max_v = values_[static_cast<size_t>(begin)];
+    for (Index p = begin + 1; p < end; ++p) {
+      max_v = std::max(max_v, values_[static_cast<size_t>(p)]);
+    }
+    Real denom = 0.0;
+    for (Index p = begin; p < end; ++p) {
+      m.values_[static_cast<size_t>(p)] =
+          std::exp(values_[static_cast<size_t>(p)] - max_v);
+      denom += m.values_[static_cast<size_t>(p)];
+    }
+    for (Index p = begin; p < end; ++p) {
+      m.values_[static_cast<size_t>(p)] /= denom;
+    }
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::Filtered(
+    const std::function<bool(Index, Index)>& keep) const {
+  std::vector<CooEntry> entries;
+  entries.reserve(static_cast<size_t>(nnz()));
+  for (Index r = 0; r < rows_; ++r) {
+    for (Index p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      const Index c = col_idx_[static_cast<size_t>(p)];
+      if (keep(r, c)) {
+        entries.push_back({r, c, values_[static_cast<size_t>(p)]});
+      }
+    }
+  }
+  return FromCoo(rows_, cols_, std::move(entries));
+}
+
+Matrix CsrMatrix::ToDense() const {
+  Matrix dense(rows_, cols_);
+  for (Index r = 0; r < rows_; ++r) {
+    for (Index p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      dense(r, col_idx_[static_cast<size_t>(p)]) +=
+          values_[static_cast<size_t>(p)];
+    }
+  }
+  return dense;
+}
+
+}  // namespace firzen

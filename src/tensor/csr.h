@@ -1,0 +1,95 @@
+// Immutable compressed-sparse-row matrix. This is the representation of every
+// "frozen" graph in the paper: built once, never mutated (DESIGN.md §4.1).
+// Inference-time cold-start expansion produces a *new* CsrMatrix.
+#ifndef FIRZEN_TENSOR_CSR_H_
+#define FIRZEN_TENSOR_CSR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+#include "src/util/common.h"
+
+namespace firzen {
+
+/// One (row, col, value) coordinate entry used during construction.
+struct CooEntry {
+  Index row;
+  Index col;
+  Real value;
+};
+
+/// Immutable CSR sparse matrix. All mutating "operations" return new
+/// instances. The transpose is computed lazily and cached; the cache is not
+/// synchronized — graph construction and training drive SpMM from a single
+/// thread (the thread pool is only used *inside* kernels over row shards).
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from coordinate entries. Duplicate (row, col) pairs are summed.
+  static CsrMatrix FromCoo(Index rows, Index cols,
+                           std::vector<CooEntry> entries);
+
+  /// Builds a multigraph: duplicate (row, col) pairs are kept as distinct
+  /// stored entries. Entries are stably grouped by row, preserving the
+  /// caller's within-row order (so parallel per-edge arrays stay aligned —
+  /// the collaborative KG uses this for per-edge relation ids).
+  static CsrMatrix FromCooNoMerge(Index rows, Index cols,
+                                  std::vector<CooEntry> entries);
+
+  /// Returns a copy sharing this topology with the value array replaced
+  /// (same length as nnz()). Used to refresh attention weights per epoch
+  /// without rebuilding the structure.
+  CsrMatrix WithValues(std::vector<Real> values) const;
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index nnz() const { return static_cast<Index>(col_idx_.size()); }
+
+  const std::vector<Index>& row_ptr() const { return row_ptr_; }
+  const std::vector<Index>& col_idx() const { return col_idx_; }
+  const std::vector<Real>& values() const { return values_; }
+
+  /// Number of stored entries in row r.
+  Index RowNnz(Index r) const { return row_ptr_[r + 1] - row_ptr_[r]; }
+
+  /// y = this * x  (dense x with x.rows() == cols()). Output is resized.
+  void SpMM(const Matrix& x, Matrix* y) const;
+
+  /// y += alpha * this * x. y must already be (rows() x x.cols()).
+  void SpMMAccum(Real alpha, const Matrix& x, Matrix* y) const;
+
+  /// Cached transpose. See class comment for the threading contract.
+  const CsrMatrix& Transposed() const;
+
+  /// Returns a copy whose rows are L1-normalized (zero rows stay zero).
+  CsrMatrix RowNormalized() const;
+
+  /// Returns D^{-1/2} A D^{-1/2} where D is the diagonal degree matrix of
+  /// row/col value sums (zero-degree rows/cols stay zero). Square only.
+  CsrMatrix SymNormalized() const;
+
+  /// Returns a copy where each row's values are replaced by a softmax over
+  /// that row's stored values (user-user attention, Eq. 19).
+  CsrMatrix RowSoftmax() const;
+
+  /// Returns a copy with entries for which `keep(row, col)` is false removed.
+  CsrMatrix Filtered(const std::function<bool(Index, Index)>& keep) const;
+
+  /// Dense materialization (tests / tiny matrices only).
+  Matrix ToDense() const;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Index> row_ptr_;
+  std::vector<Index> col_idx_;
+  std::vector<Real> values_;
+  mutable std::shared_ptr<CsrMatrix> transpose_;
+};
+
+}  // namespace firzen
+
+#endif  // FIRZEN_TENSOR_CSR_H_

@@ -1,0 +1,51 @@
+#include "src/tensor/gradcheck.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace firzen {
+
+GradCheckResult CheckGradients(const std::vector<Tensor>& params,
+                               const std::function<Tensor()>& build_loss,
+                               Real step, Real tolerance) {
+  // Analytic pass.
+  for (const Tensor& p : params) {
+    Tensor mutable_p = p;
+    mutable_p.ZeroGrad();
+  }
+  Tensor loss = build_loss();
+  Backward(loss);
+
+  std::vector<Matrix> analytic;
+  analytic.reserve(params.size());
+  for (const Tensor& p : params) {
+    FIRZEN_CHECK(p.requires_grad());
+    analytic.push_back(p.grad());
+  }
+
+  GradCheckResult result;
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor p = params[pi];
+    Matrix& value = *p.mutable_value();
+    for (Index i = 0; i < value.size(); ++i) {
+      const Real original = value.data()[i];
+      value.data()[i] = original + step;
+      const Real up = build_loss().scalar();
+      value.data()[i] = original - step;
+      const Real down = build_loss().scalar();
+      value.data()[i] = original;
+
+      const Real numeric = (up - down) / (2.0 * step);
+      const Real exact = analytic[pi].data()[i];
+      const Real abs_err = std::abs(numeric - exact);
+      const Real denom = std::max({std::abs(numeric), std::abs(exact), 1e-8});
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
+    }
+  }
+  result.ok = std::min(result.max_abs_error, result.max_rel_error) < tolerance;
+  return result;
+}
+
+}  // namespace firzen

@@ -1,0 +1,30 @@
+// Numerical gradient verification used by the autograd test suite. Builds the
+// loss twice per perturbed entry (central differences) and compares against
+// the analytic gradient from Backward().
+#ifndef FIRZEN_TENSOR_GRADCHECK_H_
+#define FIRZEN_TENSOR_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace firzen {
+
+struct GradCheckResult {
+  Real max_abs_error = 0.0;
+  Real max_rel_error = 0.0;
+  bool ok = false;
+};
+
+/// Checks d(loss)/d(param) for every entry of every parameter.
+/// `build_loss` must rebuild the full forward graph from the current
+/// parameter values and return the scalar loss tensor (1 x 1).
+/// Tolerance is on max(abs_error, rel_error) per entry.
+GradCheckResult CheckGradients(const std::vector<Tensor>& params,
+                               const std::function<Tensor()>& build_loss,
+                               Real step = 1e-5, Real tolerance = 1e-6);
+
+}  // namespace firzen
+
+#endif  // FIRZEN_TENSOR_GRADCHECK_H_

@@ -1,0 +1,147 @@
+#include "src/tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace firzen {
+
+Matrix::Matrix(Index rows, Index cols, Real fill)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows * cols), fill) {
+  FIRZEN_CHECK_GE(rows, 0);
+  FIRZEN_CHECK_GE(cols, 0);
+}
+
+void Matrix::Fill(Real value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::Resize(Index rows, Index cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(static_cast<size_t>(rows * cols), 0.0);
+}
+
+void Matrix::Add(const Matrix& other) {
+  FIRZEN_CHECK_EQ(rows_, other.rows_);
+  FIRZEN_CHECK_EQ(cols_, other.cols_);
+  const Real* src = other.data();
+  Real* dst = data();
+  const Index n = size();
+  for (Index i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+void Matrix::Axpy(Real alpha, const Matrix& other) {
+  FIRZEN_CHECK_EQ(rows_, other.rows_);
+  FIRZEN_CHECK_EQ(cols_, other.cols_);
+  const Real* src = other.data();
+  Real* dst = data();
+  const Index n = size();
+  for (Index i = 0; i < n; ++i) dst[i] += alpha * src[i];
+}
+
+void Matrix::Scale(Real alpha) {
+  for (auto& v : data_) v *= alpha;
+}
+
+Real Matrix::Dot(const Matrix& other) const {
+  FIRZEN_CHECK_EQ(rows_, other.rows_);
+  FIRZEN_CHECK_EQ(cols_, other.cols_);
+  Real acc = 0.0;
+  const Index n = size();
+  for (Index i = 0; i < n; ++i) acc += data_[i] * other.data_[i];
+  return acc;
+}
+
+Real Matrix::SquaredNorm() const {
+  Real acc = 0.0;
+  for (Real v : data_) acc += v * v;
+  return acc;
+}
+
+Real Matrix::RowNorm(Index r) const {
+  const Real* p = row(r);
+  Real acc = 0.0;
+  for (Index c = 0; c < cols_; ++c) acc += p[c] * p[c];
+  return std::sqrt(acc);
+}
+
+void Matrix::FillNormal(Rng* rng, Real stddev) {
+  for (auto& v : data_) v = rng->Normal(0.0, stddev);
+}
+
+void Matrix::FillUniform(Rng* rng, Real lo, Real hi) {
+  for (auto& v : data_) v = rng->Uniform(lo, hi);
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (Index r = 0; r < rows_; ++r) {
+    const Real* src = row(r);
+    for (Index c = 0; c < cols_; ++c) t(c, r) = src[c];
+  }
+  return t;
+}
+
+void Gemm(bool trans_a, bool trans_b, Real alpha, const Matrix& a,
+          const Matrix& b, Real beta, Matrix* c) {
+  const Index m = trans_a ? a.cols() : a.rows();
+  const Index k = trans_a ? a.rows() : a.cols();
+  const Index kb = trans_b ? b.cols() : b.rows();
+  const Index n = trans_b ? b.rows() : b.cols();
+  FIRZEN_CHECK_EQ(k, kb);
+  if (beta == 0.0) {
+    c->Resize(m, n);
+  } else {
+    FIRZEN_CHECK_EQ(c->rows(), m);
+    FIRZEN_CHECK_EQ(c->cols(), n);
+    if (beta != 1.0) c->Scale(beta);
+  }
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows of
+  // the (possibly transposed) operands; good enough at embedding widths.
+  if (!trans_a && !trans_b) {
+    for (Index i = 0; i < m; ++i) {
+      const Real* arow = a.row(i);
+      Real* crow = c->row(i);
+      for (Index p = 0; p < k; ++p) {
+        const Real av = alpha * arow[p];
+        if (av == 0.0) continue;
+        const Real* brow = b.row(p);
+        for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (!trans_a && trans_b) {
+    for (Index i = 0; i < m; ++i) {
+      const Real* arow = a.row(i);
+      Real* crow = c->row(i);
+      for (Index j = 0; j < n; ++j) {
+        const Real* brow = b.row(j);
+        Real acc = 0.0;
+        for (Index p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] += alpha * acc;
+      }
+    }
+  } else if (trans_a && !trans_b) {
+    for (Index p = 0; p < k; ++p) {
+      const Real* arow = a.row(p);
+      const Real* brow = b.row(p);
+      for (Index i = 0; i < m; ++i) {
+        const Real av = alpha * arow[i];
+        if (av == 0.0) continue;
+        Real* crow = c->row(i);
+        for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else {
+    for (Index i = 0; i < m; ++i) {
+      Real* crow = c->row(i);
+      for (Index j = 0; j < n; ++j) {
+        Real acc = 0.0;
+        for (Index p = 0; p < k; ++p) acc += a(p, i) * b(j, p);
+        crow[j] += alpha * acc;
+      }
+    }
+  }
+}
+
+}  // namespace firzen

@@ -1,0 +1,89 @@
+// Dense row-major matrix with the handful of kernels the autograd engine
+// needs. No external BLAS: kernels are plain loops tuned for the d <= 128
+// embedding widths this library works at.
+#ifndef FIRZEN_TENSOR_MATRIX_H_
+#define FIRZEN_TENSOR_MATRIX_H_
+
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/common.h"
+#include "src/util/rng.h"
+
+namespace firzen {
+
+/// Dense row-major matrix of Real. A (rows x cols) matrix stores element
+/// (r, c) at data[r * cols + c]. Vectors are represented as n x 1 or 1 x n.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(Index rows, Index cols, Real fill = 0.0);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  Real& operator()(Index r, Index c) {
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  Real operator()(Index r, Index c) const {
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+
+  Real* data() { return data_.data(); }
+  const Real* data() const { return data_.data(); }
+  Real* row(Index r) { return data_.data() + r * cols_; }
+  const Real* row(Index r) const { return data_.data() + r * cols_; }
+
+  /// Sets every element to `value`.
+  void Fill(Real value);
+
+  /// Sets every element to zero (keeps shape).
+  void Zero() { Fill(0.0); }
+
+  /// Resize to (rows x cols) and zero. Existing contents are discarded.
+  void Resize(Index rows, Index cols);
+
+  /// Element-wise +=. Shapes must match.
+  void Add(const Matrix& other);
+
+  /// this += alpha * other. Shapes must match.
+  void Axpy(Real alpha, const Matrix& other);
+
+  /// Multiply every element by alpha.
+  void Scale(Real alpha);
+
+  /// Frobenius-inner-product <this, other>.
+  Real Dot(const Matrix& other) const;
+
+  /// Sum of squares of all elements.
+  Real SquaredNorm() const;
+
+  /// Euclidean norm of row r.
+  Real RowNorm(Index r) const;
+
+  /// Fill with independent N(0, stddev) samples.
+  void FillNormal(Rng* rng, Real stddev);
+
+  /// Fill with independent U(lo, hi) samples.
+  void FillUniform(Rng* rng, Real lo, Real hi);
+
+  /// Returns a new matrix equal to the transpose.
+  Matrix Transposed() const;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Real> data_;
+};
+
+/// C = alpha * op(A) * op(B) + beta * C, where op is optional transpose.
+/// Shapes are checked. C must already have the correct shape when beta != 0;
+/// otherwise it is resized.
+void Gemm(bool trans_a, bool trans_b, Real alpha, const Matrix& a,
+          const Matrix& b, Real beta, Matrix* c);
+
+}  // namespace firzen
+
+#endif  // FIRZEN_TENSOR_MATRIX_H_

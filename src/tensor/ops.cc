@@ -1,0 +1,895 @@
+#include "src/tensor/ops.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace firzen {
+namespace ops {
+namespace {
+
+using NodePtr = std::shared_ptr<TensorNode>;
+
+NodePtr NewNode(const char* name, std::vector<NodePtr> parents) {
+  auto node = std::make_shared<TensorNode>();
+  node->op_name = name;
+  node->parents = std::move(parents);
+  for (const auto& p : node->parents) {
+    node->requires_grad = node->requires_grad || p->requires_grad;
+  }
+  return node;
+}
+
+void CheckSameShape(const Tensor& a, const Tensor& b) {
+  FIRZEN_CHECK_EQ(a.rows(), b.rows());
+  FIRZEN_CHECK_EQ(a.cols(), b.cols());
+}
+
+// Accumulate src into parent's grad if it participates in the tape.
+void AccumulateInto(TensorNode* parent, const Matrix& src) {
+  if (!parent->requires_grad) return;
+  parent->EnsureGrad();
+  parent->grad.Add(src);
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  auto node = NewNode("add", {a.node(), b.node()});
+  node->value = a.value();
+  node->value.Add(b.value());
+  if (node->requires_grad) {
+    node->backward_fn = [](TensorNode* self) {
+      AccumulateInto(self->parents[0].get(), self->grad);
+      AccumulateInto(self->parents[1].get(), self->grad);
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  auto node = NewNode("sub", {a.node(), b.node()});
+  node->value = a.value();
+  node->value.Axpy(-1.0, b.value());
+  if (node->requires_grad) {
+    node->backward_fn = [](TensorNode* self) {
+      AccumulateInto(self->parents[0].get(), self->grad);
+      TensorNode* b_node = self->parents[1].get();
+      if (b_node->requires_grad) {
+        b_node->EnsureGrad();
+        b_node->grad.Axpy(-1.0, self->grad);
+      }
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  auto node = NewNode("mul", {a.node(), b.node()});
+  node->value = a.value();
+  {
+    Real* out = node->value.data();
+    const Real* bv = b.value().data();
+    const Index n = node->value.size();
+    for (Index i = 0; i < n; ++i) out[i] *= bv[i];
+  }
+  if (node->requires_grad) {
+    node->backward_fn = [](TensorNode* self) {
+      TensorNode* a_node = self->parents[0].get();
+      TensorNode* b_node = self->parents[1].get();
+      const Index n = self->grad.size();
+      if (a_node->requires_grad) {
+        a_node->EnsureGrad();
+        for (Index i = 0; i < n; ++i) {
+          a_node->grad.data()[i] +=
+              self->grad.data()[i] * b_node->value.data()[i];
+        }
+      }
+      if (b_node->requires_grad) {
+        b_node->EnsureGrad();
+        for (Index i = 0; i < n; ++i) {
+          b_node->grad.data()[i] +=
+              self->grad.data()[i] * a_node->value.data()[i];
+        }
+      }
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  auto node = NewNode("div", {a.node(), b.node()});
+  node->value = a.value();
+  {
+    Real* out = node->value.data();
+    const Real* bv = b.value().data();
+    const Index n = node->value.size();
+    for (Index i = 0; i < n; ++i) out[i] /= bv[i];
+  }
+  if (node->requires_grad) {
+    node->backward_fn = [](TensorNode* self) {
+      TensorNode* a_node = self->parents[0].get();
+      TensorNode* b_node = self->parents[1].get();
+      const Index n = self->grad.size();
+      if (a_node->requires_grad) {
+        a_node->EnsureGrad();
+        for (Index i = 0; i < n; ++i) {
+          a_node->grad.data()[i] +=
+              self->grad.data()[i] / b_node->value.data()[i];
+        }
+      }
+      if (b_node->requires_grad) {
+        b_node->EnsureGrad();
+        for (Index i = 0; i < n; ++i) {
+          const Real bv = b_node->value.data()[i];
+          b_node->grad.data()[i] -=
+              self->grad.data()[i] * self->value.data()[i] / bv;
+        }
+      }
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor Scale(const Tensor& a, Real alpha) {
+  auto node = NewNode("scale", {a.node()});
+  node->value = a.value();
+  node->value.Scale(alpha);
+  if (node->requires_grad) {
+    node->backward_fn = [alpha](TensorNode* self) {
+      TensorNode* a_node = self->parents[0].get();
+      a_node->EnsureGrad();
+      a_node->grad.Axpy(alpha, self->grad);
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor AddScalar(const Tensor& a, Real alpha) {
+  auto node = NewNode("add_scalar", {a.node()});
+  node->value = a.value();
+  {
+    Real* out = node->value.data();
+    const Index n = node->value.size();
+    for (Index i = 0; i < n; ++i) out[i] += alpha;
+  }
+  if (node->requires_grad) {
+    node->backward_fn = [](TensorNode* self) {
+      AccumulateInto(self->parents[0].get(), self->grad);
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor AddN(const std::vector<Tensor>& xs) {
+  FIRZEN_CHECK(!xs.empty());
+  std::vector<NodePtr> parents;
+  parents.reserve(xs.size());
+  for (const auto& x : xs) {
+    CheckSameShape(xs[0], x);
+    parents.push_back(x.node());
+  }
+  auto node = NewNode("add_n", std::move(parents));
+  node->value = xs[0].value();
+  for (size_t i = 1; i < xs.size(); ++i) node->value.Add(xs[i].value());
+  if (node->requires_grad) {
+    node->backward_fn = [](TensorNode* self) {
+      for (auto& parent : self->parents) {
+        AccumulateInto(parent.get(), self->grad);
+      }
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  auto node = NewNode("matmul", {a.node(), b.node()});
+  Gemm(trans_a, trans_b, 1.0, a.value(), b.value(), 0.0, &node->value);
+  if (node->requires_grad) {
+    node->backward_fn = [trans_a, trans_b](TensorNode* self) {
+      TensorNode* a_node = self->parents[0].get();
+      TensorNode* b_node = self->parents[1].get();
+      const Matrix& g = self->grad;
+      if (a_node->requires_grad) {
+        a_node->EnsureGrad();
+        if (!trans_a) {
+          // dA = dC * op(B)^T
+          Gemm(false, !trans_b, 1.0, g, b_node->value, 1.0, &a_node->grad);
+        } else if (!trans_b) {
+          // C = A^T B  =>  dA = B * dC^T
+          Gemm(false, true, 1.0, b_node->value, g, 1.0, &a_node->grad);
+        } else {
+          // C = A^T B^T  =>  dA = B^T * dC^T
+          Gemm(true, true, 1.0, b_node->value, g, 1.0, &a_node->grad);
+        }
+      }
+      if (b_node->requires_grad) {
+        b_node->EnsureGrad();
+        if (!trans_b) {
+          // dB = op(A)^T * dC
+          Gemm(!trans_a, false, 1.0, a_node->value, g, 1.0, &b_node->grad);
+        } else if (!trans_a) {
+          // C = A B^T  =>  dB = dC^T * A
+          Gemm(true, false, 1.0, g, a_node->value, 1.0, &b_node->grad);
+        } else {
+          // C = A^T B^T  =>  dB = dC^T * A^T
+          Gemm(true, true, 1.0, g, a_node->value, 1.0, &b_node->grad);
+        }
+      }
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor SpMM(std::shared_ptr<const CsrMatrix> a, const Tensor& x) {
+  FIRZEN_CHECK(a != nullptr);
+  FIRZEN_CHECK_EQ(a->cols(), x.rows());
+  auto node = NewNode("spmm", {x.node()});
+  a->SpMM(x.value(), &node->value);
+  if (node->requires_grad) {
+    node->backward_fn = [a](TensorNode* self) {
+      TensorNode* x_node = self->parents[0].get();
+      x_node->EnsureGrad();
+      a->Transposed().SpMMAccum(1.0, self->grad, &x_node->grad);
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor GatherRows(const Tensor& x, std::vector<Index> idx) {
+  const Index d = x.cols();
+  auto node = NewNode("gather_rows", {x.node()});
+  node->value.Resize(static_cast<Index>(idx.size()), d);
+  for (size_t k = 0; k < idx.size(); ++k) {
+    FIRZEN_CHECK_GE(idx[k], 0);
+    FIRZEN_CHECK_LT(idx[k], x.rows());
+    const Real* src = x.value().row(idx[k]);
+    Real* dst = node->value.row(static_cast<Index>(k));
+    for (Index c = 0; c < d; ++c) dst[c] = src[c];
+  }
+  if (node->requires_grad) {
+    node->backward_fn = [idx = std::move(idx), d](TensorNode* self) {
+      TensorNode* x_node = self->parents[0].get();
+      x_node->EnsureGrad();
+      for (size_t k = 0; k < idx.size(); ++k) {
+        const Real* src = self->grad.row(static_cast<Index>(k));
+        Real* dst = x_node->grad.row(idx[k]);
+        for (Index c = 0; c < d; ++c) dst[c] += src[c];
+      }
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor SliceCols(const Tensor& x, Index begin, Index end) {
+  FIRZEN_CHECK_GE(begin, 0);
+  FIRZEN_CHECK_LT(begin, end);
+  FIRZEN_CHECK_LE(end, x.cols());
+  const Index n = x.rows();
+  const Index w = end - begin;
+  auto node = NewNode("slice_cols", {x.node()});
+  node->value.Resize(n, w);
+  for (Index r = 0; r < n; ++r) {
+    const Real* src = x.value().row(r) + begin;
+    Real* dst = node->value.row(r);
+    for (Index c = 0; c < w; ++c) dst[c] = src[c];
+  }
+  if (node->requires_grad) {
+    node->backward_fn = [begin, w](TensorNode* self) {
+      TensorNode* x_node = self->parents[0].get();
+      x_node->EnsureGrad();
+      for (Index r = 0; r < self->grad.rows(); ++r) {
+        const Real* src = self->grad.row(r);
+        Real* dst = x_node->grad.row(r) + begin;
+        for (Index c = 0; c < w; ++c) dst[c] += src[c];
+      }
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor Transpose(const Tensor& x) {
+  auto node = NewNode("transpose", {x.node()});
+  node->value = x.value().Transposed();
+  if (node->requires_grad) {
+    node->backward_fn = [](TensorNode* self) {
+      TensorNode* x_node = self->parents[0].get();
+      x_node->EnsureGrad();
+      x_node->grad.Add(self->grad.Transposed());
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor RowL2Normalize(const Tensor& x, Real eps) {
+  const Index n = x.rows();
+  const Index d = x.cols();
+  auto node = NewNode("row_l2_normalize", {x.node()});
+  node->value.Resize(n, d);
+  std::vector<Real> norms(static_cast<size_t>(n));
+  for (Index r = 0; r < n; ++r) {
+    const Real norm = std::max(x.value().RowNorm(r), eps);
+    norms[static_cast<size_t>(r)] = norm;
+    const Real* src = x.value().row(r);
+    Real* dst = node->value.row(r);
+    for (Index c = 0; c < d; ++c) dst[c] = src[c] / norm;
+  }
+  if (node->requires_grad) {
+    node->backward_fn = [norms = std::move(norms), d](TensorNode* self) {
+      TensorNode* x_node = self->parents[0].get();
+      x_node->EnsureGrad();
+      for (Index r = 0; r < self->grad.rows(); ++r) {
+        const Real* g = self->grad.row(r);
+        const Real* y = self->value.row(r);
+        Real* gx = x_node->grad.row(r);
+        Real gy = 0.0;
+        for (Index c = 0; c < d; ++c) gy += g[c] * y[c];
+        const Real inv = 1.0 / norms[static_cast<size_t>(r)];
+        for (Index c = 0; c < d; ++c) gx[c] += (g[c] - y[c] * gy) * inv;
+      }
+    };
+  }
+  return Tensor(node);
+}
+
+namespace {
+
+// Shared machinery for element-wise unary ops whose derivative can be
+// written as a function of (input, output).
+Tensor UnaryOp(const char* name, const Tensor& x,
+               const std::function<Real(Real)>& fwd,
+               const std::function<Real(Real, Real)>& dfn) {
+  auto node = NewNode(name, {x.node()});
+  node->value = x.value();
+  {
+    Real* out = node->value.data();
+    const Index n = node->value.size();
+    for (Index i = 0; i < n; ++i) out[i] = fwd(out[i]);
+  }
+  if (node->requires_grad) {
+    node->backward_fn = [dfn](TensorNode* self) {
+      TensorNode* x_node = self->parents[0].get();
+      x_node->EnsureGrad();
+      const Index n = self->grad.size();
+      for (Index i = 0; i < n; ++i) {
+        x_node->grad.data()[i] +=
+            self->grad.data()[i] *
+            dfn(x_node->value.data()[i], self->value.data()[i]);
+      }
+    };
+  }
+  return Tensor(node);
+}
+
+}  // namespace
+
+Tensor Sigmoid(const Tensor& x) {
+  return UnaryOp(
+      "sigmoid", x,
+      [](Real v) {
+        return v >= 0 ? 1.0 / (1.0 + std::exp(-v))
+                      : std::exp(v) / (1.0 + std::exp(v));
+      },
+      [](Real, Real y) { return y * (1.0 - y); });
+}
+
+Tensor Tanh(const Tensor& x) {
+  return UnaryOp("tanh", x, [](Real v) { return std::tanh(v); },
+                 [](Real, Real y) { return 1.0 - y * y; });
+}
+
+Tensor Relu(const Tensor& x) {
+  return UnaryOp("relu", x, [](Real v) { return v > 0 ? v : 0.0; },
+                 [](Real v, Real) { return v > 0 ? 1.0 : 0.0; });
+}
+
+Tensor LeakyRelu(const Tensor& x, Real alpha) {
+  return UnaryOp(
+      "leaky_relu", x, [alpha](Real v) { return v > 0 ? v : alpha * v; },
+      [alpha](Real v, Real) { return v > 0 ? 1.0 : alpha; });
+}
+
+Tensor Exp(const Tensor& x) {
+  return UnaryOp("exp", x, [](Real v) { return std::exp(v); },
+                 [](Real, Real y) { return y; });
+}
+
+Tensor Log(const Tensor& x, Real eps) {
+  return UnaryOp(
+      "log", x, [eps](Real v) { return std::log(std::max(v, eps)); },
+      [eps](Real v, Real) { return v > eps ? 1.0 / v : 1.0 / eps; });
+}
+
+Tensor Softplus(const Tensor& x) {
+  return UnaryOp(
+      "softplus", x,
+      [](Real v) {
+        if (v > 30.0) return v;
+        if (v < -30.0) return std::exp(v);
+        return std::log1p(std::exp(v));
+      },
+      [](Real v, Real) {
+        return v >= 0 ? 1.0 / (1.0 + std::exp(-v))
+                      : std::exp(v) / (1.0 + std::exp(v));
+      });
+}
+
+Tensor RowSoftmax(const Tensor& x) {
+  const Index n = x.rows();
+  const Index d = x.cols();
+  auto node = NewNode("row_softmax", {x.node()});
+  node->value.Resize(n, d);
+  for (Index r = 0; r < n; ++r) {
+    const Real* src = x.value().row(r);
+    Real* dst = node->value.row(r);
+    Real max_v = src[0];
+    for (Index c = 1; c < d; ++c) max_v = std::max(max_v, src[c]);
+    Real denom = 0.0;
+    for (Index c = 0; c < d; ++c) {
+      dst[c] = std::exp(src[c] - max_v);
+      denom += dst[c];
+    }
+    for (Index c = 0; c < d; ++c) dst[c] /= denom;
+  }
+  if (node->requires_grad) {
+    node->backward_fn = [d](TensorNode* self) {
+      TensorNode* x_node = self->parents[0].get();
+      x_node->EnsureGrad();
+      for (Index r = 0; r < self->grad.rows(); ++r) {
+        const Real* g = self->grad.row(r);
+        const Real* y = self->value.row(r);
+        Real* gx = x_node->grad.row(r);
+        Real gy = 0.0;
+        for (Index c = 0; c < d; ++c) gy += g[c] * y[c];
+        for (Index c = 0; c < d; ++c) gx[c] += (g[c] - gy) * y[c];
+      }
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor Dropout(const Tensor& x, Real p, Rng* rng) {
+  if (p <= 0.0) return x;
+  FIRZEN_CHECK_LT(p, 1.0);
+  FIRZEN_CHECK(rng != nullptr);
+  const Real keep = 1.0 - p;
+  auto node = NewNode("dropout", {x.node()});
+  node->value = x.value();
+  std::vector<Real> mask(static_cast<size_t>(x.value().size()));
+  for (size_t i = 0; i < mask.size(); ++i) {
+    mask[i] = rng->Bernoulli(keep) ? 1.0 / keep : 0.0;
+    node->value.data()[static_cast<Index>(i)] *= mask[i];
+  }
+  if (node->requires_grad) {
+    node->backward_fn = [mask = std::move(mask)](TensorNode* self) {
+      TensorNode* x_node = self->parents[0].get();
+      x_node->EnsureGrad();
+      const Index n = self->grad.size();
+      for (Index i = 0; i < n; ++i) {
+        x_node->grad.data()[i] +=
+            self->grad.data()[i] * mask[static_cast<size_t>(i)];
+      }
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor RowScale(const Tensor& x, const Tensor& w) {
+  FIRZEN_CHECK_EQ(w.rows(), x.rows());
+  FIRZEN_CHECK_EQ(w.cols(), 1);
+  const Index n = x.rows();
+  const Index d = x.cols();
+  auto node = NewNode("row_scale", {x.node(), w.node()});
+  node->value = x.value();
+  for (Index r = 0; r < n; ++r) {
+    Real* dst = node->value.row(r);
+    const Real s = w.value()(r, 0);
+    for (Index c = 0; c < d; ++c) dst[c] *= s;
+  }
+  if (node->requires_grad) {
+    node->backward_fn = [d](TensorNode* self) {
+      TensorNode* x_node = self->parents[0].get();
+      TensorNode* w_node = self->parents[1].get();
+      for (Index r = 0; r < self->grad.rows(); ++r) {
+        const Real* g = self->grad.row(r);
+        if (x_node->requires_grad) {
+          x_node->EnsureGrad();
+          Real* gx = x_node->grad.row(r);
+          const Real s = w_node->value(r, 0);
+          for (Index c = 0; c < d; ++c) gx[c] += g[c] * s;
+        }
+        if (w_node->requires_grad) {
+          w_node->EnsureGrad();
+          const Real* xv = x_node->value.row(r);
+          Real acc = 0.0;
+          for (Index c = 0; c < d; ++c) acc += g[c] * xv[c];
+          w_node->grad(r, 0) += acc;
+        }
+      }
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor AddRowBroadcast(const Tensor& x, const Tensor& b) {
+  FIRZEN_CHECK_EQ(b.rows(), 1);
+  FIRZEN_CHECK_EQ(b.cols(), x.cols());
+  const Index n = x.rows();
+  const Index d = x.cols();
+  auto node = NewNode("add_row_broadcast", {x.node(), b.node()});
+  node->value = x.value();
+  for (Index r = 0; r < n; ++r) {
+    Real* dst = node->value.row(r);
+    const Real* bias = b.value().row(0);
+    for (Index c = 0; c < d; ++c) dst[c] += bias[c];
+  }
+  if (node->requires_grad) {
+    node->backward_fn = [d](TensorNode* self) {
+      TensorNode* x_node = self->parents[0].get();
+      TensorNode* b_node = self->parents[1].get();
+      if (x_node->requires_grad) {
+        AccumulateInto(x_node, self->grad);
+      }
+      if (b_node->requires_grad) {
+        b_node->EnsureGrad();
+        Real* gb = b_node->grad.row(0);
+        for (Index r = 0; r < self->grad.rows(); ++r) {
+          const Real* g = self->grad.row(r);
+          for (Index c = 0; c < d; ++c) gb[c] += g[c];
+        }
+      }
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor RowDot(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  const Index n = a.rows();
+  const Index d = a.cols();
+  auto node = NewNode("row_dot", {a.node(), b.node()});
+  node->value.Resize(n, 1);
+  for (Index r = 0; r < n; ++r) {
+    const Real* av = a.value().row(r);
+    const Real* bv = b.value().row(r);
+    Real acc = 0.0;
+    for (Index c = 0; c < d; ++c) acc += av[c] * bv[c];
+    node->value(r, 0) = acc;
+  }
+  if (node->requires_grad) {
+    node->backward_fn = [d](TensorNode* self) {
+      TensorNode* a_node = self->parents[0].get();
+      TensorNode* b_node = self->parents[1].get();
+      for (Index r = 0; r < self->grad.rows(); ++r) {
+        const Real g = self->grad(r, 0);
+        if (a_node->requires_grad) {
+          a_node->EnsureGrad();
+          Real* ga = a_node->grad.row(r);
+          const Real* bv = b_node->value.row(r);
+          for (Index c = 0; c < d; ++c) ga[c] += g * bv[c];
+        }
+        if (b_node->requires_grad) {
+          b_node->EnsureGrad();
+          Real* gb = b_node->grad.row(r);
+          const Real* av = a_node->value.row(r);
+          for (Index c = 0; c < d; ++c) gb[c] += g * av[c];
+        }
+      }
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor ReduceSum(const Tensor& x) {
+  auto node = NewNode("reduce_sum", {x.node()});
+  node->value.Resize(1, 1);
+  Real acc = 0.0;
+  const Index n = x.value().size();
+  for (Index i = 0; i < n; ++i) acc += x.value().data()[i];
+  node->value(0, 0) = acc;
+  if (node->requires_grad) {
+    node->backward_fn = [](TensorNode* self) {
+      TensorNode* x_node = self->parents[0].get();
+      x_node->EnsureGrad();
+      const Real g = self->grad(0, 0);
+      const Index n = x_node->grad.size();
+      for (Index i = 0; i < n; ++i) x_node->grad.data()[i] += g;
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor ReduceMean(const Tensor& x) {
+  const Real inv = 1.0 / static_cast<Real>(x.value().size());
+  return Scale(ReduceSum(x), inv);
+}
+
+Tensor RowSum(const Tensor& x) {
+  const Index n = x.rows();
+  const Index d = x.cols();
+  auto node = NewNode("row_sum", {x.node()});
+  node->value.Resize(n, 1);
+  for (Index r = 0; r < n; ++r) {
+    const Real* src = x.value().row(r);
+    Real acc = 0.0;
+    for (Index c = 0; c < d; ++c) acc += src[c];
+    node->value(r, 0) = acc;
+  }
+  if (node->requires_grad) {
+    node->backward_fn = [d](TensorNode* self) {
+      TensorNode* x_node = self->parents[0].get();
+      x_node->EnsureGrad();
+      for (Index r = 0; r < self->grad.rows(); ++r) {
+        const Real g = self->grad(r, 0);
+        Real* gx = x_node->grad.row(r);
+        for (Index c = 0; c < d; ++c) gx[c] += g;
+      }
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor ColSum(const Tensor& x) {
+  const Index n = x.rows();
+  const Index d = x.cols();
+  auto node = NewNode("col_sum", {x.node()});
+  node->value.Resize(1, d);
+  for (Index r = 0; r < n; ++r) {
+    const Real* src = x.value().row(r);
+    Real* dst = node->value.row(0);
+    for (Index c = 0; c < d; ++c) dst[c] += src[c];
+  }
+  if (node->requires_grad) {
+    node->backward_fn = [d](TensorNode* self) {
+      TensorNode* x_node = self->parents[0].get();
+      x_node->EnsureGrad();
+      const Real* g = self->grad.row(0);
+      for (Index r = 0; r < x_node->grad.rows(); ++r) {
+        Real* gx = x_node->grad.row(r);
+        for (Index c = 0; c < d; ++c) gx[c] += g[c];
+      }
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor SumSquares(const Tensor& x) {
+  auto node = NewNode("sum_squares", {x.node()});
+  node->value.Resize(1, 1);
+  node->value(0, 0) = x.value().SquaredNorm();
+  if (node->requires_grad) {
+    node->backward_fn = [](TensorNode* self) {
+      TensorNode* x_node = self->parents[0].get();
+      x_node->EnsureGrad();
+      const Real g = 2.0 * self->grad(0, 0);
+      x_node->grad.Axpy(g, x_node->value);
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor BatchNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 Real eps) {
+  FIRZEN_CHECK_EQ(gamma.rows(), 1);
+  FIRZEN_CHECK_EQ(gamma.cols(), x.cols());
+  FIRZEN_CHECK_EQ(beta.rows(), 1);
+  FIRZEN_CHECK_EQ(beta.cols(), x.cols());
+  const Index n = x.rows();
+  const Index d = x.cols();
+  FIRZEN_CHECK_GT(n, 0);
+  auto node = NewNode("batch_norm", {x.node(), gamma.node(), beta.node()});
+
+  std::vector<Real> mean(static_cast<size_t>(d), 0.0);
+  std::vector<Real> inv_std(static_cast<size_t>(d), 0.0);
+  for (Index r = 0; r < n; ++r) {
+    const Real* src = x.value().row(r);
+    for (Index c = 0; c < d; ++c) mean[static_cast<size_t>(c)] += src[c];
+  }
+  for (Index c = 0; c < d; ++c) mean[static_cast<size_t>(c)] /= n;
+  for (Index r = 0; r < n; ++r) {
+    const Real* src = x.value().row(r);
+    for (Index c = 0; c < d; ++c) {
+      const Real dev = src[c] - mean[static_cast<size_t>(c)];
+      inv_std[static_cast<size_t>(c)] += dev * dev;
+    }
+  }
+  for (Index c = 0; c < d; ++c) {
+    inv_std[static_cast<size_t>(c)] =
+        1.0 / std::sqrt(inv_std[static_cast<size_t>(c)] / n + eps);
+  }
+  // Store normalized pre-affine activations for the backward pass.
+  auto xhat = std::make_shared<Matrix>(n, d);
+  node->value.Resize(n, d);
+  for (Index r = 0; r < n; ++r) {
+    const Real* src = x.value().row(r);
+    Real* h = xhat->row(r);
+    Real* out = node->value.row(r);
+    for (Index c = 0; c < d; ++c) {
+      h[c] = (src[c] - mean[static_cast<size_t>(c)]) *
+             inv_std[static_cast<size_t>(c)];
+      out[c] = h[c] * gamma.value()(0, c) + beta.value()(0, c);
+    }
+  }
+  if (node->requires_grad) {
+    node->backward_fn = [xhat, inv_std = std::move(inv_std), n,
+                         d](TensorNode* self) {
+      TensorNode* x_node = self->parents[0].get();
+      TensorNode* g_node = self->parents[1].get();
+      TensorNode* b_node = self->parents[2].get();
+      // Per-column sums of dY and dY * xhat.
+      std::vector<Real> sum_dy(static_cast<size_t>(d), 0.0);
+      std::vector<Real> sum_dy_xhat(static_cast<size_t>(d), 0.0);
+      for (Index r = 0; r < n; ++r) {
+        const Real* g = self->grad.row(r);
+        const Real* h = xhat->row(r);
+        for (Index c = 0; c < d; ++c) {
+          sum_dy[static_cast<size_t>(c)] += g[c];
+          sum_dy_xhat[static_cast<size_t>(c)] += g[c] * h[c];
+        }
+      }
+      if (g_node->requires_grad) {
+        g_node->EnsureGrad();
+        for (Index c = 0; c < d; ++c) {
+          g_node->grad(0, c) += sum_dy_xhat[static_cast<size_t>(c)];
+        }
+      }
+      if (b_node->requires_grad) {
+        b_node->EnsureGrad();
+        for (Index c = 0; c < d; ++c) {
+          b_node->grad(0, c) += sum_dy[static_cast<size_t>(c)];
+        }
+      }
+      if (x_node->requires_grad) {
+        x_node->EnsureGrad();
+        for (Index r = 0; r < n; ++r) {
+          const Real* g = self->grad.row(r);
+          const Real* h = xhat->row(r);
+          Real* gx = x_node->grad.row(r);
+          for (Index c = 0; c < d; ++c) {
+            const size_t sc = static_cast<size_t>(c);
+            const Real gamma_c = g_node->value(0, c);
+            gx[c] += gamma_c * inv_std[sc] / n *
+                     (n * g[c] - sum_dy[sc] - h[c] * sum_dy_xhat[sc]);
+          }
+        }
+      }
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& xs) {
+  FIRZEN_CHECK(!xs.empty());
+  const Index n = xs[0].rows();
+  Index total = 0;
+  std::vector<NodePtr> parents;
+  std::vector<Index> widths;
+  for (const Tensor& x : xs) {
+    FIRZEN_CHECK_EQ(x.rows(), n);
+    total += x.cols();
+    widths.push_back(x.cols());
+    parents.push_back(x.node());
+  }
+  auto node = NewNode("concat_cols", std::move(parents));
+  node->value.Resize(n, total);
+  Index offset = 0;
+  for (const Tensor& x : xs) {
+    for (Index r = 0; r < n; ++r) {
+      const Real* src = x.value().row(r);
+      Real* dst = node->value.row(r) + offset;
+      for (Index c = 0; c < x.cols(); ++c) dst[c] = src[c];
+    }
+    offset += x.cols();
+  }
+  if (node->requires_grad) {
+    node->backward_fn = [widths = std::move(widths)](TensorNode* self) {
+      Index offset = 0;
+      for (size_t k = 0; k < self->parents.size(); ++k) {
+        TensorNode* parent = self->parents[k].get();
+        const Index w = widths[k];
+        if (parent->requires_grad) {
+          parent->EnsureGrad();
+          for (Index r = 0; r < self->grad.rows(); ++r) {
+            const Real* src = self->grad.row(r) + offset;
+            Real* dst = parent->grad.row(r);
+            for (Index c = 0; c < w; ++c) dst[c] += src[c];
+          }
+        }
+        offset += w;
+      }
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor Reshape(const Tensor& x, Index rows, Index cols) {
+  FIRZEN_CHECK_EQ(rows * cols, x.rows() * x.cols());
+  auto node = NewNode("reshape", {x.node()});
+  node->value.Resize(rows, cols);
+  const Index n = rows * cols;
+  for (Index i = 0; i < n; ++i) node->value.data()[i] = x.value().data()[i];
+  if (node->requires_grad) {
+    node->backward_fn = [](TensorNode* self) {
+      TensorNode* x_node = self->parents[0].get();
+      x_node->EnsureGrad();
+      const Index n = self->grad.size();
+      for (Index i = 0; i < n; ++i) {
+        x_node->grad.data()[i] += self->grad.data()[i];
+      }
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor SumGroups(const Tensor& x, Index group_size) {
+  FIRZEN_CHECK_GT(group_size, 0);
+  FIRZEN_CHECK_EQ(x.rows() % group_size, 0);
+  const Index groups = x.rows() / group_size;
+  const Index d = x.cols();
+  auto node = NewNode("sum_groups", {x.node()});
+  node->value.Resize(groups, d);
+  for (Index b = 0; b < groups; ++b) {
+    Real* dst = node->value.row(b);
+    for (Index s = 0; s < group_size; ++s) {
+      const Real* src = x.value().row(b * group_size + s);
+      for (Index c = 0; c < d; ++c) dst[c] += src[c];
+    }
+  }
+  if (node->requires_grad) {
+    node->backward_fn = [group_size, d](TensorNode* self) {
+      TensorNode* x_node = self->parents[0].get();
+      x_node->EnsureGrad();
+      for (Index b = 0; b < self->grad.rows(); ++b) {
+        const Real* g = self->grad.row(b);
+        for (Index s = 0; s < group_size; ++s) {
+          Real* gx = x_node->grad.row(b * group_size + s);
+          for (Index c = 0; c < d; ++c) gx[c] += g[c];
+        }
+      }
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor RepeatInterleaveRows(const Tensor& x, Index times) {
+  FIRZEN_CHECK_GT(times, 0);
+  const Index n = x.rows();
+  const Index d = x.cols();
+  auto node = NewNode("repeat_interleave_rows", {x.node()});
+  node->value.Resize(n * times, d);
+  for (Index r = 0; r < n; ++r) {
+    const Real* src = x.value().row(r);
+    for (Index t = 0; t < times; ++t) {
+      Real* dst = node->value.row(r * times + t);
+      for (Index c = 0; c < d; ++c) dst[c] = src[c];
+    }
+  }
+  if (node->requires_grad) {
+    node->backward_fn = [times, d](TensorNode* self) {
+      TensorNode* x_node = self->parents[0].get();
+      x_node->EnsureGrad();
+      for (Index r = 0; r < x_node->grad.rows(); ++r) {
+        Real* gx = x_node->grad.row(r);
+        for (Index t = 0; t < times; ++t) {
+          const Real* g = self->grad.row(r * times + t);
+          for (Index c = 0; c < d; ++c) gx[c] += g[c];
+        }
+      }
+    };
+  }
+  return Tensor(node);
+}
+
+Tensor Detach(const Tensor& x) { return Tensor::Constant(x.value()); }
+
+Tensor LogSigmoid(const Tensor& x) {
+  return Scale(Softplus(Scale(x, -1.0)), -1.0);
+}
+
+}  // namespace ops
+}  // namespace firzen

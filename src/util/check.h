@@ -1,0 +1,34 @@
+// Invariant checking macros for internal code paths. These abort on failure:
+// a shape mismatch inside the tensor engine is a bug, not an error condition
+// the caller could handle. Public APIs validate inputs and return Status.
+#ifndef FIRZEN_UTIL_CHECK_H_
+#define FIRZEN_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define FIRZEN_CHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "FIRZEN_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define FIRZEN_CHECK_MSG(cond, msg)                                          \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "FIRZEN_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define FIRZEN_CHECK_EQ(a, b) FIRZEN_CHECK((a) == (b))
+#define FIRZEN_CHECK_LT(a, b) FIRZEN_CHECK((a) < (b))
+#define FIRZEN_CHECK_LE(a, b) FIRZEN_CHECK((a) <= (b))
+#define FIRZEN_CHECK_GT(a, b) FIRZEN_CHECK((a) > (b))
+#define FIRZEN_CHECK_GE(a, b) FIRZEN_CHECK((a) >= (b))
+
+#endif  // FIRZEN_UTIL_CHECK_H_

@@ -1,0 +1,20 @@
+// Basic scalar typedefs shared across the library.
+#ifndef FIRZEN_UTIL_COMMON_H_
+#define FIRZEN_UTIL_COMMON_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace firzen {
+
+/// Floating point type used throughout the numerical core. Double keeps
+/// numerical gradient checks robust and is fast enough at the CPU scale this
+/// library targets (see DESIGN.md §4).
+using Real = double;
+
+/// Index type for users, items, entities and matrix dimensions.
+using Index = int64_t;
+
+}  // namespace firzen
+
+#endif  // FIRZEN_UTIL_COMMON_H_

@@ -1,0 +1,31 @@
+#include "src/util/env.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace firzen {
+
+std::string GetEnvString(const std::string& name, const std::string& def) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return def;
+  return std::string(v);
+}
+
+long GetEnvInt(const std::string& name, long def) {
+  const std::string v = GetEnvString(name, "");
+  if (v.empty()) return def;
+  char* end = nullptr;
+  const long parsed = std::strtol(v.c_str(), &end, 10);
+  if (end == v.c_str()) return def;
+  return parsed;
+}
+
+bool GetEnvBool(const std::string& name, bool def) {
+  std::string v = GetEnvString(name, "");
+  if (v.empty()) return def;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace firzen

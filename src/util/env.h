@@ -1,0 +1,21 @@
+// Environment-variable configuration helpers used by the benchmark harness
+// (e.g. FIRZEN_BENCH_FULL=1 switches to the paper-scale profile).
+#ifndef FIRZEN_UTIL_ENV_H_
+#define FIRZEN_UTIL_ENV_H_
+
+#include <string>
+
+namespace firzen {
+
+/// Returns the value of `name`, or `def` when unset/empty.
+std::string GetEnvString(const std::string& name, const std::string& def);
+
+/// Returns the integer value of `name`, or `def` when unset or unparsable.
+long GetEnvInt(const std::string& name, long def);
+
+/// Returns true when `name` is set to a truthy value (1/true/yes/on).
+bool GetEnvBool(const std::string& name, bool def);
+
+}  // namespace firzen
+
+#endif  // FIRZEN_UTIL_ENV_H_

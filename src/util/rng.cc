@@ -1,0 +1,127 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace firzen {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+Real Rng::Uniform() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<Real>(Next() >> 11) * 0x1.0p-53;
+}
+
+Real Rng::Uniform(Real lo, Real hi) { return lo + (hi - lo) * Uniform(); }
+
+Index Rng::UniformInt(Index n) {
+  FIRZEN_CHECK_GT(n, 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t un = static_cast<uint64_t>(n);
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % un;
+  uint64_t x;
+  do {
+    x = Next();
+  } while (x >= limit);
+  return static_cast<Index>(x % un);
+}
+
+Real Rng::Normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  Real u1;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 1e-300);
+  const Real u2 = Uniform();
+  const Real mag = std::sqrt(-2.0 * std::log(u1));
+  const Real two_pi = 6.283185307179586476925286766559;
+  spare_normal_ = mag * std::sin(two_pi * u2);
+  has_spare_normal_ = true;
+  return mag * std::cos(two_pi * u2);
+}
+
+Real Rng::Normal(Real mean, Real stddev) { return mean + stddev * Normal(); }
+
+Real Rng::Gumbel() {
+  Real u;
+  do {
+    u = Uniform();
+  } while (u <= 1e-300);
+  return -std::log(-std::log(u));
+}
+
+bool Rng::Bernoulli(Real p) { return Uniform() < p; }
+
+std::vector<Index> Rng::SampleWithoutReplacement(Index n, Index k) {
+  FIRZEN_CHECK_LE(k, n);
+  // Floyd's algorithm: O(k) expected time, no O(n) allocation.
+  std::vector<Index> out;
+  out.reserve(k);
+  std::vector<bool> seen;  // fall back to vector<bool> when k is large
+  if (k * 4 >= n) {
+    std::vector<Index> all(n);
+    for (Index i = 0; i < n; ++i) all[i] = i;
+    Shuffle(&all);
+    all.resize(k);
+    return all;
+  }
+  seen.assign(static_cast<size_t>(n), false);
+  for (Index j = n - k; j < n; ++j) {
+    Index t = UniformInt(j + 1);
+    if (seen[static_cast<size_t>(t)]) t = j;
+    seen[static_cast<size_t>(t)] = true;
+    out.push_back(t);
+  }
+  return out;
+}
+
+Index Rng::SampleDiscrete(const std::vector<Real>& weights) {
+  FIRZEN_CHECK(!weights.empty());
+  Real total = 0.0;
+  for (Real w : weights) {
+    FIRZEN_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  FIRZEN_CHECK_GT(total, 0.0);
+  Real x = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x <= 0.0) return static_cast<Index>(i);
+  }
+  return static_cast<Index>(weights.size()) - 1;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xD1B54A32D192ED03ULL); }
+
+}  // namespace firzen

@@ -1,0 +1,88 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+
+namespace firzen {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(0, num_threads)) {
+  workers_.reserve(num_threads_);
+  for (int i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (num_threads_ == 0) {
+    task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  if (num_threads_ == 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool* ThreadPool::Global() {
+  static ThreadPool* pool = [] {
+    unsigned hw = std::thread::hardware_concurrency();
+    return new ThreadPool(hw == 0 ? 4 : static_cast<int>(hw));
+  }();
+  return pool;
+}
+
+void ParallelFor(ThreadPool* pool, Index n,
+                 const std::function<void(Index, Index)>& fn,
+                 Index min_shard_size) {
+  if (n <= 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= min_shard_size) {
+    fn(0, n);
+    return;
+  }
+  const Index num_shards =
+      std::min<Index>(pool->num_threads(),
+                      (n + min_shard_size - 1) / min_shard_size);
+  const Index shard = (n + num_shards - 1) / num_shards;
+  for (Index begin = 0; begin < n; begin += shard) {
+    const Index end = std::min(begin + shard, n);
+    pool->Submit([&fn, begin, end] { fn(begin, end); });
+  }
+  pool->Wait();
+}
+
+}  // namespace firzen

@@ -1,0 +1,62 @@
+// Small fixed-size thread pool with a ParallelFor helper used by the kNN
+// graph builder, the all-ranking evaluator, and dense kernels. Work items are
+// static range shards, so results are deterministic regardless of pool size.
+#ifndef FIRZEN_UTIL_THREAD_POOL_H_
+#define FIRZEN_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "src/util/common.h"
+
+namespace firzen {
+
+/// Fixed-size worker pool. Tasks are void() closures; Wait() blocks until all
+/// submitted tasks finish. Construction with num_threads <= 1 degenerates to
+/// inline execution (useful for tests and debugging).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have completed.
+  void Wait();
+
+  int num_threads() const { return num_threads_; }
+
+  /// Shared process-wide pool sized to the hardware concurrency. Lazily
+  /// constructed; safe for concurrent first use.
+  static ThreadPool* Global();
+
+ private:
+  void WorkerLoop();
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  int in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Splits [0, n) into contiguous shards and runs `fn(begin, end)` on the pool.
+/// Executes inline when pool is null or n is small.
+void ParallelFor(ThreadPool* pool, Index n,
+                 const std::function<void(Index, Index)>& fn,
+                 Index min_shard_size = 256);
+
+}  // namespace firzen
+
+#endif  // FIRZEN_UTIL_THREAD_POOL_H_

@@ -1,0 +1,299 @@
+// Unit tests for Firzen's internal components, below the full-model level:
+// SAHGL branch gating and cold-item zeroing, MSHGL propagation/fusion,
+// TransR optimization, and adversarial discriminator dynamics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/discriminator.h"
+#include "src/core/frozen_graphs.h"
+#include "src/core/mshgl.h"
+#include "src/core/sahgl.h"
+#include "src/data/synthetic.h"
+#include "src/models/kg_common.h"
+#include "src/tensor/optim.h"
+#include "src/util/logging.h"
+
+namespace firzen {
+namespace {
+
+struct World {
+  Dataset dataset;
+  FrozenGraphs graphs;
+};
+
+const World& TinyWorld() {
+  static const World* world = [] {
+    auto* w = new World();
+    w->dataset = GenerateSyntheticDataset(BeautySConfig(0.15));
+    FrozenGraphOptions options;
+    w->graphs = BuildTrainGraphs(w->dataset, options);
+    return w;
+  }();
+  return *world;
+}
+
+SahglOptions DefaultSahglOptions(const Dataset& dataset) {
+  SahglOptions options;
+  options.embedding_dim = 16;
+  options.use_modality.assign(dataset.modalities.size(), true);
+  return options;
+}
+
+TEST(SahglTest, ForwardShapesMatchPopulation) {
+  const World& world = TinyWorld();
+  Rng rng(1);
+  Sahgl sahgl(world.dataset, DefaultSahglOptions(world.dataset), &rng);
+  sahgl.RefreshAttention(world.graphs);
+  Rng drop(2);
+  const SahglOutput out = sahgl.Forward(world.graphs, world.dataset,
+                                        {0.5, 0.5}, /*training=*/true, &drop);
+  EXPECT_EQ(out.fused_user.rows(), world.dataset.num_users);
+  EXPECT_EQ(out.fused_item.rows(), world.dataset.num_items);
+  EXPECT_EQ(out.fused_user.cols(), 16);
+  ASSERT_EQ(out.modal_user.size(), 2u);
+  EXPECT_EQ(out.modal_item[0].rows(), world.dataset.num_items);
+}
+
+TEST(SahglTest, ColdItemsBehaviorZeroedAtInference) {
+  const World& world = TinyWorld();
+  Rng rng(3);
+  SahglOptions options = DefaultSahglOptions(world.dataset);
+  // Only the behavior branch active: fused item embedding IS the behavior
+  // component, so cold rows must be exactly zero at inference.
+  options.use_knowledge = false;
+  options.use_modality.assign(world.dataset.modalities.size(), false);
+  Sahgl sahgl(world.dataset, options, &rng);
+  Rng drop(4);
+  const SahglOutput out = sahgl.Forward(world.graphs, world.dataset,
+                                        {0.0, 0.0}, /*training=*/false,
+                                        &drop);
+  for (Index i = 0; i < world.dataset.num_items; ++i) {
+    if (!world.dataset.is_cold_item[static_cast<size_t>(i)]) continue;
+    for (Index c = 0; c < out.fused_item.cols(); ++c) {
+      EXPECT_EQ(out.fused_item.value()(i, c), 0.0)
+          << "cold item " << i << " leaked behavior signal";
+    }
+  }
+}
+
+TEST(SahglTest, DisabledBranchesContributeNothing) {
+  const World& world = TinyWorld();
+  Rng rng(5);
+  SahglOptions all_off = DefaultSahglOptions(world.dataset);
+  all_off.use_behavior = false;
+  all_off.use_knowledge = false;
+  all_off.use_modality.assign(world.dataset.modalities.size(), false);
+  Sahgl sahgl(world.dataset, all_off, &rng);
+  Rng drop(6);
+  const SahglOutput out = sahgl.Forward(world.graphs, world.dataset,
+                                        {0.5, 0.5}, true, &drop);
+  EXPECT_EQ(out.fused_user.value().SquaredNorm(), 0.0);
+  EXPECT_EQ(out.fused_item.value().SquaredNorm(), 0.0);
+}
+
+TEST(SahglTest, BetaWeightsScaleModalContribution) {
+  const World& world = TinyWorld();
+  Rng rng(7);
+  SahglOptions options = DefaultSahglOptions(world.dataset);
+  options.use_behavior = false;
+  options.use_knowledge = false;
+  options.lambda_m = 1.0;
+  Sahgl sahgl(world.dataset, options, &rng);
+  Rng drop(8);
+  const SahglOutput text_only = sahgl.Forward(world.graphs, world.dataset,
+                                              {1.0, 0.0}, false, &drop);
+  const SahglOutput image_only = sahgl.Forward(world.graphs, world.dataset,
+                                               {0.0, 1.0}, false, &drop);
+  // With disjoint beta masses the fused outputs equal the respective modal
+  // representations.
+  Real text_diff = 0.0;
+  Real image_diff = 0.0;
+  const Matrix& t_modal = text_only.modal_item[0].value();
+  const Matrix& i_modal = image_only.modal_item[1].value();
+  for (Index i = 0; i < t_modal.size(); ++i) {
+    text_diff +=
+        std::abs(text_only.fused_item.value().data()[i] - t_modal.data()[i]);
+    image_diff +=
+        std::abs(image_only.fused_item.value().data()[i] - i_modal.data()[i]);
+  }
+  EXPECT_LT(text_diff, 1e-9);
+  EXPECT_LT(image_diff, 1e-9);
+}
+
+TEST(MshglTest, ForwardPreservesShapesAndIsFinite) {
+  const World& world = TinyWorld();
+  Rng rng(9);
+  MshglOptions options;
+  options.embedding_dim = 16;
+  Mshgl mshgl(2, options, &rng);
+  Matrix user_in(world.dataset.num_users, 16);
+  Matrix item_in(world.dataset.num_items, 16);
+  user_in.FillNormal(&rng, 1.0);
+  item_in.FillNormal(&rng, 1.0);
+  const MshglOutput out =
+      mshgl.Forward(world.graphs, Tensor::Constant(user_in),
+                    Tensor::Constant(item_in));
+  EXPECT_EQ(out.user.rows(), world.dataset.num_users);
+  EXPECT_EQ(out.item.rows(), world.dataset.num_items);
+  for (Index i = 0; i < out.item.value().size(); ++i) {
+    ASSERT_TRUE(std::isfinite(out.item.value().data()[i]));
+  }
+}
+
+TEST(MshglTest, WarmToColdTransferThroughInferenceGraphs) {
+  const World& world = TinyWorld();
+  FrozenGraphOptions graph_options;
+  const FrozenGraphs inference =
+      BuildInferenceGraphs(world.dataset, graph_options, world.graphs);
+  Rng rng(10);
+  MshglOptions options;
+  options.embedding_dim = 16;
+  Mshgl mshgl(2, options, &rng);
+  // Cold rows start at zero (as after behavior zeroing); warm rows carry
+  // signal. After MSHGL over the inference graphs, cold rows are non-zero.
+  Matrix item_in(world.dataset.num_items, 16);
+  for (Index i = 0; i < world.dataset.num_items; ++i) {
+    if (world.dataset.is_cold_item[static_cast<size_t>(i)]) continue;
+    for (Index c = 0; c < 16; ++c) item_in(i, c) = rng.Normal();
+  }
+  Matrix user_in(world.dataset.num_users, 16);
+  user_in.FillNormal(&rng, 1.0);
+  const MshglOutput out = mshgl.Forward(inference,
+                                        Tensor::Constant(user_in),
+                                        Tensor::Constant(item_in));
+  Index fired = 0;
+  for (Index i = 0; i < world.dataset.num_items; ++i) {
+    if (!world.dataset.is_cold_item[static_cast<size_t>(i)]) continue;
+    Real norm = 0.0;
+    for (Index c = 0; c < 16; ++c) {
+      norm += out.item.value()(i, c) * out.item.value()(i, c);
+    }
+    if (norm > 1e-12) ++fired;
+  }
+  EXPECT_GT(fired, 0);
+}
+
+TEST(MshglTest, TrainingGraphsDoNotTouchColdItems) {
+  // Same setup as above but over TRAINING graphs: cold rows must stay zero
+  // (cold items have no neighbors in the warm-only kNN graphs).
+  const World& world = TinyWorld();
+  Rng rng(11);
+  MshglOptions options;
+  options.embedding_dim = 16;
+  Mshgl mshgl(2, options, &rng);
+  Matrix item_in(world.dataset.num_items, 16);
+  for (Index i = 0; i < world.dataset.num_items; ++i) {
+    if (world.dataset.is_cold_item[static_cast<size_t>(i)]) continue;
+    for (Index c = 0; c < 16; ++c) item_in(i, c) = rng.Normal();
+  }
+  Matrix user_in(world.dataset.num_users, 16);
+  const MshglOutput out = mshgl.Forward(world.graphs,
+                                        Tensor::Constant(user_in),
+                                        Tensor::Constant(item_in));
+  for (Index i = 0; i < world.dataset.num_items; ++i) {
+    if (!world.dataset.is_cold_item[static_cast<size_t>(i)]) continue;
+    for (Index c = 0; c < 16; ++c) {
+      EXPECT_EQ(out.item.value()(i, c), 0.0);
+    }
+  }
+}
+
+TEST(TransRTest, LossDecreasesUnderOptimization) {
+  const World& world = TinyWorld();
+  const CollaborativeKg ckg = BuildCollaborativeKg(
+      world.dataset.train, world.dataset.num_users, world.dataset.kg);
+  Rng rng(12);
+  KgEmbeddings kg = MakeKgEmbeddings(ckg.num_entities, ckg.num_relations, 16,
+                                     &rng);
+  Adam::Options adam_options;
+  adam_options.lr = 5e-3;
+  adam_options.lazy = true;
+  Adam adam(adam_options);
+  Rng batch_rng(13);
+  Real first = 0.0;
+  Real last = 0.0;
+  for (int step = 0; step < 120; ++step) {
+    const KgBatch batch =
+        SampleKgBatch(ckg.triplets, ckg.num_entities, 256, &batch_rng);
+    Tensor loss = TransRLoss(kg, batch, 1e-5);
+    if (step == 0) first = loss.scalar();
+    last = loss.scalar();
+    Backward(loss);
+    adam.Step({kg.entity, kg.relation, kg.rel_proj});
+  }
+  EXPECT_LT(last, first * 0.8);
+}
+
+TEST(TransRTest, ValidTripletsScoreHigherAfterTraining) {
+  const World& world = TinyWorld();
+  const CollaborativeKg ckg = BuildCollaborativeKg(
+      world.dataset.train, world.dataset.num_users, world.dataset.kg);
+  Rng rng(14);
+  KgEmbeddings kg = MakeKgEmbeddings(ckg.num_entities, ckg.num_relations, 16,
+                                     &rng);
+  Adam::Options adam_options;
+  adam_options.lr = 5e-3;
+  adam_options.lazy = true;
+  Adam adam(adam_options);
+  Rng batch_rng(15);
+  for (int step = 0; step < 150; ++step) {
+    const KgBatch batch =
+        SampleKgBatch(ckg.triplets, ckg.num_entities, 256, &batch_rng);
+    Tensor loss = TransRLoss(kg, batch, 1e-5);
+    Backward(loss);
+    adam.Step({kg.entity, kg.relation, kg.rel_proj});
+  }
+  // Fresh batch: positive triplets must outscore corrupted ones on average.
+  const KgBatch batch =
+      SampleKgBatch(ckg.triplets, ckg.num_entities, 512, &batch_rng);
+  const Tensor pos = TransRScore(kg, batch.heads, batch.relations,
+                                 batch.pos_tails);
+  const Tensor neg = TransRScore(kg, batch.heads, batch.relations,
+                                 batch.neg_tails);
+  Index wins = 0;
+  for (Index r = 0; r < pos.rows(); ++r) {
+    if (pos.value()(r, 0) > neg.value()(r, 0)) ++wins;
+  }
+  EXPECT_GT(wins, pos.rows() * 7 / 10);
+}
+
+TEST(DiscriminatorTest, LearnsToSeparateTwoDistributions) {
+  Rng rng(16);
+  Discriminator::Options options;
+  Discriminator d(16, options, &rng);
+  Adam::Options adam_options;
+  adam_options.lr = 2e-3;
+  Adam adam(adam_options);
+  auto real_batch = [&] {
+    Matrix m(32, 16);
+    m.FillNormal(&rng, 1.0);
+    for (Index i = 0; i < m.size(); ++i) m.data()[i] += 1.5;  // shifted
+    return m;
+  };
+  auto fake_batch = [&] {
+    Matrix m(32, 16);
+    m.FillNormal(&rng, 1.0);
+    return m;
+  };
+  for (int step = 0; step < 200; ++step) {
+    using namespace ops;  // NOLINT(build/namespaces)
+    Tensor loss = Sub(
+        ReduceMean(d.Critic(Tensor::Constant(fake_batch()), &rng, true)),
+        ReduceMean(d.Critic(Tensor::Constant(real_batch()), &rng, true)));
+    Backward(loss);
+    adam.Step(d.Params());
+    d.ClipWeights();
+  }
+  // Critic assigns higher scores to the "real" distribution.
+  const Real real_score =
+      ops::ReduceMean(d.Critic(Tensor::Constant(real_batch()), &rng, false))
+          .scalar();
+  const Real fake_score =
+      ops::ReduceMean(d.Critic(Tensor::Constant(fake_batch()), &rng, false))
+          .scalar();
+  EXPECT_GT(real_score, fake_score);
+}
+
+}  // namespace
+}  // namespace firzen

@@ -1,0 +1,155 @@
+// CSR sparse matrix tests: construction, SpMM against dense reference,
+// transpose, normalizations, row softmax, filtering and multigraph storage.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/tensor/csr.h"
+#include "src/util/rng.h"
+
+namespace firzen {
+namespace {
+
+CsrMatrix RandomSparse(Index rows, Index cols, Index nnz, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CooEntry> entries;
+  for (Index i = 0; i < nnz; ++i) {
+    entries.push_back({rng.UniformInt(rows), rng.UniformInt(cols),
+                       rng.Normal()});
+  }
+  return CsrMatrix::FromCoo(rows, cols, std::move(entries));
+}
+
+TEST(CsrTest, FromCooMergesDuplicates) {
+  CsrMatrix m = CsrMatrix::FromCoo(2, 2, {{0, 1, 1.0}, {0, 1, 2.5}});
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_DOUBLE_EQ(m.ToDense()(0, 1), 3.5);
+}
+
+TEST(CsrTest, FromCooNoMergeKeepsDuplicatesAndOrder) {
+  CsrMatrix m = CsrMatrix::FromCooNoMerge(
+      2, 3, {{1, 2, 1.0}, {0, 1, 2.0}, {0, 1, 3.0}, {0, 0, 4.0}});
+  EXPECT_EQ(m.nnz(), 4);
+  // Row 0 keeps insertion order: (0,1,2.0), (0,1,3.0), (0,0,4.0).
+  EXPECT_EQ(m.col_idx()[0], 1);
+  EXPECT_DOUBLE_EQ(m.values()[0], 2.0);
+  EXPECT_EQ(m.col_idx()[1], 1);
+  EXPECT_DOUBLE_EQ(m.values()[1], 3.0);
+  EXPECT_EQ(m.col_idx()[2], 0);
+}
+
+TEST(CsrTest, SpMMMatchesDense) {
+  const CsrMatrix a = RandomSparse(7, 5, 20, 1);
+  Matrix x(5, 3);
+  Rng rng(2);
+  x.FillNormal(&rng, 1.0);
+  Matrix y;
+  a.SpMM(x, &y);
+
+  const Matrix dense = a.ToDense();
+  for (Index r = 0; r < 7; ++r) {
+    for (Index c = 0; c < 3; ++c) {
+      Real acc = 0.0;
+      for (Index k = 0; k < 5; ++k) acc += dense(r, k) * x(k, c);
+      EXPECT_NEAR(y(r, c), acc, 1e-10);
+    }
+  }
+}
+
+TEST(CsrTest, SpMMAccumAddsScaled) {
+  const CsrMatrix a = RandomSparse(4, 4, 8, 3);
+  Matrix x(4, 2, 1.0);
+  Matrix y(4, 2, 10.0);
+  a.SpMMAccum(0.5, x, &y);
+  Matrix expected;
+  a.SpMM(x, &expected);
+  for (Index i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y.data()[i], 10.0 + 0.5 * expected.data()[i], 1e-10);
+  }
+}
+
+TEST(CsrTest, TransposedMatchesDenseTranspose) {
+  const CsrMatrix a = RandomSparse(6, 4, 12, 4);
+  const Matrix t = a.Transposed().ToDense();
+  const Matrix dense = a.ToDense();
+  for (Index r = 0; r < 6; ++r) {
+    for (Index c = 0; c < 4; ++c) {
+      EXPECT_DOUBLE_EQ(t(c, r), dense(r, c));
+    }
+  }
+}
+
+TEST(CsrTest, RowNormalizedRowsSumToOne) {
+  const CsrMatrix a = RandomSparse(5, 5, 15, 5);
+  const CsrMatrix n = a.RowNormalized();
+  for (Index r = 0; r < 5; ++r) {
+    Real sum = 0.0;
+    for (Index p = n.row_ptr()[r]; p < n.row_ptr()[r + 1]; ++p) {
+      sum += std::abs(n.values()[static_cast<size_t>(p)]);
+    }
+    if (n.RowNnz(r) > 0) {
+      EXPECT_NEAR(sum, 1.0, 1e-10);
+    }
+  }
+}
+
+TEST(CsrTest, SymNormalizedMatchesFormula) {
+  // Small known graph: path 0-1-2 with unit weights (symmetric).
+  CsrMatrix a = CsrMatrix::FromCoo(
+      3, 3, {{0, 1, 1.0}, {1, 0, 1.0}, {1, 2, 1.0}, {2, 1, 1.0}});
+  const Matrix n = a.SymNormalized().ToDense();
+  // deg(0)=1, deg(1)=2, deg(2)=1 -> entry (0,1) = 1/sqrt(1*2).
+  EXPECT_NEAR(n(0, 1), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(n(1, 0), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(n(1, 2), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(CsrTest, RowSoftmaxSumsToOne) {
+  CsrMatrix a = CsrMatrix::FromCoo(
+      2, 3, {{0, 0, 1.0}, {0, 1, 2.0}, {0, 2, 3.0}, {1, 1, 5.0}});
+  const CsrMatrix s = a.RowSoftmax();
+  Real sum = 0.0;
+  for (Index p = s.row_ptr()[0]; p < s.row_ptr()[1]; ++p) {
+    sum += s.values()[static_cast<size_t>(p)];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Monotone in input.
+  EXPECT_LT(s.values()[0], s.values()[1]);
+  EXPECT_LT(s.values()[1], s.values()[2]);
+  // Single-entry row -> weight 1.
+  EXPECT_NEAR(s.values()[3], 1.0, 1e-12);
+}
+
+TEST(CsrTest, FilteredDropsPredicatedEdges) {
+  const CsrMatrix a = RandomSparse(6, 6, 18, 6);
+  const CsrMatrix f =
+      a.Filtered([](Index row, Index col) { return row != col; });
+  for (Index r = 0; r < 6; ++r) {
+    for (Index p = f.row_ptr()[r]; p < f.row_ptr()[r + 1]; ++p) {
+      EXPECT_NE(f.col_idx()[static_cast<size_t>(p)], r);
+    }
+  }
+}
+
+TEST(CsrTest, WithValuesReplacesPayloadKeepsTopology) {
+  const CsrMatrix a = RandomSparse(4, 4, 10, 7);
+  std::vector<Real> ones(static_cast<size_t>(a.nnz()), 1.0);
+  const CsrMatrix b = a.WithValues(ones);
+  EXPECT_EQ(b.nnz(), a.nnz());
+  EXPECT_EQ(b.col_idx(), a.col_idx());
+  for (Real v : b.values()) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(CsrTest, EmptyRowsHandled) {
+  CsrMatrix m = CsrMatrix::FromCoo(3, 3, {{2, 0, 1.0}});
+  EXPECT_EQ(m.RowNnz(0), 0);
+  EXPECT_EQ(m.RowNnz(2), 1);
+  Matrix x(3, 2, 1.0);
+  Matrix y;
+  m.SpMM(x, &y);
+  EXPECT_DOUBLE_EQ(y(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y(2, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace firzen

@@ -1,0 +1,282 @@
+// Data layer tests: synthetic generation invariants, strict/normal cold
+// splits, KG construction + noise injection, TSV IO round trips, Table I
+// statistics. Includes parameterized sweeps over all dataset profiles.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include "src/data/io.h"
+#include "src/data/noise.h"
+#include "src/data/split.h"
+#include "src/data/stats.h"
+#include "src/data/synthetic.h"
+
+namespace firzen {
+namespace {
+
+class ProfileTest
+    : public ::testing::TestWithParam<std::pair<const char*, SyntheticConfig>> {
+};
+
+TEST_P(ProfileTest, GeneratesValidStrictColdDataset) {
+  const SyntheticConfig config = GetParam().second;
+  const Dataset dataset = GenerateSyntheticDataset(config);
+  dataset.CheckValid();  // aborts on violation
+
+  // Strict cold items never appear in training (also enforced by
+  // CheckValid; assert the counts here).
+  std::set<Index> train_items;
+  for (const Interaction& x : dataset.train) train_items.insert(x.item);
+  for (Index item : dataset.ColdItems()) {
+    EXPECT_EQ(train_items.count(item), 0u);
+  }
+  // Roughly the configured cold fraction.
+  const Real cold_frac = static_cast<Real>(dataset.ColdItems().size()) /
+                         static_cast<Real>(dataset.num_items);
+  EXPECT_NEAR(cold_frac, config.cold_fraction, 0.08);
+
+  // Every warm item retains a train interaction.
+  std::set<Index> warm(train_items.begin(), train_items.end());
+  for (Index item : dataset.WarmItems()) {
+    EXPECT_EQ(warm.count(item), 1u) << "warm item " << item << " untrainable";
+  }
+
+  // Cold val/test are both non-empty and item-disjoint from train.
+  EXPECT_FALSE(dataset.cold_val.empty());
+  EXPECT_FALSE(dataset.cold_test.empty());
+
+  // Modalities match the profile.
+  ASSERT_EQ(dataset.modalities.size(), 2u);
+  EXPECT_EQ(dataset.modalities[0].name, "text");
+  EXPECT_EQ(dataset.modalities[1].name, "image");
+  EXPECT_EQ(dataset.modalities[0].features.cols(), config.text_dim);
+  EXPECT_EQ(dataset.modalities[1].features.cols(), config.visual_dim);
+
+  // KG covers every item with at least brand + category edges.
+  std::vector<int> head_count(static_cast<size_t>(dataset.num_items), 0);
+  for (const Triplet& t : dataset.kg.triplets) {
+    if (t.head < dataset.num_items) {
+      ++head_count[static_cast<size_t>(t.head)];
+    }
+  }
+  for (Index i = 0; i < dataset.num_items; ++i) {
+    EXPECT_GE(head_count[static_cast<size_t>(i)], 2) << "item " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, ProfileTest,
+    ::testing::Values(
+        std::make_pair("beauty", BeautySConfig(0.2)),
+        std::make_pair("cellphones", CellPhonesSConfig(0.2)),
+        std::make_pair("clothing", ClothingSConfig(0.2)),
+        std::make_pair("weixin", WeixinSportsSConfig(0.2))),
+    [](const auto& info) { return std::string(info.param.first); });
+
+TEST(SyntheticTest, DeterministicForFixedSeed) {
+  const Dataset a = GenerateSyntheticDataset(BeautySConfig(0.15));
+  const Dataset b = GenerateSyntheticDataset(BeautySConfig(0.15));
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i].user, b.train[i].user);
+    EXPECT_EQ(a.train[i].item, b.train[i].item);
+  }
+  EXPECT_EQ(a.kg.triplets.size(), b.kg.triplets.size());
+}
+
+TEST(SyntheticTest, UsersMeetMinimumInteractions) {
+  SyntheticConfig config = BeautySConfig(0.2);
+  const Dataset dataset = GenerateSyntheticDataset(config);
+  // 5-core on users holds over ALL interactions (train + eval splits).
+  std::vector<int> per_user(static_cast<size_t>(dataset.num_users), 0);
+  for (const auto* split : {&dataset.train, &dataset.warm_val,
+                            &dataset.warm_test, &dataset.cold_val,
+                            &dataset.cold_test}) {
+    for (const Interaction& x : *split) {
+      ++per_user[static_cast<size_t>(x.user)];
+    }
+  }
+  Index violators = 0;
+  for (int c : per_user) {
+    if (c < config.min_interactions_per_user) ++violators;
+  }
+  // Pool truncation can clip a handful; the overwhelming majority hold.
+  EXPECT_LT(static_cast<Real>(violators) / dataset.num_users, 0.02);
+}
+
+TEST(SyntheticTest, WeixinProfileHasManyRelations) {
+  const Dataset w = GenerateSyntheticDataset(WeixinSportsSConfig(0.15));
+  const Dataset b = GenerateSyntheticDataset(BeautySConfig(0.15));
+  EXPECT_GT(w.kg.num_relations, b.kg.num_relations);
+}
+
+TEST(SplitTest, NormalColdProtocolRevealsHalfTheLinks) {
+  const Dataset strict = GenerateSyntheticDataset(BeautySConfig(0.2));
+  Rng rng(3);
+  const Dataset normal = MakeNormalColdProtocol(strict, &rng);
+  const size_t strict_total =
+      strict.cold_val.size() + strict.cold_test.size();
+  const size_t normal_total = normal.cold_val.size() +
+                              normal.cold_test.size() +
+                              normal.cold_known.size();
+  EXPECT_EQ(strict_total, normal_total);
+  EXPECT_FALSE(normal.cold_known.empty());
+  // Known links only touch cold items.
+  for (const Interaction& x : normal.cold_known) {
+    EXPECT_TRUE(normal.is_cold_item[static_cast<size_t>(x.item)]);
+  }
+  normal.CheckValid();
+}
+
+TEST(SplitTest, RepairGuaranteesTrainCoverage) {
+  // Adversarial tiny input: item 1 appears once, in what would be val/test.
+  std::vector<Interaction> interactions;
+  for (int k = 0; k < 40; ++k) interactions.push_back({k % 5, 0});
+  interactions.push_back({0, 1});
+  Dataset dataset;
+  dataset.num_users = 5;
+  dataset.num_items = 2;
+  SplitOptions options;
+  options.cold_fraction = 0.4;
+  Rng rng(11);
+  ApplyStrictColdSplit(interactions, options, &rng, &dataset);
+  dataset.CheckValid();
+  std::set<Index> train_items;
+  for (const Interaction& x : dataset.train) train_items.insert(x.item);
+  for (Index item : dataset.WarmItems()) {
+    EXPECT_TRUE(train_items.count(item) > 0);
+  }
+}
+
+class NoiseTest : public ::testing::TestWithParam<KgNoiseKind> {};
+
+TEST_P(NoiseTest, InjectsRequestedVolumeAndShape) {
+  const Dataset dataset = GenerateSyntheticDataset(BeautySConfig(0.15));
+  Rng rng(5);
+  const KnowledgeGraph noisy =
+      InjectKgNoise(dataset.kg, GetParam(), 0.2, &rng);
+  const size_t expected_extra =
+      static_cast<size_t>(0.2 * dataset.kg.triplets.size());
+  EXPECT_EQ(noisy.triplets.size(),
+            dataset.kg.triplets.size() + expected_extra);
+  switch (GetParam()) {
+    case KgNoiseKind::kOutlier:
+      // New entities appended.
+      EXPECT_EQ(noisy.num_entities,
+                dataset.kg.num_entities + static_cast<Index>(expected_extra));
+      break;
+    case KgNoiseKind::kDuplicate: {
+      EXPECT_EQ(noisy.num_entities, dataset.kg.num_entities);
+      // Every injected triplet already existed.
+      std::set<std::tuple<Index, Index, Index>> originals;
+      for (const Triplet& t : dataset.kg.triplets) {
+        originals.insert({t.head, t.relation, t.tail});
+      }
+      for (size_t i = dataset.kg.triplets.size(); i < noisy.triplets.size();
+           ++i) {
+        const Triplet& t = noisy.triplets[i];
+        EXPECT_TRUE(originals.count({t.head, t.relation, t.tail}) > 0);
+      }
+      break;
+    }
+    case KgNoiseKind::kDiscrepancy: {
+      EXPECT_EQ(noisy.num_entities, dataset.kg.num_entities);
+      // Tails keep their entity type.
+      for (size_t i = dataset.kg.triplets.size(); i < noisy.triplets.size();
+           ++i) {
+        const Triplet& t = noisy.triplets[i];
+        EXPECT_LT(t.tail, noisy.num_entities);
+      }
+      break;
+    }
+  }
+  noisy.CheckValid();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, NoiseTest,
+                         ::testing::Values(KgNoiseKind::kOutlier,
+                                           KgNoiseKind::kDuplicate,
+                                           KgNoiseKind::kDiscrepancy),
+                         [](const auto& info) {
+                           return std::string(KgNoiseKindName(info.param));
+                         });
+
+TEST(IoTest, InteractionsRoundTrip) {
+  const std::vector<Interaction> original{{0, 1}, {2, 3}, {4, 0}};
+  const std::string path = ::testing::TempDir() + "/inter.tsv";
+  ASSERT_TRUE(SaveInteractionsTsv(path, original).ok());
+  auto loaded = LoadInteractionsTsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.value()[i].user, original[i].user);
+    EXPECT_EQ(loaded.value()[i].item, original[i].item);
+  }
+}
+
+TEST(IoTest, FeaturesRoundTrip) {
+  Matrix features(3, 4);
+  Rng rng(1);
+  features.FillNormal(&rng, 1.0);
+  const std::string path = ::testing::TempDir() + "/features.tsv";
+  ASSERT_TRUE(SaveFeaturesTsv(path, features).ok());
+  auto loaded = LoadFeaturesTsv(path, 3);
+  ASSERT_TRUE(loaded.ok());
+  for (Index i = 0; i < features.size(); ++i) {
+    EXPECT_NEAR(loaded.value().data()[i], features.data()[i], 1e-5);
+  }
+}
+
+TEST(IoTest, KgRoundTrip) {
+  KnowledgeGraph kg;
+  kg.num_items = 2;
+  kg.num_entities = 5;
+  kg.num_relations = 3;
+  kg.triplets = {{0, 0, 3}, {1, 2, 4}};
+  const std::string path = ::testing::TempDir() + "/kg.tsv";
+  ASSERT_TRUE(SaveKgTsv(path, kg).ok());
+  auto loaded = LoadKgTsv(path, 2, 5, 3);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().triplets.size(), kg.triplets.size());
+  EXPECT_EQ(loaded.value().num_entities, 5);
+  EXPECT_EQ(loaded.value().num_relations, 3);
+}
+
+TEST(IoTest, MissingFileIsIoError) {
+  auto result = LoadInteractionsTsv("/nonexistent/path/x.tsv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(IoTest, MalformedLineIsInvalidArgument) {
+  const std::string path = ::testing::TempDir() + "/bad.tsv";
+  ASSERT_TRUE(SaveInteractionsTsv(path, {{0, 1}}).ok());
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "not a number\n";
+  }
+  auto result = LoadInteractionsTsv(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatsTest, MatchesManualComputation) {
+  const Dataset dataset = GenerateSyntheticDataset(BeautySConfig(0.15));
+  const DatasetStats stats = ComputeDatasetStats(dataset);
+  EXPECT_EQ(stats.num_users, dataset.num_users);
+  EXPECT_EQ(stats.num_items, dataset.num_items);
+  EXPECT_EQ(stats.num_warm_items + stats.num_cold_items, dataset.num_items);
+  const Index total = static_cast<Index>(
+      dataset.train.size() + dataset.warm_val.size() +
+      dataset.warm_test.size() + dataset.cold_val.size() +
+      dataset.cold_test.size());
+  EXPECT_EQ(stats.num_interactions, total);
+  EXPECT_GT(stats.sparsity_percent, 90.0);
+  EXPECT_EQ(stats.num_triplets,
+            static_cast<Index>(dataset.kg.triplets.size()));
+}
+
+}  // namespace
+}  // namespace firzen

@@ -1,0 +1,232 @@
+// Evaluation layer tests: metric formulas against hand-computed values, the
+// all-ranking protocol with candidate masking, harmonic means, and the
+// t-SNE / mixing-statistics utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/data/synthetic.h"
+#include "src/eval/evaluator.h"
+#include "src/eval/harmonic.h"
+#include "src/eval/metrics.h"
+#include "src/eval/tsne.h"
+
+namespace firzen {
+namespace {
+
+TEST(MetricsTest, PerfectRankingScoresOne) {
+  const std::vector<Index> top{7, 8};
+  const std::unordered_set<Index> relevant{7, 8};
+  const MetricBundle m = ComputeUserMetrics(top, relevant, 2, 20);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.mrr, 1.0);
+  EXPECT_DOUBLE_EQ(m.ndcg, 1.0);
+  EXPECT_DOUBLE_EQ(m.hit, 1.0);
+  EXPECT_DOUBLE_EQ(m.precision, 2.0 / 20.0);
+}
+
+TEST(MetricsTest, MissScoresZero) {
+  const MetricBundle m =
+      ComputeUserMetrics({1, 2, 3}, {9}, /*num_relevant=*/1, 20);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.mrr, 0.0);
+  EXPECT_DOUBLE_EQ(m.ndcg, 0.0);
+  EXPECT_DOUBLE_EQ(m.hit, 0.0);
+}
+
+TEST(MetricsTest, MrrUsesFirstHitRank) {
+  // Relevant item at rank 3 (1-indexed).
+  const MetricBundle m =
+      ComputeUserMetrics({5, 6, 7, 8}, {7}, 1, 20);
+  EXPECT_DOUBLE_EQ(m.mrr, 1.0 / 3.0);
+}
+
+TEST(MetricsTest, NdcgHandComputed) {
+  // Hits at ranks 1 and 3 of top-3, 2 relevant total.
+  const MetricBundle m = ComputeUserMetrics({4, 5, 6}, {4, 6}, 2, 3);
+  const Real dcg = 1.0 / std::log2(2.0) + 1.0 / std::log2(4.0);
+  const Real idcg = 1.0 / std::log2(2.0) + 1.0 / std::log2(3.0);
+  EXPECT_NEAR(m.ndcg, dcg / idcg, 1e-12);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_NEAR(m.precision, 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, RecallCapsAtCandidateRelevants) {
+  // 5 relevant but only K=2 cutoff.
+  const MetricBundle m = ComputeUserMetrics({1, 2}, {1, 2, 3, 4, 5}, 5, 2);
+  EXPECT_DOUBLE_EQ(m.recall, 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(m.ndcg, 1.0);  // ideal for the cutoff
+}
+
+// Deterministic evaluator fixture: scores = -item id (item 0 ranks first).
+Dataset TinyEvalDataset() {
+  Dataset d;
+  d.name = "tiny";
+  d.num_users = 2;
+  d.num_items = 6;
+  d.is_cold_item = {false, false, false, false, true, true};
+  d.train = {{0, 0}, {1, 1}};
+  d.warm_test = {{0, 1}, {1, 2}};
+  d.cold_test = {{0, 4}, {1, 5}};
+  return d;
+}
+
+ScoreFn DescendingByItemId() {
+  return [](const std::vector<Index>& users, Matrix* scores) {
+    scores->Resize(static_cast<Index>(users.size()), 6);
+    for (Index r = 0; r < scores->rows(); ++r) {
+      for (Index i = 0; i < 6; ++i) {
+        (*scores)(r, i) = -static_cast<Real>(i);
+      }
+    }
+  };
+}
+
+TEST(EvaluatorTest, WarmSettingMasksTrainItems) {
+  const Dataset d = TinyEvalDataset();
+  const EvalResult result = EvaluateRanking(d, d.warm_test,
+                                            EvalSetting::kWarm,
+                                            DescendingByItemId(), {});
+  EXPECT_EQ(result.num_users, 2);
+  // User 0: candidates {1,2,3} (item 0 is in train), relevant {1} ranked
+  // first -> mrr 1. User 1: candidates {0,2,3}, relevant {2} ranked second
+  // (item 0 scores higher) -> mrr 1/2.
+  EXPECT_NEAR(result.metrics.mrr, (1.0 + 0.5) / 2.0, 1e-12);
+  EXPECT_NEAR(result.metrics.hit, 1.0, 1e-12);
+}
+
+TEST(EvaluatorTest, ColdSettingUsesOnlyColdCandidates) {
+  const Dataset d = TinyEvalDataset();
+  const EvalResult result = EvaluateRanking(d, d.cold_test,
+                                            EvalSetting::kCold,
+                                            DescendingByItemId(), {});
+  // User 0: cold candidates {4,5}, relevant {4} ranks first -> mrr 1.
+  // User 1: relevant {5} ranks second -> mrr 1/2.
+  EXPECT_NEAR(result.metrics.mrr, 0.75, 1e-12);
+}
+
+TEST(EvaluatorTest, UsersWithoutRelevantAreSkipped) {
+  Dataset d = TinyEvalDataset();
+  // User 0's only warm-test item is in their train set -> no candidates
+  // remain relevant.
+  d.train = {{0, 1}, {1, 1}};
+  const EvalResult result = EvaluateRanking(d, d.warm_test,
+                                            EvalSetting::kWarm,
+                                            DescendingByItemId(), {});
+  EXPECT_EQ(result.num_users, 1);
+}
+
+TEST(EvaluatorTest, EmptySplitYieldsZeroUsers) {
+  const Dataset d = TinyEvalDataset();
+  const EvalResult result =
+      EvaluateRanking(d, {}, EvalSetting::kWarm, DescendingByItemId(), {});
+  EXPECT_EQ(result.num_users, 0);
+  EXPECT_EQ(result.metrics.mrr, 0.0);
+}
+
+TEST(EvaluatorTest, ParallelMatchesSerial) {
+  const Dataset d = GenerateSyntheticDataset(BeautySConfig(0.15));
+  Rng rng(3);
+  Matrix fake_user(d.num_users, 8);
+  fake_user.FillNormal(&rng, 1.0);
+  Matrix fake_item(d.num_items, 8);
+  fake_item.FillNormal(&rng, 1.0);
+  ScoreFn fn = [&](const std::vector<Index>& users, Matrix* scores) {
+    Matrix batch(static_cast<Index>(users.size()), 8);
+    for (size_t r = 0; r < users.size(); ++r) {
+      for (Index c = 0; c < 8; ++c) {
+        batch(static_cast<Index>(r), c) = fake_user(users[r], c);
+      }
+    }
+    Gemm(false, true, 1.0, batch, fake_item, 0.0, scores);
+  };
+  EvalOptions serial;
+  EvalOptions parallel;
+  ThreadPool pool(4);
+  parallel.pool = &pool;
+  const EvalResult a =
+      EvaluateRanking(d, d.warm_test, EvalSetting::kWarm, fn, serial);
+  const EvalResult b =
+      EvaluateRanking(d, d.warm_test, EvalSetting::kWarm, fn, parallel);
+  EXPECT_EQ(a.num_users, b.num_users);
+  EXPECT_NEAR(a.metrics.mrr, b.metrics.mrr, 1e-12);
+  EXPECT_NEAR(a.metrics.ndcg, b.metrics.ndcg, 1e-12);
+}
+
+TEST(HarmonicTest, FormulaAndShortBarrelPenalty) {
+  EXPECT_DOUBLE_EQ(HarmonicMean(4.0, 4.0), 4.0);
+  EXPECT_NEAR(HarmonicMean(1.0, 100.0), 2.0 * 100.0 / 101.0, 1e-12);
+  EXPECT_DOUBLE_EQ(HarmonicMean(0.0, 100.0), 0.0);
+  // HM <= arithmetic mean always.
+  EXPECT_LE(HarmonicMean(3.0, 9.0), 6.0);
+}
+
+TEST(TsneTest, ProducesFinite2DEmbedding) {
+  Rng rng(9);
+  Matrix x(60, 10);
+  x.FillNormal(&rng, 1.0);
+  TsneOptions options;
+  options.iterations = 50;
+  const Matrix y = TsneEmbed(x, options);
+  ASSERT_EQ(y.rows(), 60);
+  ASSERT_EQ(y.cols(), 2);
+  for (Index i = 0; i < y.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(y.data()[i]));
+  }
+}
+
+TEST(TsneTest, SeparatesWellSeparatedClusters) {
+  Rng rng(10);
+  Matrix x(40, 6);
+  for (Index i = 0; i < 40; ++i) {
+    const Real center = i < 20 ? 20.0 : -20.0;
+    for (Index c = 0; c < 6; ++c) x(i, c) = center + rng.Normal();
+  }
+  TsneOptions options;
+  options.iterations = 150;
+  options.perplexity = 10.0;
+  const Matrix y = TsneEmbed(x, options);
+  // Mean intra-cluster distance far below inter-cluster centroid distance.
+  Real c0[2] = {0, 0};
+  Real c1[2] = {0, 0};
+  for (Index i = 0; i < 20; ++i) {
+    c0[0] += y(i, 0) / 20;
+    c0[1] += y(i, 1) / 20;
+  }
+  for (Index i = 20; i < 40; ++i) {
+    c1[0] += y(i, 0) / 20;
+    c1[1] += y(i, 1) / 20;
+  }
+  const Real inter = std::hypot(c0[0] - c1[0], c0[1] - c1[1]);
+  Real intra = 0.0;
+  for (Index i = 0; i < 20; ++i) {
+    intra += std::hypot(y(i, 0) - c0[0], y(i, 1) - c0[1]) / 20.0;
+  }
+  EXPECT_GT(inter, intra);
+}
+
+TEST(MixingStatsTest, DetectsIsolatedVsMixedCold) {
+  Rng rng(11);
+  const Index n = 60;
+  std::vector<bool> is_cold(n, false);
+  for (Index i = 40; i < n; ++i) is_cold[static_cast<size_t>(i)] = true;
+
+  // Isolated: cold items live in a far-away cluster.
+  Matrix isolated(n, 4);
+  for (Index i = 0; i < n; ++i) {
+    const Real center = is_cold[static_cast<size_t>(i)] ? 50.0 : 0.0;
+    for (Index c = 0; c < 4; ++c) isolated(i, c) = center + rng.Normal();
+  }
+  // Mixed: identical distribution.
+  Matrix mixed(n, 4);
+  mixed.FillNormal(&rng, 1.0);
+
+  const MixingStats iso = ComputeMixingStats(isolated, is_cold, 5);
+  const MixingStats mix = ComputeMixingStats(mixed, is_cold, 5);
+  EXPECT_LT(iso.cold_warm_knn_mix, 0.3);
+  EXPECT_GT(mix.cold_warm_knn_mix, 0.5);
+  EXPECT_GT(iso.centroid_distance_ratio, mix.centroid_distance_ratio);
+}
+
+}  // namespace
+}  // namespace firzen

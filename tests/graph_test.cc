@@ -1,0 +1,228 @@
+// Graph construction tests: interaction graph normalization, kNN item-item
+// graphs (Eqs. 1-3), user-user co-occurrence (Eq. 4), collaborative KG
+// alignment, and the strict-cold inference mask (Eqs. 34-35).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/graph/cold_mask.h"
+#include "src/graph/collaborative_kg.h"
+#include "src/graph/cooccurrence_graph.h"
+#include "src/graph/interaction_graph.h"
+#include "src/graph/knn_graph.h"
+
+namespace firzen {
+namespace {
+
+std::vector<Interaction> TinyInteractions() {
+  // users 0..2, items 0..3.
+  return {{0, 0}, {0, 1}, {1, 1}, {1, 2}, {2, 1}, {2, 3}};
+}
+
+TEST(InteractionGraphTest, SymmetricAndNormalized) {
+  const CsrMatrix g = BuildNormalizedInteractionGraph(TinyInteractions(), 3, 4);
+  EXPECT_EQ(g.rows(), 7);
+  const Matrix dense = g.ToDense();
+  for (Index r = 0; r < 7; ++r) {
+    for (Index c = 0; c < 7; ++c) {
+      EXPECT_NEAR(dense(r, c), dense(c, r), 1e-12);
+    }
+  }
+  // user 0 (deg 2) - item 1 (deg 3): weight = 1/sqrt(6).
+  EXPECT_NEAR(dense(0, 3 + 1), 1.0 / std::sqrt(6.0), 1e-12);
+  // No user-user or item-item blocks.
+  EXPECT_EQ(dense(0, 1), 0.0);
+  EXPECT_EQ(dense(4, 5), 0.0);
+}
+
+TEST(InteractionGraphTest, StrictColdItemHasZeroDegree) {
+  // Item 3 never interacted.
+  const CsrMatrix g = BuildNormalizedInteractionGraph(
+      {{0, 0}, {1, 1}, {2, 2}}, 3, 4);
+  EXPECT_EQ(g.RowNnz(3 + 3), 0);
+  // Propagation leaves its row at zero.
+  Matrix x(7, 2, 1.0);
+  Matrix y;
+  g.SpMM(x, &y);
+  EXPECT_EQ(y(6, 0), 0.0);
+}
+
+TEST(InteractionGraphTest, DuplicateInteractionsBinarized) {
+  const CsrMatrix a = BuildNormalizedInteractionGraph({{0, 0}, {0, 0}}, 1, 1);
+  const CsrMatrix b = BuildNormalizedInteractionGraph({{0, 0}}, 1, 1);
+  EXPECT_NEAR(a.ToDense()(0, 1), b.ToDense()(0, 1), 1e-12);
+}
+
+TEST(InteractionGraphTest, UserToItemRowsScaleAsInvSqrtDegree) {
+  const CsrMatrix u2i = BuildUserToItemGraph(TinyInteractions(), 3, 4);
+  EXPECT_EQ(u2i.rows(), 3);
+  EXPECT_EQ(u2i.cols(), 4);
+  // user 0 has degree 2 -> each weight 1/sqrt(2).
+  const Matrix dense = u2i.ToDense();
+  EXPECT_NEAR(dense(0, 0), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(dense(0, 1), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(InteractionGraphTest, EdgeDropoutReducesEdges) {
+  Rng rng(3);
+  const CsrMatrix full =
+      BuildNormalizedInteractionGraph(TinyInteractions(), 3, 4);
+  const CsrMatrix dropped = BuildDroppedInteractionGraph(
+      TinyInteractions(), 3, 4, /*drop_rate=*/0.99, &rng);
+  EXPECT_LT(dropped.nnz(), full.nnz());
+}
+
+TEST(KnnGraphTest, TopKDegreeAndNoSelfLoops) {
+  Rng rng(5);
+  Matrix features(20, 8);
+  features.FillNormal(&rng, 1.0);
+  KnnGraphOptions options;
+  options.top_k = 4;
+  const CsrMatrix adj = BuildItemKnnAdjacency(features, options);
+  for (Index r = 0; r < 20; ++r) {
+    EXPECT_EQ(adj.RowNnz(r), 4);
+    for (Index p = adj.row_ptr()[r]; p < adj.row_ptr()[r + 1]; ++p) {
+      EXPECT_NE(adj.col_idx()[static_cast<size_t>(p)], r);
+    }
+  }
+}
+
+TEST(KnnGraphTest, NeighborsAreActuallyNearest) {
+  // Two well-separated clusters: neighbors must stay within a cluster.
+  Matrix features(10, 2);
+  for (Index i = 0; i < 5; ++i) {
+    features(i, 0) = 10.0 + 0.1 * i;
+    features(i, 1) = 10.0;
+  }
+  for (Index i = 5; i < 10; ++i) {
+    features(i, 0) = -10.0 - 0.1 * i;
+    features(i, 1) = 5.0;
+  }
+  KnnGraphOptions options;
+  options.top_k = 3;
+  const CsrMatrix adj = BuildItemKnnAdjacency(features, options);
+  for (Index r = 0; r < 10; ++r) {
+    for (Index p = adj.row_ptr()[r]; p < adj.row_ptr()[r + 1]; ++p) {
+      const Index n = adj.col_idx()[static_cast<size_t>(p)];
+      EXPECT_EQ(r < 5, n < 5) << "cross-cluster edge " << r << "->" << n;
+    }
+  }
+}
+
+TEST(KnnGraphTest, CandidateRestrictionExcludesColdItems) {
+  Rng rng(6);
+  Matrix features(12, 4);
+  features.FillNormal(&rng, 1.0);
+  KnnGraphOptions options;
+  options.top_k = 3;
+  options.candidate_items = {0, 1, 2, 3, 4, 5};  // "warm" half
+  options.query_items = options.candidate_items;
+  const CsrMatrix adj = BuildItemKnnAdjacency(features, options);
+  for (Index r = 0; r < 12; ++r) {
+    if (r >= 6) {
+      EXPECT_EQ(adj.RowNnz(r), 0);
+    }
+    for (Index p = adj.row_ptr()[r]; p < adj.row_ptr()[r + 1]; ++p) {
+      EXPECT_LT(adj.col_idx()[static_cast<size_t>(p)], 6);
+    }
+  }
+}
+
+TEST(KnnGraphTest, NormalizedGraphHasSymmetricScaling) {
+  Rng rng(7);
+  Matrix features(15, 4);
+  features.FillNormal(&rng, 1.0);
+  KnnGraphOptions options;
+  options.top_k = 3;
+  const CsrMatrix g = BuildItemItemGraph(features, options);
+  // All values in (0, 1].
+  for (Real v : g.values()) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+TEST(CooccurrenceTest, CountsCommonItems) {
+  // Users 0 and 1 share items {1}; users 1 and 2 share {1}; 0 and 2 share {1}.
+  const CsrMatrix g =
+      BuildUserCooccurrenceGraph(TinyInteractions(), 3, 4, /*top_k=*/5);
+  const Matrix dense = g.ToDense();
+  EXPECT_DOUBLE_EQ(dense(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(dense(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(dense(0, 0), 0.0);  // no self loops
+}
+
+TEST(CooccurrenceTest, TopKLimitsNeighbors) {
+  std::vector<Interaction> interactions;
+  // Star: item 0 interacted by all 8 users -> everyone co-occurs with all.
+  for (Index u = 0; u < 8; ++u) interactions.push_back({u, 0});
+  const CsrMatrix g = BuildUserCooccurrenceGraph(interactions, 8, 1, 3);
+  for (Index r = 0; r < 8; ++r) {
+    EXPECT_LE(g.RowNnz(r), 3);
+  }
+}
+
+TEST(CollaborativeKgTest, AlignmentAndReverseEdges) {
+  KnowledgeGraph kg;
+  kg.num_items = 2;
+  kg.num_entities = 4;  // items 0-1, entities 2-3
+  kg.num_relations = 2;
+  kg.triplets = {{0, 0, 2}, {1, 1, 3}};
+  const CollaborativeKg ckg =
+      BuildCollaborativeKg({{0, 0}, {1, 1}}, /*num_users=*/2, kg);
+  EXPECT_EQ(ckg.num_entities, 6);          // 4 + 2 users
+  EXPECT_EQ(ckg.num_relations, 2 * (2 + 1));  // fw + interact + reverses
+  EXPECT_EQ(ckg.UserEntity(0), 4);
+  EXPECT_EQ(ckg.InteractRelation(), 2);
+  // Each KG triplet and each interaction contribute forward + reverse.
+  EXPECT_EQ(static_cast<Index>(ckg.triplets.size()), 2 * (2 + 2));
+  // Storage alignment: edge_relation[p] must match triplets[p].
+  ASSERT_EQ(ckg.topology.nnz(),
+            static_cast<Index>(ckg.edge_relation.size()));
+  Index p = 0;
+  for (Index h = 0; h < ckg.num_entities; ++h) {
+    for (Index q = ckg.topology.row_ptr()[h];
+         q < ckg.topology.row_ptr()[h + 1]; ++q, ++p) {
+      EXPECT_EQ(ckg.triplets[static_cast<size_t>(p)].head, h);
+      EXPECT_EQ(ckg.triplets[static_cast<size_t>(p)].tail,
+                ckg.topology.col_idx()[static_cast<size_t>(q)]);
+      EXPECT_EQ(ckg.triplets[static_cast<size_t>(p)].relation,
+                ckg.edge_relation[static_cast<size_t>(p)]);
+    }
+  }
+}
+
+TEST(ColdMaskTest, RemovesExactlyWarmToColdEdges) {
+  // Full 4x4 adjacency minus diagonal.
+  std::vector<CooEntry> entries;
+  for (Index r = 0; r < 4; ++r) {
+    for (Index c = 0; c < 4; ++c) {
+      if (r != c) entries.push_back({r, c, 1.0});
+    }
+  }
+  const CsrMatrix adj = CsrMatrix::FromCoo(4, 4, entries);
+  const std::vector<bool> is_cold{false, false, true, true};
+  const CsrMatrix masked = ApplyColdStartMask(adj, is_cold);
+  const Matrix dense = masked.ToDense();
+  for (Index r = 0; r < 4; ++r) {
+    for (Index c = 0; c < 4; ++c) {
+      if (r == c) continue;
+      const bool warm_to_cold = !is_cold[static_cast<size_t>(r)] &&
+                                is_cold[static_cast<size_t>(c)];
+      EXPECT_EQ(dense(r, c) != 0.0, !warm_to_cold)
+          << "edge " << r << "->" << c;
+    }
+  }
+}
+
+TEST(ColdMaskTest, ColdRowsStillReceiveFromWarm) {
+  std::vector<CooEntry> entries{{2, 0, 1.0}, {0, 2, 1.0}};
+  const CsrMatrix adj = CsrMatrix::FromCoo(3, 3, entries);
+  const std::vector<bool> is_cold{false, false, true};
+  const CsrMatrix masked = ApplyColdStartMask(adj, is_cold);
+  EXPECT_EQ(masked.RowNnz(2), 1);  // cold aggregates from warm
+  EXPECT_EQ(masked.RowNnz(0), 0);  // warm no longer sees cold
+}
+
+}  // namespace
+}  // namespace firzen

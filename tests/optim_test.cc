@@ -1,0 +1,115 @@
+// Optimizer tests: SGD/Adam convergence on a convex problem, gradient
+// clearing semantics, and lazy (row-sparse) Adam's untouched-row guarantee.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/tensor/ops.h"
+#include "src/tensor/optim.h"
+
+namespace firzen {
+namespace {
+
+using namespace ops;  // NOLINT(build/namespaces)
+
+TEST(SgdTest, MinimizesQuadratic) {
+  Tensor x = Tensor::Variable(Matrix(1, 1, 5.0));
+  Sgd sgd(0.1);
+  for (int i = 0; i < 200; ++i) {
+    Tensor loss = SumSquares(x);
+    Backward(loss);
+    sgd.Step({x});
+  }
+  EXPECT_NEAR(x.value()(0, 0), 0.0, 1e-6);
+}
+
+TEST(SgdTest, WeightDecayShrinksParameters) {
+  Tensor x = Tensor::Variable(Matrix(1, 1, 1.0));
+  Sgd sgd(0.1, /*weight_decay=*/1.0);
+  // Zero loss gradient: only decay acts.
+  Tensor zero = Tensor::Constant(Matrix(1, 1, 0.0));
+  for (int i = 0; i < 5; ++i) {
+    Tensor loss = ReduceSum(Mul(x, zero));
+    Backward(loss);
+    sgd.Step({x});
+  }
+  EXPECT_LT(x.value()(0, 0), 1.0);
+  EXPECT_GT(x.value()(0, 0), 0.0);
+}
+
+TEST(AdamTest, MinimizesShiftedQuadratic) {
+  // loss = sum((x - 3)^2).
+  Tensor x = Tensor::Variable(Matrix(2, 2, 0.0));
+  Tensor target = Tensor::Constant(Matrix(2, 2, 3.0));
+  Adam::Options options;
+  options.lr = 0.05;
+  Adam adam(options);
+  for (int i = 0; i < 600; ++i) {
+    Tensor loss = SumSquares(Sub(x, target));
+    Backward(loss);
+    adam.Step({x});
+  }
+  for (Index i = 0; i < x.value().size(); ++i) {
+    EXPECT_NEAR(x.value().data()[i], 3.0, 1e-3);
+  }
+}
+
+TEST(AdamTest, ZeroesGradientsAfterStep) {
+  Tensor x = Tensor::Variable(Matrix(1, 1, 1.0));
+  Adam adam(Adam::Options{});
+  Tensor loss = SumSquares(x);
+  Backward(loss);
+  EXPECT_NE(x.grad()(0, 0), 0.0);
+  adam.Step({x});
+  EXPECT_EQ(x.grad()(0, 0), 0.0);
+}
+
+TEST(LazyAdamTest, SkipsUntouchedRows) {
+  Tensor table = Tensor::Variable(Matrix(5, 2, 1.0));
+  Adam::Options options;
+  options.lr = 0.1;
+  options.lazy = true;
+  Adam adam(options);
+  // Only rows 1 and 3 are touched by the gather.
+  for (int i = 0; i < 10; ++i) {
+    Tensor batch = GatherRows(table, {1, 3});
+    Tensor loss = SumSquares(batch);
+    Backward(loss);
+    adam.Step({table});
+  }
+  // Untouched rows keep their exact initial values.
+  for (Index r : {0, 2, 4}) {
+    EXPECT_DOUBLE_EQ(table.value()(r, 0), 1.0);
+    EXPECT_DOUBLE_EQ(table.value()(r, 1), 1.0);
+  }
+  // Touched rows moved toward zero.
+  EXPECT_LT(table.value()(1, 0), 1.0);
+  EXPECT_LT(table.value()(3, 0), 1.0);
+}
+
+TEST(LazyAdamTest, MatchesDenseAdamWhenAllRowsTouched) {
+  Tensor dense_param = Tensor::Variable(Matrix(3, 2, 2.0));
+  Tensor lazy_param = Tensor::Variable(Matrix(3, 2, 2.0));
+  Adam::Options dense_options;
+  dense_options.lr = 0.05;
+  Adam dense(dense_options);
+  Adam::Options lazy_options;
+  lazy_options.lr = 0.05;
+  lazy_options.lazy = true;
+  Adam lazy(lazy_options);
+  for (int i = 0; i < 20; ++i) {
+    Tensor l1 = SumSquares(dense_param);
+    Backward(l1);
+    dense.Step({dense_param});
+    Tensor l2 = SumSquares(lazy_param);
+    Backward(l2);
+    lazy.Step({lazy_param});
+  }
+  for (Index i = 0; i < dense_param.value().size(); ++i) {
+    EXPECT_NEAR(dense_param.value().data()[i], lazy_param.value().data()[i],
+                1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace firzen

@@ -1,0 +1,258 @@
+// Property-based sweeps (TEST_P) over randomized inputs: autograd ops under
+// many shapes, CSR normalization invariants over random graphs, metric
+// ordering properties, kNN graph invariants across K, and split invariants
+// across cold fractions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "src/data/split.h"
+#include "src/eval/metrics.h"
+#include "src/graph/knn_graph.h"
+#include "src/tensor/csr.h"
+#include "src/tensor/gradcheck.h"
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+
+namespace firzen {
+namespace {
+
+using namespace ops;  // NOLINT(build/namespaces)
+
+// ---- Autograd composite-graph gradcheck across shapes ----
+
+class CompositeGradTest
+    : public ::testing::TestWithParam<std::tuple<Index, Index, uint64_t>> {};
+
+TEST_P(CompositeGradTest, DeepCompositeGraphGradientsMatch) {
+  const auto [rows, cols, seed] = GetParam();
+  Rng rng(seed);
+  Matrix ma(rows, cols);
+  ma.FillNormal(&rng, 0.7);
+  Matrix mw(cols, cols);
+  mw.FillNormal(&rng, 0.7);
+  Tensor a = Tensor::Variable(std::move(ma));
+  Tensor w = Tensor::Variable(std::move(mw));
+  auto build = [a, w] {
+    // A deliberately tangled graph: reuse, normalization, nonlinearity,
+    // reduction — the shape of a real model step.
+    Tensor h = Tanh(MatMul(a, w));
+    Tensor n = RowL2Normalize(Add(h, a));
+    Tensor s = RowSoftmax(MatMul(n, w, false, true));
+    return Add(ReduceMean(Mul(s, n)), Scale(SumSquares(w), 1e-3));
+  };
+  const GradCheckResult result = CheckGradients({a, w}, build, 1e-6, 1e-5);
+  EXPECT_TRUE(result.ok) << "abs=" << result.max_abs_error
+                         << " rel=" << result.max_rel_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CompositeGradTest,
+    ::testing::Values(std::make_tuple<Index, Index, uint64_t>(2, 3, 1),
+                      std::make_tuple<Index, Index, uint64_t>(5, 4, 2),
+                      std::make_tuple<Index, Index, uint64_t>(7, 2, 3),
+                      std::make_tuple<Index, Index, uint64_t>(1, 6, 4),
+                      std::make_tuple<Index, Index, uint64_t>(6, 6, 5)));
+
+// ---- CSR invariants over random graphs ----
+
+class CsrPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsrPropertyTest, SymNormalizedMatchesFormulaAndStaysSymmetric) {
+  // Entries of D^{-1/2} A D^{-1/2} must equal a_rc / sqrt(d_r d_c) with
+  // degrees taken from the raw value sums, and symmetry must be preserved.
+  Rng rng(GetParam());
+  std::vector<CooEntry> entries;
+  const Index n = 30;
+  for (int e = 0; e < 120; ++e) {
+    const Index r = rng.UniformInt(n);
+    const Index c = rng.UniformInt(n);
+    if (r == c) continue;
+    const Real v = rng.Uniform(0.1, 2.0);
+    entries.push_back({r, c, v});
+    entries.push_back({c, r, v});
+  }
+  const CsrMatrix raw = CsrMatrix::FromCoo(n, n, entries);
+  const Matrix raw_dense = raw.ToDense();
+  std::vector<Real> degree(static_cast<size_t>(n), 0.0);
+  for (Index r = 0; r < n; ++r) {
+    for (Index c = 0; c < n; ++c) degree[static_cast<size_t>(r)] += raw_dense(r, c);
+  }
+  const Matrix dense = raw.SymNormalized().ToDense();
+  for (Index r = 0; r < n; ++r) {
+    for (Index c = 0; c < n; ++c) {
+      EXPECT_NEAR(dense(r, c), dense(c, r), 1e-10);
+      if (raw_dense(r, c) > 0.0) {
+        EXPECT_NEAR(dense(r, c),
+                    raw_dense(r, c) / std::sqrt(degree[static_cast<size_t>(r)] *
+                                                degree[static_cast<size_t>(c)]),
+                    1e-10);
+      }
+    }
+  }
+}
+
+TEST_P(CsrPropertyTest, TransposeOfTransposeIsIdentity) {
+  Rng rng(GetParam() + 100);
+  std::vector<CooEntry> entries;
+  for (int e = 0; e < 60; ++e) {
+    entries.push_back({rng.UniformInt(12), rng.UniformInt(17), rng.Normal()});
+  }
+  const CsrMatrix a = CsrMatrix::FromCoo(12, 17, entries);
+  const CsrMatrix att = a.Transposed().Transposed();
+  EXPECT_EQ(att.nnz(), a.nnz());
+  const Matrix da = a.ToDense();
+  const Matrix datt = att.ToDense();
+  for (Index i = 0; i < da.size(); ++i) {
+    EXPECT_DOUBLE_EQ(da.data()[i], datt.data()[i]);
+  }
+}
+
+TEST_P(CsrPropertyTest, SpMMLinearity) {
+  // A(x + y) == Ax + Ay.
+  Rng rng(GetParam() + 200);
+  std::vector<CooEntry> entries;
+  for (int e = 0; e < 80; ++e) {
+    entries.push_back({rng.UniformInt(15), rng.UniformInt(15), rng.Normal()});
+  }
+  const CsrMatrix a = CsrMatrix::FromCoo(15, 15, entries);
+  Matrix x(15, 4);
+  Matrix y(15, 4);
+  x.FillNormal(&rng, 1.0);
+  y.FillNormal(&rng, 1.0);
+  Matrix xy = x;
+  xy.Add(y);
+  Matrix a_xy;
+  a.SpMM(xy, &a_xy);
+  Matrix ax;
+  a.SpMM(x, &ax);
+  Matrix ay;
+  a.SpMM(y, &ay);
+  ax.Add(ay);
+  for (Index i = 0; i < ax.size(); ++i) {
+    EXPECT_NEAR(a_xy.data()[i], ax.data()[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// ---- Metric properties ----
+
+class MetricPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricPropertyTest, BoundsAndOrderings) {
+  Rng rng(GetParam());
+  // Random universe of 50 items, random relevant subset, random ranking.
+  std::vector<Index> ranking(50);
+  for (Index i = 0; i < 50; ++i) ranking[static_cast<size_t>(i)] = i;
+  rng.Shuffle(&ranking);
+  ranking.resize(20);
+  std::unordered_set<Index> relevant;
+  const Index num_rel = 1 + rng.UniformInt(10);
+  while (static_cast<Index>(relevant.size()) < num_rel) {
+    relevant.insert(rng.UniformInt(50));
+  }
+  const MetricBundle m = ComputeUserMetrics(ranking, relevant, num_rel, 20);
+  // All metrics in [0, 1].
+  for (Real v : {m.recall, m.mrr, m.ndcg, m.hit, m.precision}) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // Orderings: mrr <= hit (first hit implies hit); recall > 0 iff hit.
+  EXPECT_LE(m.mrr, m.hit + 1e-12);
+  EXPECT_EQ(m.recall > 0.0, m.hit > 0.0);
+  EXPECT_EQ(m.precision > 0.0, m.hit > 0.0);
+  // NDCG positive iff any hit.
+  EXPECT_EQ(m.ndcg > 0.0, m.hit > 0.0);
+}
+
+TEST_P(MetricPropertyTest, MovingAHitEarlierNeverDecreasesRankMetrics) {
+  Rng rng(GetParam() + 1);
+  std::vector<Index> ranking{0, 1, 2, 3, 4, 5, 6, 7};
+  std::unordered_set<Index> relevant{5};
+  const MetricBundle late = ComputeUserMetrics(ranking, relevant, 1, 8);
+  std::swap(ranking[5], ranking[2]);  // move hit from rank 6 to rank 3
+  const MetricBundle early = ComputeUserMetrics(ranking, relevant, 1, 8);
+  EXPECT_GT(early.mrr, late.mrr);
+  EXPECT_GT(early.ndcg, late.ndcg);
+  EXPECT_EQ(early.recall, late.recall);  // set metrics unchanged
+  EXPECT_EQ(early.hit, late.hit);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricPropertyTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+// ---- kNN graph invariants across K ----
+
+class KnnSweepTest : public ::testing::TestWithParam<Index> {};
+
+TEST_P(KnnSweepTest, DegreeEqualsKAndDeterministic) {
+  const Index k = GetParam();
+  Rng rng(77);
+  Matrix features(40, 6);
+  features.FillNormal(&rng, 1.0);
+  KnnGraphOptions options;
+  options.top_k = k;
+  const CsrMatrix a = BuildItemKnnAdjacency(features, options);
+  const CsrMatrix b = BuildItemKnnAdjacency(features, options);
+  EXPECT_EQ(a.nnz(), 40 * k);
+  // Deterministic construction.
+  EXPECT_EQ(a.col_idx(), b.col_idx());
+  // Larger K is a superset of smaller K's neighbor sets.
+  if (k > 2) {
+    KnnGraphOptions smaller = options;
+    smaller.top_k = k - 1;
+    const CsrMatrix s = BuildItemKnnAdjacency(features, smaller);
+    for (Index r = 0; r < 40; ++r) {
+      std::set<Index> big;
+      for (Index p = a.row_ptr()[r]; p < a.row_ptr()[r + 1]; ++p) {
+        big.insert(a.col_idx()[static_cast<size_t>(p)]);
+      }
+      for (Index p = s.row_ptr()[r]; p < s.row_ptr()[r + 1]; ++p) {
+        EXPECT_TRUE(big.count(s.col_idx()[static_cast<size_t>(p)]) > 0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KnnSweepTest,
+                         ::testing::Values<Index>(2, 5, 10, 15, 20));
+
+// ---- Split invariants across cold fractions ----
+
+class SplitSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplitSweepTest, StrictInvariantsHoldForAnyColdFraction) {
+  Rng world_rng(123);
+  std::vector<Interaction> interactions;
+  for (Index u = 0; u < 60; ++u) {
+    for (int j = 0; j < 8; ++j) {
+      interactions.push_back({u, world_rng.UniformInt(80)});
+    }
+  }
+  Dataset dataset;
+  dataset.num_users = 60;
+  dataset.num_items = 80;
+  SplitOptions options;
+  options.cold_fraction = GetParam();
+  Rng rng(9);
+  ApplyStrictColdSplit(interactions, options, &rng, &dataset);
+  dataset.CheckValid();
+  // Interaction conservation.
+  EXPECT_EQ(interactions.size(),
+            dataset.train.size() + dataset.warm_val.size() +
+                dataset.warm_test.size() + dataset.cold_val.size() +
+                dataset.cold_test.size());
+  // Cold val/test within one of each other.
+  EXPECT_LE(std::abs(static_cast<long>(dataset.cold_val.size()) -
+                     static_cast<long>(dataset.cold_test.size())),
+            1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SplitSweepTest,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.5));
+
+}  // namespace
+}  // namespace firzen

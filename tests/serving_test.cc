@@ -1,0 +1,189 @@
+// Serving and serialization tests: embedding save/load round trips, the
+// StaticRecommender scoring contract, and ServingIndex exclusion /
+// candidate-restriction semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/data/synthetic.h"
+#include "src/eval/serving.h"
+#include "src/models/bpr_mf.h"
+#include "src/models/registry.h"
+#include "src/models/serialize.h"
+#include "src/util/logging.h"
+
+namespace firzen {
+namespace {
+
+Matrix RandomEmb(Index rows, Index cols, uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  m.FillNormal(&rng, 1.0);
+  return m;
+}
+
+TEST(SerializeTest, RoundTripPreservesEmbeddingsAndName) {
+  const Matrix user = RandomEmb(7, 5, 1);
+  const Matrix item = RandomEmb(9, 5, 2);
+  StaticRecommender original("TestModel", user, item);
+  const std::string path = ::testing::TempDir() + "/model.fzem";
+  ASSERT_TRUE(SaveEmbeddings(original, user, item, path).ok());
+
+  auto loaded = LoadEmbeddings(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->Name(), "TestModel");
+  const Matrix& lu = loaded.value()->user_embeddings();
+  const Matrix li = loaded.value()->ItemEmbeddings();
+  ASSERT_EQ(lu.rows(), 7);
+  ASSERT_EQ(li.rows(), 9);
+  for (Index i = 0; i < user.size(); ++i) {
+    EXPECT_DOUBLE_EQ(lu.data()[i], user.data()[i]);
+  }
+  for (Index i = 0; i < item.size(); ++i) {
+    EXPECT_DOUBLE_EQ(li.data()[i], item.data()[i]);
+  }
+}
+
+TEST(SerializeTest, LoadedModelScoresIdenticallyToSource) {
+  SetLogLevel(LogLevel::kError);
+  const Dataset dataset = GenerateSyntheticDataset(BeautySConfig(0.12));
+  BprMf model;
+  TrainOptions options;
+  options.embedding_dim = 8;
+  options.epochs = 3;
+  options.eval_every = 3;
+  model.Fit(dataset, options);
+
+  const std::string path = ::testing::TempDir() + "/bpr.fzem";
+  ASSERT_TRUE(SaveEmbeddings(model, model.UserEmbeddings(),
+                             model.ItemEmbeddings(), path)
+                  .ok());
+  auto loaded = LoadEmbeddings(path);
+  ASSERT_TRUE(loaded.ok());
+
+  Matrix original_scores;
+  Matrix loaded_scores;
+  const std::vector<Index> users{0, 3, 5};
+  model.Score(users, &original_scores);
+  loaded.value()->Score(users, &loaded_scores);
+  ASSERT_EQ(original_scores.size(), loaded_scores.size());
+  for (Index i = 0; i < original_scores.size(); ++i) {
+    EXPECT_DOUBLE_EQ(original_scores.data()[i], loaded_scores.data()[i]);
+  }
+}
+
+TEST(SerializeTest, RejectsGarbageAndTruncatedFiles) {
+  const std::string path = ::testing::TempDir() + "/garbage.fzem";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("not a firzen file at all", f);
+    std::fclose(f);
+  }
+  auto loaded = LoadEmbeddings(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+
+  auto missing = LoadEmbeddings("/no/such/file.fzem");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIOError);
+}
+
+TEST(SerializeTest, SaveRejectsEmptyOrMismatchedEmbeddings) {
+  StaticRecommender model("X", RandomEmb(2, 3, 3), RandomEmb(2, 3, 4));
+  const std::string path = ::testing::TempDir() + "/bad.fzem";
+  EXPECT_FALSE(SaveEmbeddings(model, Matrix(), RandomEmb(2, 3, 5), path).ok());
+  EXPECT_FALSE(
+      SaveEmbeddings(model, RandomEmb(2, 3, 6), RandomEmb(2, 4, 7), path)
+          .ok());
+}
+
+class ServingFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_.num_users = 3;
+    dataset_.num_items = 6;
+    dataset_.is_cold_item.assign(6, false);
+    dataset_.train = {{0, 0}, {0, 1}, {1, 2}};
+    // Deterministic scores: user u prefers item (u + i) % 6 descending.
+    Matrix user(3, 6);
+    Matrix item(6, 6);
+    for (Index i = 0; i < 6; ++i) item(i, i) = 1.0;
+    for (Index u = 0; u < 3; ++u) {
+      for (Index i = 0; i < 6; ++i) {
+        user(u, i) = -static_cast<Real>((u + i) % 6);
+      }
+    }
+    model_ = std::make_unique<StaticRecommender>("fixture", user, item);
+  }
+
+  Dataset dataset_;
+  std::unique_ptr<StaticRecommender> model_;
+};
+
+TEST_F(ServingFixture, ExcludesTrainItems) {
+  ServingIndex index(model_.get(), dataset_);
+  const auto recs = index.TopK(0, 6);
+  // User 0 interacted with items 0 and 1 -> never recommended.
+  for (const Recommendation& rec : recs) {
+    EXPECT_NE(rec.item, 0);
+    EXPECT_NE(rec.item, 1);
+  }
+  EXPECT_EQ(recs.size(), 4u);
+}
+
+TEST_F(ServingFixture, ReturnsBestFirst) {
+  ServingIndex index(model_.get(), dataset_);
+  const auto recs = index.TopK(2, 3);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_GE(recs[0].score, recs[1].score);
+  EXPECT_GE(recs[1].score, recs[2].score);
+  // User 2 scores: item i -> -((2+i)%6): best is item 4 (score 0).
+  EXPECT_EQ(recs[0].item, 4);
+}
+
+TEST_F(ServingFixture, CandidateRestrictionHonored) {
+  ServingIndex index(model_.get(), dataset_);
+  const std::vector<Index> shelf{3, 5};
+  const auto recs = index.TopK(1, 10, shelf);
+  ASSERT_EQ(recs.size(), 2u);
+  for (const Recommendation& rec : recs) {
+    EXPECT_TRUE(rec.item == 3 || rec.item == 5);
+  }
+}
+
+TEST_F(ServingFixture, BatchMatchesSingle) {
+  ServingIndex index(model_.get(), dataset_);
+  const auto batch = index.TopKBatch({0, 1, 2}, 3);
+  ASSERT_EQ(batch.size(), 3u);
+  for (Index u = 0; u < 3; ++u) {
+    const auto single = index.TopK(u, 3);
+    ASSERT_EQ(batch[static_cast<size_t>(u)].size(), single.size());
+    for (size_t k = 0; k < single.size(); ++k) {
+      EXPECT_EQ(batch[static_cast<size_t>(u)][k].item, single[k].item);
+    }
+  }
+}
+
+TEST(ServingIntegrationTest, ColdShelfRecommendationsWork) {
+  SetLogLevel(LogLevel::kError);
+  const Dataset dataset = GenerateSyntheticDataset(BeautySConfig(0.15));
+  auto model = CreateModel("Firzen");
+  TrainOptions options;
+  options.embedding_dim = 16;
+  options.epochs = 4;
+  options.eval_every = 4;
+  model->Fit(dataset, options);
+  model->PrepareColdInference(dataset);
+
+  ServingIndex index(model.get(), dataset);
+  const auto recs = index.TopK(0, 5, dataset.ColdItems());
+  ASSERT_EQ(recs.size(), 5u);
+  for (const Recommendation& rec : recs) {
+    EXPECT_TRUE(dataset.is_cold_item[static_cast<size_t>(rec.item)]);
+    EXPECT_TRUE(std::isfinite(rec.score));
+  }
+}
+
+}  // namespace
+}  // namespace firzen

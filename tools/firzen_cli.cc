@@ -1,0 +1,240 @@
+// Command-line front end for the library:
+//
+//   firzen_cli synth --profile beauty --scale 0.4 --out DIR
+//       Generate a synthetic benchmark and export it as TSV files.
+//
+//   firzen_cli train --interactions F --text F --image F --kg F
+//              [--model Firzen] [--dim 32] [--epochs 20] [--save model.fzem]
+//       Train any registered model on TSV data, report strict cold-start and
+//       warm-start metrics, optionally serialize the final embeddings.
+//
+//   firzen_cli recommend --embeddings model.fzem --user ID [--k 10]
+//       Serve top-K recommendations from a serialized model.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "src/data/io.h"
+#include "src/data/split.h"
+#include "src/data/synthetic.h"
+#include "src/eval/serving.h"
+#include "src/models/registry.h"
+#include "src/models/serialize.h"
+#include "src/util/logging.h"
+#include "src/util/table_printer.h"
+
+namespace {
+
+using namespace firzen;  // NOLINT(build/namespaces)
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", key.c_str());
+      std::exit(2);
+    }
+    flags[key.substr(2)] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& def) {
+  auto it = flags.find(key);
+  return it == flags.end() ? def : it->second;
+}
+
+int RunSynth(const std::map<std::string, std::string>& flags) {
+  const std::string profile = FlagOr(flags, "profile", "beauty");
+  const double scale = std::stod(FlagOr(flags, "scale", "0.4"));
+  const std::string out = FlagOr(flags, "out", ".");
+  SyntheticConfig config =
+      profile == "cellphones" ? CellPhonesSConfig(scale)
+      : profile == "clothing" ? ClothingSConfig(scale)
+      : profile == "weixin"   ? WeixinSportsSConfig(scale)
+                              : BeautySConfig(scale);
+  const Dataset dataset = GenerateSyntheticDataset(config);
+  std::vector<Interaction> all;
+  for (const auto* split :
+       {&dataset.train, &dataset.warm_val, &dataset.warm_test,
+        &dataset.cold_val, &dataset.cold_test}) {
+    all.insert(all.end(), split->begin(), split->end());
+  }
+  Status status = SaveInteractionsTsv(out + "/interactions.tsv", all);
+  if (status.ok()) {
+    status = SaveFeaturesTsv(out + "/text.tsv",
+                             dataset.modalities[0].features);
+  }
+  if (status.ok()) {
+    status = SaveFeaturesTsv(out + "/image.tsv",
+                             dataset.modalities[1].features);
+  }
+  if (status.ok()) status = SaveKgTsv(out + "/kg.tsv", dataset.kg);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s/{interactions,text,image,kg}.tsv  (%lld users, %lld "
+              "items, %zu interactions)\n",
+              out.c_str(), static_cast<long long>(dataset.num_users),
+              static_cast<long long>(dataset.num_items), all.size());
+  return 0;
+}
+
+int RunTrain(const std::map<std::string, std::string>& flags) {
+  const std::string inter_path = FlagOr(flags, "interactions", "");
+  if (inter_path.empty()) {
+    std::fprintf(stderr, "--interactions is required\n");
+    return 2;
+  }
+  auto interactions = LoadInteractionsTsv(inter_path);
+  if (!interactions.ok()) {
+    std::fprintf(stderr, "%s\n", interactions.status().ToString().c_str());
+    return 1;
+  }
+  Index num_users = 0;
+  Index num_items = 0;
+  for (const Interaction& x : interactions.value()) {
+    num_users = std::max(num_users, x.user + 1);
+    num_items = std::max(num_items, x.item + 1);
+  }
+
+  Dataset dataset;
+  dataset.name = "cli";
+  dataset.num_users = num_users;
+  dataset.num_items = num_items;
+  for (const auto& [flag, modality] :
+       std::map<std::string, std::string>{{"text", "text"},
+                                          {"image", "image"}}) {
+    const std::string path = FlagOr(flags, flag, "");
+    if (path.empty()) continue;
+    auto features = LoadFeaturesTsv(path, num_items);
+    if (!features.ok()) {
+      std::fprintf(stderr, "%s\n", features.status().ToString().c_str());
+      return 1;
+    }
+    dataset.modalities.push_back({modality, std::move(features.value())});
+  }
+  const std::string kg_path = FlagOr(flags, "kg", "");
+  if (!kg_path.empty()) {
+    auto kg = LoadKgTsv(kg_path, num_items);
+    if (!kg.ok()) {
+      std::fprintf(stderr, "%s\n", kg.status().ToString().c_str());
+      return 1;
+    }
+    dataset.kg = std::move(kg.value());
+  }
+
+  SplitOptions split_options;
+  split_options.cold_fraction =
+      std::stod(FlagOr(flags, "cold-fraction", "0.2"));
+  Rng rng(static_cast<uint64_t>(std::stoll(FlagOr(flags, "seed", "7"))));
+  ApplyStrictColdSplit(interactions.value(), split_options, &rng, &dataset);
+  dataset.CheckValid();
+
+  const std::string model_name = FlagOr(flags, "model", "Firzen");
+  auto model = CreateModel(model_name);
+  if (model == nullptr) {
+    std::fprintf(stderr, "unknown model '%s'; available:", model_name.c_str());
+    for (const ModelInfo& info : AllModels()) {
+      std::fprintf(stderr, " %s", info.name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+
+  TrainOptions train;
+  train.embedding_dim =
+      static_cast<Index>(std::stol(FlagOr(flags, "dim", "32")));
+  train.epochs = static_cast<int>(std::stol(FlagOr(flags, "epochs", "20")));
+  train.eval_every = 5;
+  train.pool = ThreadPool::Global();
+  train.verbose = FlagOr(flags, "verbose", "0") == "1";
+
+  const ProtocolResult result =
+      RunStrictColdProtocol(model.get(), dataset, train);
+  TablePrinter table({"Setting", "R@20", "M@20", "N@20", "H@20", "P@20"});
+  for (const char* setting : {"Cold", "Warm", "HM"}) {
+    const MetricBundle& m = std::string(setting) == "Cold"
+                                ? result.cold.metrics
+                            : std::string(setting) == "Warm"
+                                ? result.warm.metrics
+                                : result.hm;
+    table.BeginRow();
+    table.AddCell(setting);
+    table.AddCell(100.0 * m.recall);
+    table.AddCell(100.0 * m.mrr);
+    table.AddCell(100.0 * m.ndcg);
+    table.AddCell(100.0 * m.hit);
+    table.AddCell(100.0 * m.precision);
+  }
+  table.Print();
+
+  const std::string save_path = FlagOr(flags, "save", "");
+  if (!save_path.empty()) {
+    // Serialize the post-cold-inference state (serves both settings).
+    const Matrix user_emb = model->UserEmbeddings();
+    const Matrix item_emb = model->ItemEmbeddings();
+    if (user_emb.empty() || item_emb.empty()) {
+      std::fprintf(stderr,
+                   "model '%s' has no servable static embeddings; skip save\n",
+                   model_name.c_str());
+    } else {
+      const Status status =
+          SaveEmbeddings(*model, user_emb, item_emb, save_path);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("saved servable model to %s\n", save_path.c_str());
+    }
+  }
+  return 0;
+}
+
+int RunRecommend(const std::map<std::string, std::string>& flags) {
+  const std::string path = FlagOr(flags, "embeddings", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "--embeddings is required\n");
+    return 2;
+  }
+  auto loaded = LoadEmbeddings(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const Index user =
+      static_cast<Index>(std::stoll(FlagOr(flags, "user", "0")));
+  const Index k = static_cast<Index>(std::stol(FlagOr(flags, "k", "10")));
+  Dataset empty;
+  empty.num_users = loaded.value()->user_embeddings().rows();
+  empty.num_items = loaded.value()->ItemEmbeddings().rows();
+  empty.is_cold_item.assign(static_cast<size_t>(empty.num_items), false);
+  ServingIndex index(loaded.value().get(), empty);
+  for (const Recommendation& rec : index.TopK(user, k)) {
+    std::printf("%lld\t%.6f\n", static_cast<long long>(rec.item), rec.score);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: firzen_cli <synth|train|recommend> [--flag value]...\n");
+    return 2;
+  }
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv, 2);
+  if (command == "synth") return RunSynth(flags);
+  if (command == "train") return RunTrain(flags);
+  if (command == "recommend") return RunRecommend(flags);
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 2;
+}
