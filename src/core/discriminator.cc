@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/tensor/init.h"
+#include "src/tensor/ops.h"
 #include "src/util/check.h"
 
 namespace firzen {
@@ -46,9 +47,9 @@ void Discriminator::ClipWeights() {
   const Real clip = options_.weight_clip;
   for (Tensor param : {w1_, w2_}) {
     Matrix* value = param.mutable_value();
-    for (Index i = 0; i < value->size(); ++i) {
-      value->data()[i] = std::clamp(value->data()[i], -clip, clip);
-    }
+    ops::ApplyElementwise(value->size(), value->data(), [clip](Real v) {
+      return std::clamp(v, -clip, clip);
+    });
   }
 }
 

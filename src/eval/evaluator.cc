@@ -5,40 +5,24 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/eval/topk.h"
 #include "src/util/check.h"
 #include "src/util/table_printer.h"
 
 namespace firzen {
 namespace {
 
-// Fixed-size top-K selection over candidate columns with deterministic
-// tie-breaking (higher score first, then lower item id).
-std::vector<Index> TopK(const Real* scores, const std::vector<Index>& candidates,
-                        Index k) {
-  using Entry = std::pair<Real, Index>;
-  std::vector<Entry> heap;  // min-heap on (score, -item)
-  heap.reserve(static_cast<size_t>(k) + 1);
-  auto worse = [](const Entry& a, const Entry& b) {
-    // a is "better" than b => a should sit deeper in the min-heap.
-    return a.first != b.first ? a.first > b.first : a.second < b.second;
-  };
-  for (Index item : candidates) {
-    const Entry e{scores[item], item};
-    if (static_cast<Index>(heap.size()) < k) {
-      heap.push_back(e);
-      std::push_heap(heap.begin(), heap.end(), worse);
-    } else if (worse(e, heap.front())) {
-      std::pop_heap(heap.begin(), heap.end(), worse);
-      heap.back() = e;
-      std::push_heap(heap.begin(), heap.end(), worse);
-    }
-  }
-  // sort_heap with this comparator yields best-first order (the "least"
-  // element under `worse` is the highest-scoring one).
-  std::sort_heap(heap.begin(), heap.end(), worse);
+// Fixed-size top-K selection over candidate columns via the shared bounded
+// min-heap (deterministic tie-breaking: higher score first, then lower item
+// id). `heap` is caller-owned per-thread scratch.
+std::vector<Index> TopK(const Real* scores,
+                        const std::vector<Index>& candidates, TopKHeap* heap) {
+  heap->Reset();
+  for (Index item : candidates) heap->Push(item, scores[item]);
+  const auto& sorted = heap->Sorted();
   std::vector<Index> out;
-  out.reserve(heap.size());
-  for (const Entry& e : heap) out.push_back(e.second);
+  out.reserve(sorted.size());
+  for (const ScoredItem& e : sorted) out.push_back(e.item);
   return out;
 }
 
@@ -98,6 +82,7 @@ EvalResult EvaluateRanking(const Dataset& dataset,
           MetricBundle local;
           Index local_count = 0;
           std::vector<Index> candidates;
+          TopKHeap heap(options.k);
           for (Index r = row_begin; r < row_end; ++r) {
             const Index user = batch[static_cast<size_t>(r)];
             // find() not operator[]: this map is shared across worker
@@ -122,7 +107,7 @@ EvalResult EvaluateRanking(const Dataset& dataset,
             if (num_relevant == 0) continue;
 
             const std::vector<Index> top =
-                TopK(scores.row(r), *pool_items, options.k);
+                TopK(scores.row(r), *pool_items, &heap);
             local += ComputeUserMetrics(top, relevant, num_relevant,
                                         options.k);
             ++local_count;

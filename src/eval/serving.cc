@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "src/eval/topk.h"
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace firzen {
 
@@ -22,39 +24,46 @@ std::vector<std::vector<Recommendation>> ServingIndex::TopKBatch(
     const std::vector<Index>& users, Index k,
     const std::vector<Index>& candidates) const {
   FIRZEN_CHECK_GT(k, 0);
+  for (Index item : candidates) {
+    FIRZEN_CHECK_GE(item, 0);
+    FIRZEN_CHECK_LT(item, num_items_);
+  }
   Matrix scores;
   model_->Score(users, &scores);
   FIRZEN_CHECK_EQ(scores.cols(), num_items_);
 
-  std::vector<std::vector<Recommendation>> results;
-  results.reserve(users.size());
-  std::vector<Index> pool;
-  for (size_t r = 0; r < users.size(); ++r) {
-    const Index user = users[r];
-    const auto& exclude = seen_[static_cast<size_t>(user)];
-    pool.clear();
-    if (candidates.empty()) {
-      for (Index i = 0; i < num_items_; ++i) pool.push_back(i);
-    } else {
-      pool = candidates;
-    }
-    std::vector<Recommendation> ranked;
-    ranked.reserve(pool.size());
-    for (Index item : pool) {
-      FIRZEN_CHECK_LT(item, num_items_);
-      if (std::binary_search(exclude.begin(), exclude.end(), item)) continue;
-      ranked.push_back({item, scores(static_cast<Index>(r), item)});
-    }
-    const size_t keep = std::min<size_t>(static_cast<size_t>(k),
-                                         ranked.size());
-    std::partial_sort(ranked.begin(), ranked.begin() + keep, ranked.end(),
-                      [](const Recommendation& a, const Recommendation& b) {
-                        return a.score != b.score ? a.score > b.score
-                                                  : a.item < b.item;
-                      });
-    ranked.resize(keep);
-    results.push_back(std::move(ranked));
-  }
+  // Users are independent, so they shard across the pool with per-thread
+  // heap scratch; each shard writes disjoint result slots. Selection is a
+  // bounded min-heap: O(items log k) instead of copying + partial_sort over
+  // every unseen item.
+  std::vector<std::vector<Recommendation>> results(users.size());
+  ParallelFor(
+      ThreadPool::Global(), static_cast<Index>(users.size()),
+      [&](Index begin, Index end) {
+        TopKHeap heap(k);
+        for (Index r = begin; r < end; ++r) {
+          const Index user = users[static_cast<size_t>(r)];
+          const auto& exclude = seen_[static_cast<size_t>(user)];
+          const Real* user_scores = scores.row(r);
+          heap.Reset();
+          auto offer = [&](Index item) {
+            if (std::binary_search(exclude.begin(), exclude.end(), item)) {
+              return;
+            }
+            heap.Push(item, user_scores[item]);
+          };
+          if (candidates.empty()) {
+            for (Index item = 0; item < num_items_; ++item) offer(item);
+          } else {
+            for (Index item : candidates) offer(item);
+          }
+          const auto& top = heap.Sorted();
+          std::vector<Recommendation>& out = results[static_cast<size_t>(r)];
+          out.reserve(top.size());
+          for (const ScoredItem& e : top) out.push_back({e.item, e.score});
+        }
+      },
+      /*min_shard_size=*/8);
   return results;
 }
 

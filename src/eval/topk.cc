@@ -1,0 +1,33 @@
+#include "src/eval/topk.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace firzen {
+
+TopKHeap::TopKHeap(Index k) : k_(k) {
+  FIRZEN_CHECK_GT(k, 0);
+  heap_.reserve(static_cast<size_t>(k) + 1);
+}
+
+void TopKHeap::Push(Index item, Real score) {
+  const ScoredItem e{item, score};
+  if (static_cast<Index>(heap_.size()) < k_) {
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end(), Better);
+  } else if (Better(e, heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), Better);
+    heap_.back() = e;
+    std::push_heap(heap_.begin(), heap_.end(), Better);
+  }
+}
+
+const std::vector<ScoredItem>& TopKHeap::Sorted() {
+  // sort_heap under `Better` leaves the sequence in worst-first order of the
+  // min-heap comparator, i.e. best-first for the caller.
+  std::sort_heap(heap_.begin(), heap_.end(), Better);
+  return heap_;
+}
+
+}  // namespace firzen

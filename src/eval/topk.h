@@ -1,0 +1,56 @@
+// Bounded min-heap top-K selection shared by the all-ranking evaluator and
+// the online-serving index. Replaces partial_sort-over-all-items: O(n log k)
+// with a k-entry scratch buffer instead of O(n log n) over a full copy of
+// the candidate scores.
+#ifndef FIRZEN_EVAL_TOPK_H_
+#define FIRZEN_EVAL_TOPK_H_
+
+#include <vector>
+
+#include "src/util/common.h"
+
+namespace firzen {
+
+/// One scored candidate.
+struct ScoredItem {
+  Index item;
+  Real score;
+};
+
+/// Reusable bounded top-k selector. Ordering is deterministic: higher score
+/// first, ties broken by lower item id — identical to the evaluator's
+/// historical partial_sort comparator. Intended as per-thread scratch in
+/// batched ranking loops: construct once, then Reset()/Push()/TakeSorted()
+/// per user.
+class TopKHeap {
+ public:
+  explicit TopKHeap(Index k);
+
+  Index k() const { return k_; }
+
+  /// Clears the heap for the next user; keeps the allocated scratch.
+  void Reset() { heap_.clear(); }
+
+  /// Offers one candidate. Kept iff it beats the current k-th best.
+  void Push(Index item, Real score);
+
+  /// Sorts the retained candidates best-first in place and returns them.
+  /// Invalidates the heap ordering: call Reset() before the next Push
+  /// sequence. The buffer (and its capacity) stays owned by this object.
+  const std::vector<ScoredItem>& Sorted();
+
+ private:
+  // True when a ranks strictly better than b (descending score, ascending
+  // item id on ties). Used as the min-heap comparator, so the weakest
+  // retained candidate sits at heap_.front().
+  static bool Better(const ScoredItem& a, const ScoredItem& b) {
+    return a.score != b.score ? a.score > b.score : a.item < b.item;
+  }
+
+  Index k_;
+  std::vector<ScoredItem> heap_;
+};
+
+}  // namespace firzen
+
+#endif  // FIRZEN_EVAL_TOPK_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace firzen {
 
@@ -82,34 +83,82 @@ CsrMatrix CsrMatrix::FromCooNoMerge(Index rows, Index cols,
 CsrMatrix CsrMatrix::WithValues(std::vector<Real> values) const {
   FIRZEN_CHECK_EQ(static_cast<Index>(values.size()), nnz());
   CsrMatrix m = *this;
-  m.transpose_.reset();
+  m.transpose_cache_ = std::make_shared<TransposeCache>();
   m.values_ = std::move(values);
   return m;
 }
 
-void CsrMatrix::SpMM(const Matrix& x, Matrix* y) const {
+void CsrMatrix::SpMM(const Matrix& x, Matrix* y, ThreadPool* pool) const {
   FIRZEN_CHECK_EQ(x.rows(), cols_);
-  y->Resize(rows_, x.cols());
-  SpMMAccum(1.0, x, y);
+  y->ResizeUninitialized(rows_, x.cols());
+  const Index d = x.cols();
+  const Index* row_ptr = row_ptr_.data();
+  const Index* col_idx = col_idx_.data();
+  const Real* values = values_.data();
+  const Real* x_data = x.data();
+  Real* y_data = y->data();
+  ParallelFor(
+      pool == nullptr ? ThreadPool::Global() : pool, rows_,
+      [&](Index begin, Index end) {
+        for (Index r = begin; r < end; ++r) {
+          Real* out = y_data + r * d;
+          for (Index c = 0; c < d; ++c) out[c] = 0.0;
+          for (Index p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+            const Real v = values[static_cast<size_t>(p)];
+            const Real* in = x_data + col_idx[static_cast<size_t>(p)] * d;
+            for (Index c = 0; c < d; ++c) out[c] += v * in[c];
+          }
+        }
+      },
+      MinRowShard(d));
 }
 
-void CsrMatrix::SpMMAccum(Real alpha, const Matrix& x, Matrix* y) const {
+void CsrMatrix::SpMMAccum(Real alpha, const Matrix& x, Matrix* y,
+                          ThreadPool* pool) const {
   FIRZEN_CHECK_EQ(x.rows(), cols_);
   FIRZEN_CHECK_EQ(y->rows(), rows_);
   FIRZEN_CHECK_EQ(y->cols(), x.cols());
   const Index d = x.cols();
-  for (Index r = 0; r < rows_; ++r) {
-    Real* out = y->row(r);
-    for (Index p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
-      const Real v = alpha * values_[static_cast<size_t>(p)];
-      const Real* in = x.row(col_idx_[static_cast<size_t>(p)]);
-      for (Index c = 0; c < d; ++c) out[c] += v * in[c];
-    }
-  }
+  const Index* row_ptr = row_ptr_.data();
+  const Index* col_idx = col_idx_.data();
+  const Real* values = values_.data();
+  const Real* x_data = x.data();
+  Real* y_data = y->data();
+  ParallelFor(
+      pool == nullptr ? ThreadPool::Global() : pool, rows_,
+      [&](Index begin, Index end) {
+        for (Index r = begin; r < end; ++r) {
+          Real* out = y_data + r * d;
+          for (Index p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+            const Real v = alpha * values[static_cast<size_t>(p)];
+            const Real* in = x_data + col_idx[static_cast<size_t>(p)] * d;
+            for (Index c = 0; c < d; ++c) out[c] += v * in[c];
+          }
+        }
+      },
+      MinRowShard(d));
+}
+
+void CsrMatrix::SpMMT(const Matrix& x, Matrix* y, ThreadPool* pool) const {
+  Transposed().SpMM(x, y, pool);
+}
+
+void CsrMatrix::SpMMTAccum(Real alpha, const Matrix& x, Matrix* y,
+                           ThreadPool* pool) const {
+  Transposed().SpMMAccum(alpha, x, y, pool);
+}
+
+Index CsrMatrix::MinRowShard(Index d) const {
+  // Target shards of at least ~32K multiply-adds: avg nnz per row times the
+  // dense width gives the per-row cost.
+  const Index avg_row_flops =
+      std::max<Index>(1, nnz() / std::max<Index>(1, rows_) * d);
+  return std::max<Index>(16, 32768 / avg_row_flops);
 }
 
 const CsrMatrix& CsrMatrix::Transposed() const {
-  if (transpose_ == nullptr) {
+  TransposeCache* cache = transpose_cache_.get();
+  std::call_once(cache->once, [this, cache] {
     std::vector<CooEntry> entries;
     entries.reserve(static_cast<size_t>(nnz()));
     for (Index r = 0; r < rows_; ++r) {
@@ -118,15 +167,15 @@ const CsrMatrix& CsrMatrix::Transposed() const {
                            values_[static_cast<size_t>(p)]});
       }
     }
-    transpose_ = std::make_shared<CsrMatrix>(
+    cache->value = std::make_shared<const CsrMatrix>(
         FromCoo(cols_, rows_, std::move(entries)));
-  }
-  return *transpose_;
+  });
+  return *cache->value;
 }
 
 CsrMatrix CsrMatrix::RowNormalized() const {
   CsrMatrix m = *this;
-  m.transpose_.reset();
+  m.transpose_cache_ = std::make_shared<TransposeCache>();
   for (Index r = 0; r < rows_; ++r) {
     Real sum = 0.0;
     for (Index p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
@@ -149,7 +198,7 @@ CsrMatrix CsrMatrix::SymNormalized() const {
     }
   }
   CsrMatrix m = *this;
-  m.transpose_.reset();
+  m.transpose_cache_ = std::make_shared<TransposeCache>();
   for (Index r = 0; r < rows_; ++r) {
     const Real dr = degree[static_cast<size_t>(r)];
     if (dr <= 0.0) continue;
@@ -168,7 +217,7 @@ CsrMatrix CsrMatrix::SymNormalized() const {
 
 CsrMatrix CsrMatrix::RowSoftmax() const {
   CsrMatrix m = *this;
-  m.transpose_.reset();
+  m.transpose_cache_ = std::make_shared<TransposeCache>();
   for (Index r = 0; r < rows_; ++r) {
     const Index begin = row_ptr_[r];
     const Index end = row_ptr_[r + 1];

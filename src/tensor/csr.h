@@ -6,12 +6,15 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/tensor/matrix.h"
 #include "src/util/common.h"
 
 namespace firzen {
+
+class ThreadPool;
 
 /// One (row, col, value) coordinate entry used during construction.
 struct CooEntry {
@@ -21,9 +24,9 @@ struct CooEntry {
 };
 
 /// Immutable CSR sparse matrix. All mutating "operations" return new
-/// instances. The transpose is computed lazily and cached; the cache is not
-/// synchronized — graph construction and training drive SpMM from a single
-/// thread (the thread pool is only used *inside* kernels over row shards).
+/// instances. The transpose is computed lazily, cached, and guarded by
+/// std::call_once, so concurrent first calls to Transposed() are safe even
+/// when SpMM callers run on the thread pool.
 class CsrMatrix {
  public:
   CsrMatrix() = default;
@@ -56,12 +59,24 @@ class CsrMatrix {
   Index RowNnz(Index r) const { return row_ptr_[r + 1] - row_ptr_[r]; }
 
   /// y = this * x  (dense x with x.rows() == cols()). Output is resized.
-  void SpMM(const Matrix& x, Matrix* y) const;
+  /// Row shards run on `pool` (nullptr = ThreadPool::Global()); output rows
+  /// are disjoint so no synchronization is needed and results do not depend
+  /// on the pool size.
+  void SpMM(const Matrix& x, Matrix* y, ThreadPool* pool = nullptr) const;
 
   /// y += alpha * this * x. y must already be (rows() x x.cols()).
-  void SpMMAccum(Real alpha, const Matrix& x, Matrix* y) const;
+  void SpMMAccum(Real alpha, const Matrix& x, Matrix* y,
+                 ThreadPool* pool = nullptr) const;
 
-  /// Cached transpose. See class comment for the threading contract.
+  /// y = this^T * x, reusing the cached transpose (the backward pass of a
+  /// frozen-graph propagation). x.rows() must equal rows().
+  void SpMMT(const Matrix& x, Matrix* y, ThreadPool* pool = nullptr) const;
+
+  /// y += alpha * this^T * x via the cached transpose.
+  void SpMMTAccum(Real alpha, const Matrix& x, Matrix* y,
+                  ThreadPool* pool = nullptr) const;
+
+  /// Cached transpose; first call builds it under std::call_once.
   const CsrMatrix& Transposed() const;
 
   /// Returns a copy whose rows are L1-normalized (zero rows stay zero).
@@ -82,12 +97,25 @@ class CsrMatrix {
   Matrix ToDense() const;
 
  private:
+  /// Minimum rows per SpMM shard for a dense operand of width d.
+  Index MinRowShard(Index d) const;
+
+  // Lazily-built transpose plus its call_once guard. Held behind a
+  // shared_ptr because once_flag is neither copyable nor movable; copies of
+  // a CsrMatrix share the cache (they are value-identical), while the
+  // value-changing ops above install a fresh cache on their result.
+  struct TransposeCache {
+    std::once_flag once;
+    std::shared_ptr<const CsrMatrix> value;
+  };
+
   Index rows_ = 0;
   Index cols_ = 0;
   std::vector<Index> row_ptr_;
   std::vector<Index> col_idx_;
   std::vector<Real> values_;
-  mutable std::shared_ptr<CsrMatrix> transpose_;
+  mutable std::shared_ptr<TransposeCache> transpose_cache_ =
+      std::make_shared<TransposeCache>();
 };
 
 }  // namespace firzen

@@ -1,6 +1,8 @@
 // Dense row-major matrix with the handful of kernels the autograd engine
-// needs. No external BLAS: kernels are plain loops tuned for the d <= 128
-// embedding widths this library works at.
+// needs. No external BLAS: Gemm is a register-blocked (4x8 micro-tile),
+// cache-blocked kernel whose outer row dimension is sharded across the
+// global thread pool. Results are bit-identical for any pool size because
+// every output element is a straight k-ordered sum.
 #ifndef FIRZEN_TENSOR_MATRIX_H_
 #define FIRZEN_TENSOR_MATRIX_H_
 
@@ -11,6 +13,8 @@
 #include "src/util/rng.h"
 
 namespace firzen {
+
+class ThreadPool;
 
 /// Dense row-major matrix of Real. A (rows x cols) matrix stores element
 /// (r, c) at data[r * cols + c]. Vectors are represented as n x 1 or 1 x n.
@@ -44,6 +48,13 @@ class Matrix {
 
   /// Resize to (rows x cols) and zero. Existing contents are discarded.
   void Resize(Index rows, Index cols);
+
+  /// Resize to (rows x cols) without clearing existing contents. For kernels
+  /// that overwrite every element (e.g. Gemm's beta == 0 path): when the
+  /// buffer already has the right size — the steady state when an output
+  /// matrix is reused across training steps — this skips Resize()'s full
+  /// zero-fill pass. Contents are unspecified; read only after writing.
+  void ResizeUninitialized(Index rows, Index cols);
 
   /// Element-wise +=. Shapes must match.
   void Add(const Matrix& other);
@@ -80,9 +91,11 @@ class Matrix {
 
 /// C = alpha * op(A) * op(B) + beta * C, where op is optional transpose.
 /// Shapes are checked. C must already have the correct shape when beta != 0;
-/// otherwise it is resized.
+/// otherwise it is resized (uninitialized, then fully overwritten). Rows of C
+/// are sharded across `pool` (nullptr = ThreadPool::Global()); results do not
+/// depend on the pool size.
 void Gemm(bool trans_a, bool trans_b, Real alpha, const Matrix& a,
-          const Matrix& b, Real beta, Matrix* c);
+          const Matrix& b, Real beta, Matrix* c, ThreadPool* pool = nullptr);
 
 }  // namespace firzen
 

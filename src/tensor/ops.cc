@@ -71,12 +71,8 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
   auto node = NewNode("mul", {a.node(), b.node()});
   node->value = a.value();
-  {
-    Real* out = node->value.data();
-    const Real* bv = b.value().data();
-    const Index n = node->value.size();
-    for (Index i = 0; i < n; ++i) out[i] *= bv[i];
-  }
+  ApplyElementwise(node->value.size(), node->value.data(), b.value().data(),
+                   node->value.data(), [](Real x, Real y) { return x * y; });
   if (node->requires_grad) {
     node->backward_fn = [](TensorNode* self) {
       TensorNode* a_node = self->parents[0].get();
@@ -84,17 +80,15 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
       const Index n = self->grad.size();
       if (a_node->requires_grad) {
         a_node->EnsureGrad();
-        for (Index i = 0; i < n; ++i) {
-          a_node->grad.data()[i] +=
-              self->grad.data()[i] * b_node->value.data()[i];
-        }
+        ApplyElementwiseGrad(n, self->grad.data(), b_node->value.data(),
+                             a_node->grad.data(),
+                             [](Real g, Real y) { return g * y; });
       }
       if (b_node->requires_grad) {
         b_node->EnsureGrad();
-        for (Index i = 0; i < n; ++i) {
-          b_node->grad.data()[i] +=
-              self->grad.data()[i] * a_node->value.data()[i];
-        }
+        ApplyElementwiseGrad(n, self->grad.data(), a_node->value.data(),
+                             b_node->grad.data(),
+                             [](Real g, Real x) { return g * x; });
       }
     };
   }
@@ -105,12 +99,8 @@ Tensor Div(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
   auto node = NewNode("div", {a.node(), b.node()});
   node->value = a.value();
-  {
-    Real* out = node->value.data();
-    const Real* bv = b.value().data();
-    const Index n = node->value.size();
-    for (Index i = 0; i < n; ++i) out[i] /= bv[i];
-  }
+  ApplyElementwise(node->value.size(), node->value.data(), b.value().data(),
+                   node->value.data(), [](Real x, Real y) { return x / y; });
   if (node->requires_grad) {
     node->backward_fn = [](TensorNode* self) {
       TensorNode* a_node = self->parents[0].get();
@@ -118,18 +108,17 @@ Tensor Div(const Tensor& a, const Tensor& b) {
       const Index n = self->grad.size();
       if (a_node->requires_grad) {
         a_node->EnsureGrad();
-        for (Index i = 0; i < n; ++i) {
-          a_node->grad.data()[i] +=
-              self->grad.data()[i] / b_node->value.data()[i];
-        }
+        ApplyElementwiseGrad(n, self->grad.data(), b_node->value.data(),
+                             a_node->grad.data(),
+                             [](Real g, Real y) { return g / y; });
       }
       if (b_node->requires_grad) {
         b_node->EnsureGrad();
-        for (Index i = 0; i < n; ++i) {
-          const Real bv = b_node->value.data()[i];
-          b_node->grad.data()[i] -=
-              self->grad.data()[i] * self->value.data()[i] / bv;
-        }
+        ApplyElementwiseGrad(n, self->grad.data(), self->value.data(),
+                             b_node->value.data(), b_node->grad.data(),
+                             [](Real g, Real out, Real y) {
+                               return -g * out / y;
+                             });
       }
     };
   }
@@ -153,11 +142,8 @@ Tensor Scale(const Tensor& a, Real alpha) {
 Tensor AddScalar(const Tensor& a, Real alpha) {
   auto node = NewNode("add_scalar", {a.node()});
   node->value = a.value();
-  {
-    Real* out = node->value.data();
-    const Index n = node->value.size();
-    for (Index i = 0; i < n; ++i) out[i] += alpha;
-  }
+  ApplyElementwise(node->value.size(), node->value.data(),
+                   [alpha](Real v) { return v + alpha; });
   if (node->requires_grad) {
     node->backward_fn = [](TensorNode* self) {
       AccumulateInto(self->parents[0].get(), self->grad);
@@ -235,7 +221,7 @@ Tensor SpMM(std::shared_ptr<const CsrMatrix> a, const Tensor& x) {
     node->backward_fn = [a](TensorNode* self) {
       TensorNode* x_node = self->parents[0].get();
       x_node->EnsureGrad();
-      a->Transposed().SpMMAccum(1.0, self->grad, &x_node->grad);
+      a->SpMMTAccum(1.0, self->grad, &x_node->grad);
     };
   }
   return Tensor(node);
@@ -340,27 +326,24 @@ Tensor RowL2Normalize(const Tensor& x, Real eps) {
 namespace {
 
 // Shared machinery for element-wise unary ops whose derivative can be
-// written as a function of (input, output).
-Tensor UnaryOp(const char* name, const Tensor& x,
-               const std::function<Real(Real)>& fwd,
-               const std::function<Real(Real, Real)>& dfn) {
+// written as a function of (input, output). Templated on the callables so
+// the forward map and the fused backward accumulation both inline into the
+// ApplyElementwise sharded loops.
+template <typename Fwd, typename Dfn>
+Tensor UnaryOp(const char* name, const Tensor& x, Fwd fwd, Dfn dfn) {
   auto node = NewNode(name, {x.node()});
   node->value = x.value();
-  {
-    Real* out = node->value.data();
-    const Index n = node->value.size();
-    for (Index i = 0; i < n; ++i) out[i] = fwd(out[i]);
-  }
+  ApplyElementwise(node->value.size(), node->value.data(), fwd);
   if (node->requires_grad) {
     node->backward_fn = [dfn](TensorNode* self) {
       TensorNode* x_node = self->parents[0].get();
       x_node->EnsureGrad();
-      const Index n = self->grad.size();
-      for (Index i = 0; i < n; ++i) {
-        x_node->grad.data()[i] +=
-            self->grad.data()[i] *
-            dfn(x_node->value.data()[i], self->value.data()[i]);
-      }
+      ApplyElementwiseGrad(self->grad.size(), self->grad.data(),
+                           x_node->value.data(), self->value.data(),
+                           x_node->grad.data(), [dfn](Real g, Real in,
+                                                      Real out) {
+                             return g * dfn(in, out);
+                           });
     };
   }
   return Tensor(node);
@@ -469,11 +452,9 @@ Tensor Dropout(const Tensor& x, Real p, Rng* rng) {
     node->backward_fn = [mask = std::move(mask)](TensorNode* self) {
       TensorNode* x_node = self->parents[0].get();
       x_node->EnsureGrad();
-      const Index n = self->grad.size();
-      for (Index i = 0; i < n; ++i) {
-        x_node->grad.data()[i] +=
-            self->grad.data()[i] * mask[static_cast<size_t>(i)];
-      }
+      ApplyElementwiseGrad(self->grad.size(), self->grad.data(), mask.data(),
+                           x_node->grad.data(),
+                           [](Real g, Real m) { return g * m; });
     };
   }
   return Tensor(node);
@@ -597,8 +578,8 @@ Tensor ReduceSum(const Tensor& x) {
       TensorNode* x_node = self->parents[0].get();
       x_node->EnsureGrad();
       const Real g = self->grad(0, 0);
-      const Index n = x_node->grad.size();
-      for (Index i = 0; i < n; ++i) x_node->grad.data()[i] += g;
+      ApplyElementwise(x_node->grad.size(), x_node->grad.data(),
+                       [g](Real v) { return v + g; });
     };
   }
   return Tensor(node);
@@ -810,17 +791,16 @@ Tensor ConcatCols(const std::vector<Tensor>& xs) {
 Tensor Reshape(const Tensor& x, Index rows, Index cols) {
   FIRZEN_CHECK_EQ(rows * cols, x.rows() * x.cols());
   auto node = NewNode("reshape", {x.node()});
-  node->value.Resize(rows, cols);
-  const Index n = rows * cols;
-  for (Index i = 0; i < n; ++i) node->value.data()[i] = x.value().data()[i];
+  node->value = x.value();
+  // Same element count, so this only rewrites the dims of the copied buffer.
+  node->value.ResizeUninitialized(rows, cols);
   if (node->requires_grad) {
     node->backward_fn = [](TensorNode* self) {
       TensorNode* x_node = self->parents[0].get();
       x_node->EnsureGrad();
-      const Index n = self->grad.size();
-      for (Index i = 0; i < n; ++i) {
-        x_node->grad.data()[i] += self->grad.data()[i];
-      }
+      ApplyElementwiseGrad(self->grad.size(), self->grad.data(),
+                           self->grad.data(), x_node->grad.data(),
+                           [](Real g, Real) { return g; });
     };
   }
   return Tensor(node);

@@ -9,9 +9,71 @@
 #include "src/tensor/csr.h"
 #include "src/tensor/tensor.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 
 namespace firzen {
 namespace ops {
+
+// ---------------------------------------------------------------------------
+// Elementwise kernel helpers. Shared by every elementwise autograd op below
+// (and by callers like the discriminator's weight clipping) instead of ~10
+// hand-rolled index loops. Large buffers are sharded across the global
+// thread pool; each index is touched by exactly one shard, so results are
+// deterministic for any pool size. `fn` must be a pure per-element function.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+/// Minimum elements per shard: elementwise work is cheap, so only large
+/// tensors are worth scheduling on the pool.
+constexpr Index kElementwiseGrain = 1 << 14;
+}  // namespace detail
+
+/// out[i] = fn(out[i])  (in-place unary map).
+template <typename Fn>
+void ApplyElementwise(Index n, Real* out, Fn fn) {
+  ParallelFor(
+      ThreadPool::Global(), n,
+      [&](Index begin, Index end) {
+        for (Index i = begin; i < end; ++i) out[i] = fn(out[i]);
+      },
+      detail::kElementwiseGrain);
+}
+
+/// out[i] = fn(a[i], b[i]). `out` may alias either input.
+template <typename Fn>
+void ApplyElementwise(Index n, const Real* a, const Real* b, Real* out,
+                      Fn fn) {
+  ParallelFor(
+      ThreadPool::Global(), n,
+      [&](Index begin, Index end) {
+        for (Index i = begin; i < end; ++i) out[i] = fn(a[i], b[i]);
+      },
+      detail::kElementwiseGrain);
+}
+
+/// acc[i] += fn(g[i], a[i])  (fused backward accumulation).
+template <typename Fn>
+void ApplyElementwiseGrad(Index n, const Real* g, const Real* a, Real* acc,
+                          Fn fn) {
+  ParallelFor(
+      ThreadPool::Global(), n,
+      [&](Index begin, Index end) {
+        for (Index i = begin; i < end; ++i) acc[i] += fn(g[i], a[i]);
+      },
+      detail::kElementwiseGrain);
+}
+
+/// acc[i] += fn(g[i], a[i], b[i]).
+template <typename Fn>
+void ApplyElementwiseGrad(Index n, const Real* g, const Real* a,
+                          const Real* b, Real* acc, Fn fn) {
+  ParallelFor(
+      ThreadPool::Global(), n,
+      [&](Index begin, Index end) {
+        for (Index i = begin; i < end; ++i) acc[i] += fn(g[i], a[i], b[i]);
+      },
+      detail::kElementwiseGrain);
+}
 
 /// Element-wise a + b (same shape).
 Tensor Add(const Tensor& a, const Tensor& b);

@@ -2,7 +2,14 @@
 
 #include <algorithm>
 
+#include "src/util/env.h"
+
 namespace firzen {
+namespace {
+
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads)
     : num_threads_(std::max(0, num_threads)) {
@@ -41,6 +48,7 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -58,11 +66,17 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+bool ThreadPool::InWorker() { return t_in_pool_worker; }
+
+int GlobalPoolThreadCount() {
+  const long env = GetEnvInt("FIRZEN_NUM_THREADS", 0);
+  if (env > 0) return static_cast<int>(env);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : static_cast<int>(hw);
+}
+
 ThreadPool* ThreadPool::Global() {
-  static ThreadPool* pool = [] {
-    unsigned hw = std::thread::hardware_concurrency();
-    return new ThreadPool(hw == 0 ? 4 : static_cast<int>(hw));
-  }();
+  static ThreadPool* pool = new ThreadPool(GlobalPoolThreadCount());
   return pool;
 }
 
@@ -70,7 +84,8 @@ void ParallelFor(ThreadPool* pool, Index n,
                  const std::function<void(Index, Index)>& fn,
                  Index min_shard_size) {
   if (n <= 0) return;
-  if (pool == nullptr || pool->num_threads() <= 1 || n <= min_shard_size) {
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= min_shard_size ||
+      ThreadPool::InWorker()) {
     fn(0, n);
     return;
   }
@@ -78,11 +93,26 @@ void ParallelFor(ThreadPool* pool, Index n,
       std::min<Index>(pool->num_threads(),
                       (n + min_shard_size - 1) / min_shard_size);
   const Index shard = (n + num_shards - 1) / num_shards;
+  // Per-call completion group: the caller waits for ITS shards only, not
+  // for the pool-wide queue to drain (ThreadPool::Wait). Concurrent
+  // ParallelFor callers — e.g. serving requests sharing the global pool —
+  // therefore do not block on each other's work.
+  struct Group {
+    std::mutex mu;
+    std::condition_variable cv;
+    Index pending;
+  };
+  Group group{{}, {}, (n + shard - 1) / shard};
   for (Index begin = 0; begin < n; begin += shard) {
     const Index end = std::min(begin + shard, n);
-    pool->Submit([&fn, begin, end] { fn(begin, end); });
+    pool->Submit([&fn, &group, begin, end] {
+      fn(begin, end);
+      std::lock_guard<std::mutex> lock(group.mu);
+      if (--group.pending == 0) group.cv.notify_one();
+    });
   }
-  pool->Wait();
+  std::unique_lock<std::mutex> lock(group.mu);
+  group.cv.wait(lock, [&group] { return group.pending == 0; });
 }
 
 }  // namespace firzen

@@ -34,9 +34,14 @@ class ThreadPool {
 
   int num_threads() const { return num_threads_; }
 
-  /// Shared process-wide pool sized to the hardware concurrency. Lazily
+  /// Shared process-wide pool. Sized by FIRZEN_NUM_THREADS when set to a
+  /// positive value, otherwise by the hardware concurrency. Lazily
   /// constructed; safe for concurrent first use.
   static ThreadPool* Global();
+
+  /// True when the calling thread is a pool worker. ParallelFor uses this to
+  /// run nested parallel sections inline instead of deadlocking on Wait().
+  static bool InWorker();
 
  private:
   void WorkerLoop();
@@ -52,10 +57,18 @@ class ThreadPool {
 };
 
 /// Splits [0, n) into contiguous shards and runs `fn(begin, end)` on the pool.
-/// Executes inline when pool is null or n is small.
+/// Executes inline when pool is null, n is small, or the caller is itself a
+/// pool worker (nested parallelism degrades to serial instead of
+/// deadlocking). Shard boundaries never split an index, so kernels whose
+/// per-index work is order-independent produce bit-identical results for any
+/// pool size.
 void ParallelFor(ThreadPool* pool, Index n,
                  const std::function<void(Index, Index)>& fn,
                  Index min_shard_size = 256);
+
+/// Thread count ThreadPool::Global() will use: FIRZEN_NUM_THREADS when set to
+/// a positive value, else std::thread::hardware_concurrency() (min 1).
+int GlobalPoolThreadCount();
 
 }  // namespace firzen
 

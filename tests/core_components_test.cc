@@ -276,22 +276,46 @@ TEST(DiscriminatorTest, LearnsToSeparateTwoDistributions) {
     m.FillNormal(&rng, 1.0);
     return m;
   };
+  // Real and fake samples share one critic batch throughout: the critic
+  // batch-normalizes its hidden layer, so the batch-mean of a separately
+  // scored batch is input independent (normalized activations have zero
+  // column mean by construction) and carries no training signal.
+  auto combined_batch = [&] {
+    const Matrix real = real_batch();
+    const Matrix fake = fake_batch();
+    Matrix combined(64, 16);
+    for (Index r = 0; r < 32; ++r) {
+      for (Index c = 0; c < 16; ++c) {
+        combined(r, c) = real(r, c);
+        combined(r + 32, c) = fake(r, c);
+      }
+    }
+    return combined;
+  };
+  std::vector<Index> real_rows;
+  std::vector<Index> fake_rows;
+  for (Index r = 0; r < 32; ++r) {
+    real_rows.push_back(r);
+    fake_rows.push_back(r + 32);
+  }
   for (int step = 0; step < 200; ++step) {
     using namespace ops;  // NOLINT(build/namespaces)
-    Tensor loss = Sub(
-        ReduceMean(d.Critic(Tensor::Constant(fake_batch()), &rng, true)),
-        ReduceMean(d.Critic(Tensor::Constant(real_batch()), &rng, true)));
+    Tensor scores = d.Critic(Tensor::Constant(combined_batch()), &rng, true);
+    Tensor loss = Sub(ReduceMean(GatherRows(scores, fake_rows)),
+                      ReduceMean(GatherRows(scores, real_rows)));
     Backward(loss);
     adam.Step(d.Params());
     d.ClipWeights();
   }
-  // Critic assigns higher scores to the "real" distribution.
-  const Real real_score =
-      ops::ReduceMean(d.Critic(Tensor::Constant(real_batch()), &rng, false))
-          .scalar();
-  const Real fake_score =
-      ops::ReduceMean(d.Critic(Tensor::Constant(fake_batch()), &rng, false))
-          .scalar();
+  // Critic assigns higher scores to the "real" rows of a fresh shared batch.
+  const Tensor scores =
+      d.Critic(Tensor::Constant(combined_batch()), &rng, false);
+  Real real_score = 0.0;
+  Real fake_score = 0.0;
+  for (Index r = 0; r < 32; ++r) {
+    real_score += scores.value()(r, 0) / 32.0;
+    fake_score += scores.value()(r + 32, 0) / 32.0;
+  }
   EXPECT_GT(real_score, fake_score);
 }
 

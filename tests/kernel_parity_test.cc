@@ -1,0 +1,293 @@
+// Parity tests for the parallel blocked kernel layer: Gemm, SpMM/SpMMT and
+// heap Top-K against naive single-threaded references, across odd shapes
+// (1xN, Nx1, non-multiple-of-tile dims, empty sparse rows) and pool sizes
+// {1, 4}. The blocked kernels accumulate every output element as a straight
+// k-ordered sum, so agreement is expected to be bit-identical; the asserts
+// below use exact equality where the reference follows the same summation
+// order and a tight tolerance elsewhere.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "src/eval/topk.h"
+#include "src/tensor/csr.h"
+#include "src/tensor/matrix.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace firzen {
+namespace {
+
+Matrix RandomMatrix(Index rows, Index cols, uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  m.FillNormal(&rng, 1.0);
+  return m;
+}
+
+Matrix NaiveGemm(bool trans_a, bool trans_b, Real alpha, const Matrix& a,
+                 const Matrix& b, Real beta, const Matrix& c_in) {
+  const Index m = trans_a ? a.cols() : a.rows();
+  const Index k = trans_a ? a.rows() : a.cols();
+  const Index n = trans_b ? b.rows() : b.cols();
+  Matrix c(m, n);
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      Real acc = 0.0;
+      for (Index p = 0; p < k; ++p) {
+        const Real av = trans_a ? a(p, i) : a(i, p);
+        const Real bv = trans_b ? b(j, p) : b(p, j);
+        acc += av * bv;
+      }
+      c(i, j) = alpha * acc + (beta == 0.0 ? 0.0 : beta * c_in(i, j));
+    }
+  }
+  return c;
+}
+
+// Shapes chosen to exercise every kernel edge: vectors, single elements,
+// dims straddling the 4-row micro-tile, the small-m dot path for trans_b,
+// and n past the 512-wide cache block (so multi-block column offsets are
+// covered).
+struct GemmShape {
+  Index m, k, n;
+};
+
+const GemmShape kGemmShapes[] = {
+    {1, 1, 1},    {1, 5, 1},      {5, 1, 7},    {1, 17, 9},   {4, 8, 8},
+    {5, 9, 17},   {64, 33, 7},    {13, 64, 65}, {31, 7, 258}, {129, 16, 300},
+    {9, 37, 1300}, {33, 24, 1025},
+};
+
+TEST(KernelParityTest, GemmMatchesNaiveAcrossShapesAndPools) {
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  for (const GemmShape& shape : kGemmShapes) {
+    for (bool trans_a : {false, true}) {
+      for (bool trans_b : {false, true}) {
+        const Matrix a = trans_a ? RandomMatrix(shape.k, shape.m, 1)
+                                 : RandomMatrix(shape.m, shape.k, 1);
+        const Matrix b = trans_b ? RandomMatrix(shape.n, shape.k, 2)
+                                 : RandomMatrix(shape.k, shape.n, 2);
+        const Matrix expected = NaiveGemm(trans_a, trans_b, 1.0, a, b, 0.0,
+                                          Matrix());
+        Matrix got1;
+        Gemm(trans_a, trans_b, 1.0, a, b, 0.0, &got1, &pool1);
+        Matrix got4;
+        Gemm(trans_a, trans_b, 1.0, a, b, 0.0, &got4, &pool4);
+        ASSERT_EQ(got1.rows(), shape.m);
+        ASSERT_EQ(got1.cols(), shape.n);
+        for (Index i = 0; i < shape.m; ++i) {
+          for (Index j = 0; j < shape.n; ++j) {
+            ASSERT_NEAR(got1(i, j), expected(i, j), 1e-9)
+                << "shape=(" << shape.m << "," << shape.k << "," << shape.n
+                << ") trans_a=" << trans_a << " trans_b=" << trans_b;
+            // Pool size must not change a single bit.
+            ASSERT_EQ(got1(i, j), got4(i, j));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelParityTest, GemmAlphaBetaAccumulateMatchesNaive) {
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  // m values on both sides of the small-m trans_b dot-path cutoff, so the
+  // beta-accumulate branch of BOTH kernels is covered (MatMul's backward
+  // runs trans_b with beta == 1).
+  for (const Index m : {7, 40}) {
+    for (const bool trans_b : {false, true}) {
+      const Matrix a = RandomMatrix(m, 13, 3);
+      const Matrix b = trans_b ? RandomMatrix(19, 13, 4)
+                               : RandomMatrix(13, 19, 4);
+      const Matrix c0 = RandomMatrix(m, 19, 5);
+      for (const Real alpha : {1.0, -0.5, 2.0}) {
+        for (const Real beta : {1.0, 0.25}) {
+          const Matrix expected =
+              NaiveGemm(false, trans_b, alpha, a, b, beta, c0);
+          Matrix got1 = c0;
+          Gemm(false, trans_b, alpha, a, b, beta, &got1, &pool1);
+          Matrix got4 = c0;
+          Gemm(false, trans_b, alpha, a, b, beta, &got4, &pool4);
+          for (Index i = 0; i < got1.rows(); ++i) {
+            for (Index j = 0; j < got1.cols(); ++j) {
+              ASSERT_NEAR(got1(i, j), expected(i, j), 1e-9)
+                  << "m=" << m << " trans_b=" << trans_b
+                  << " alpha=" << alpha << " beta=" << beta;
+              ASSERT_EQ(got1(i, j), got4(i, j));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Sparse fixture with interaction-graph shape quirks: empty rows, a dense
+// hub row, duplicate-free random tail.
+CsrMatrix RandomSparse(Index rows, Index cols, Index degree, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CooEntry> entries;
+  for (Index r = 0; r < rows; ++r) {
+    if (r % 7 == 3) continue;  // empty row
+    const Index row_degree = r == 0 ? cols : degree;  // hub row 0
+    for (Index d = 0; d < row_degree; ++d) {
+      entries.push_back({r, rng.UniformInt(cols), rng.Normal()});
+    }
+  }
+  return CsrMatrix::FromCoo(rows, cols, std::move(entries));
+}
+
+Matrix NaiveSpMM(const CsrMatrix& m, const Matrix& x) {
+  Matrix y(m.rows(), x.cols());
+  for (Index r = 0; r < m.rows(); ++r) {
+    for (Index p = m.row_ptr()[r]; p < m.row_ptr()[r + 1]; ++p) {
+      const Real v = m.values()[static_cast<size_t>(p)];
+      const Real* in = x.row(m.col_idx()[static_cast<size_t>(p)]);
+      for (Index c = 0; c < x.cols(); ++c) y(r, c) += v * in[c];
+    }
+  }
+  return y;
+}
+
+TEST(KernelParityTest, SpMMMatchesNaiveAcrossShapesAndPools) {
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  struct Shape {
+    Index rows, cols, degree, d;
+  };
+  for (const Shape& s : {Shape{1, 9, 3, 4}, Shape{37, 1, 1, 1},
+                         Shape{100, 80, 5, 32}, Shape{513, 200, 7, 3}}) {
+    const CsrMatrix graph = RandomSparse(s.rows, s.cols, s.degree, 11);
+    const Matrix x = RandomMatrix(s.cols, s.d, 12);
+    const Matrix expected = NaiveSpMM(graph, x);
+    Matrix got1;
+    graph.SpMM(x, &got1, &pool1);
+    Matrix got4;
+    graph.SpMM(x, &got4, &pool4);
+    ASSERT_EQ(got1.rows(), s.rows);
+    ASSERT_EQ(got1.cols(), s.d);
+    for (Index r = 0; r < s.rows; ++r) {
+      for (Index c = 0; c < s.d; ++c) {
+        // Same summation order as the reference: exact agreement.
+        ASSERT_EQ(got1(r, c), expected(r, c));
+        ASSERT_EQ(got1(r, c), got4(r, c));
+      }
+    }
+  }
+}
+
+TEST(KernelParityTest, SpMMAccumAndSpMMTMatchDenseReference) {
+  ThreadPool pool4(4);
+  const CsrMatrix graph = RandomSparse(60, 45, 4, 21);
+  const Matrix x = RandomMatrix(45, 8, 22);
+  const Matrix xt = RandomMatrix(60, 8, 23);
+
+  Matrix accum = RandomMatrix(60, 8, 24);
+  Matrix expected_accum = accum;
+  const Matrix prod = NaiveSpMM(graph, x);
+  for (Index r = 0; r < 60; ++r) {
+    for (Index c = 0; c < 8; ++c) {
+      expected_accum(r, c) += 0.5 * prod(r, c);
+    }
+  }
+  graph.SpMMAccum(0.5, x, &accum, &pool4);
+  for (Index r = 0; r < 60; ++r) {
+    for (Index c = 0; c < 8; ++c) {
+      ASSERT_NEAR(accum(r, c), expected_accum(r, c), 1e-12);
+    }
+  }
+
+  // SpMMT against an explicitly transposed dense reference.
+  const Matrix dense = graph.ToDense();
+  Matrix expected_t(45, 8);
+  for (Index r = 0; r < 60; ++r) {
+    for (Index c = 0; c < 45; ++c) {
+      for (Index k = 0; k < 8; ++k) {
+        expected_t(c, k) += dense(r, c) * xt(r, k);
+      }
+    }
+  }
+  Matrix got_t;
+  graph.SpMMT(xt, &got_t, &pool4);
+  ASSERT_EQ(got_t.rows(), 45);
+  ASSERT_EQ(got_t.cols(), 8);
+  for (Index r = 0; r < 45; ++r) {
+    for (Index c = 0; c < 8; ++c) {
+      ASSERT_NEAR(got_t(r, c), expected_t(r, c), 1e-9);
+    }
+  }
+}
+
+TEST(KernelParityTest, TransposedIsSafeUnderConcurrentFirstUse) {
+  const CsrMatrix graph = RandomSparse(300, 200, 6, 31);
+  ThreadPool pool(4);
+  std::vector<const CsrMatrix*> seen(8, nullptr);
+  for (size_t i = 0; i < seen.size(); ++i) {
+    pool.Submit([&graph, &seen, i] { seen[i] = &graph.Transposed(); });
+  }
+  pool.Wait();
+  for (const CsrMatrix* t : seen) {
+    ASSERT_EQ(t, seen[0]);  // one shared instance, no torn initialization
+  }
+  const Matrix dense = graph.ToDense();
+  const CsrMatrix& t = graph.Transposed();
+  EXPECT_EQ(t.rows(), 200);
+  EXPECT_EQ(t.cols(), 300);
+  for (Index r = 0; r < t.rows(); ++r) {
+    for (Index p = t.row_ptr()[r]; p < t.row_ptr()[r + 1]; ++p) {
+      const Index c = t.col_idx()[static_cast<size_t>(p)];
+      EXPECT_EQ(t.values()[static_cast<size_t>(p)], dense(c, r));
+    }
+  }
+}
+
+TEST(KernelParityTest, TopKHeapMatchesFullSort) {
+  Rng rng(41);
+  for (const Index n : {1, 5, 100, 1000}) {
+    for (const Index k : {1, 3, 20, 2000}) {
+      std::vector<Real> scores(static_cast<size_t>(n));
+      // Coarse quantization forces score ties to exercise the item-id
+      // tie-break.
+      for (auto& s : scores) s = std::floor(rng.Normal() * 4.0) / 4.0;
+      TopKHeap heap(k);
+      for (Index i = 0; i < n; ++i) heap.Push(i, scores[static_cast<size_t>(i)]);
+      const auto& got = heap.Sorted();
+
+      std::vector<ScoredItem> expected;
+      for (Index i = 0; i < n; ++i) {
+        expected.push_back({i, scores[static_cast<size_t>(i)]});
+      }
+      std::sort(expected.begin(), expected.end(),
+                [](const ScoredItem& a, const ScoredItem& b) {
+                  return a.score != b.score ? a.score > b.score
+                                            : a.item < b.item;
+                });
+      expected.resize(std::min<size_t>(static_cast<size_t>(k),
+                                       expected.size()));
+      ASSERT_EQ(got.size(), expected.size()) << "n=" << n << " k=" << k;
+      for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i].item, expected[i].item);
+        ASSERT_EQ(got[i].score, expected[i].score);
+      }
+    }
+  }
+}
+
+TEST(KernelParityTest, GlobalPoolThreadCountHonorsEnv) {
+  // Global() itself is constructed once per process, so only the resolver is
+  // testable; it is the single source of the pool size.
+  setenv("FIRZEN_NUM_THREADS", "3", 1);
+  EXPECT_EQ(GlobalPoolThreadCount(), 3);
+  setenv("FIRZEN_NUM_THREADS", "not-a-number", 1);
+  EXPECT_GE(GlobalPoolThreadCount(), 1);
+  unsetenv("FIRZEN_NUM_THREADS");
+  EXPECT_GE(GlobalPoolThreadCount(), 1);
+}
+
+}  // namespace
+}  // namespace firzen

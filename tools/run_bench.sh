@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Builds the Release benchmark binary and writes the kernel perf trajectory
+# to BENCH_kernels.json (google-benchmark JSON format).
+#
+# Usage:
+#   tools/run_bench.sh                    # full kernel sweep, JSON + console
+#   tools/run_bench.sh --quick            # one fast pass (CI smoke)
+#   FIRZEN_NUM_THREADS=4 tools/run_bench.sh
+#
+# Extra arguments after the flags are forwarded to bench_kernels, e.g.
+#   tools/run_bench.sh --benchmark_filter=BM_Gemm
+#
+# Compare two runs: keep the old JSON and diff the per-benchmark
+# real_time/items_per_second fields (see bench/README.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${FIRZEN_BENCH_BUILD_DIR:-build-release}
+OUT=${FIRZEN_BENCH_OUT:-BENCH_kernels.json}
+
+REPS=5
+MIN_TIME=0.2
+if [[ "${1:-}" == "--quick" ]]; then
+  REPS=1
+  MIN_TIME=0.05
+  shift
+fi
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${BUILD_DIR}" -j --target bench_kernels >/dev/null
+
+"./${BUILD_DIR}/bench_kernels" \
+  "--benchmark_filter=BM_(Gemm|SpMM|BatchTopK)" \
+  --benchmark_min_time="${MIN_TIME}" \
+  --benchmark_repetitions="${REPS}" \
+  --benchmark_report_aggregates_only \
+  --benchmark_out="${OUT}" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote ${OUT} (threads label = FIRZEN_NUM_THREADS at run time)"
