@@ -184,6 +184,49 @@ BENCHMARK(BM_GemmSeedRef)
     ->Args({512, 128, 512})
     ->Args({512, 256, 512});
 
+// Large-batch transposed Gemm at eval/scoring shape (512-user batch against
+// a catalog slice). The kernel packs B^T in bounded kNc-column panels;
+// BM_GemmTransBSeedRef pins the pre-panel behavior — materialize the whole
+// transpose (a catalog-sized O(k*n) transient), then run the blocked kernel.
+void BM_GemmTransBPanel(benchmark::State& state) {
+  const Index m = state.range(0);
+  const Index k = state.range(1);
+  const Index n = state.range(2);
+  Rng rng(3);
+  Matrix a(m, k);
+  a.FillNormal(&rng, 1.0);
+  Matrix b(n, k);  // item-table layout
+  b.FillNormal(&rng, 1.0);
+  Matrix c;
+  for (auto _ : state) {
+    Gemm(false, true, 1.0, a, b, 0.0, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * k * n);
+  state.SetLabel("threads=" + std::to_string(GlobalPoolThreadCount()));
+}
+BENCHMARK(BM_GemmTransBPanel)->Args({512, 64, 8192})->Args({512, 64, 32768});
+
+void BM_GemmTransBSeedRef(benchmark::State& state) {
+  const Index m = state.range(0);
+  const Index k = state.range(1);
+  const Index n = state.range(2);
+  Rng rng(3);
+  Matrix a(m, k);
+  a.FillNormal(&rng, 1.0);
+  Matrix b(n, k);
+  b.FillNormal(&rng, 1.0);
+  Matrix c;
+  for (auto _ : state) {
+    Matrix bt = b.Transposed();
+    Gemm(false, false, 1.0, a, bt, 0.0, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * k * n);
+  state.SetLabel("threads=" + std::to_string(GlobalPoolThreadCount()));
+}
+BENCHMARK(BM_GemmTransBSeedRef)->Args({512, 64, 8192})->Args({512, 64, 32768});
+
 // Scoring-transposed Gemm (user batch x item table^T), the serving hot path.
 void BM_GemmScoreBT(benchmark::State& state) {
   const Index n = state.range(0);

@@ -1,0 +1,188 @@
+// End-to-end serving benchmark: fused block-streaming ScoreBlock + bounded
+// min-heap Top-K (ServingEngine) against the legacy materialize-then-rank
+// path (full users x catalog score matrix, then per-user heaps). The fused
+// path's peak transient is user_batch * item_block, independent of catalog
+// size — the label records both footprints. Results are verified
+// bit-identical at startup before timing.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/eval/serving.h"
+#include "src/eval/topk.h"
+#include "src/models/serialize.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace firzen {
+namespace {
+
+struct ServingWorld {
+  Dataset dataset;
+  StaticRecommender model;
+  std::vector<Index> users;
+};
+
+ServingWorld* MakeWorld(Index num_users, Index num_items, Index dim,
+                        Index batch) {
+  Rng rng(13);
+  Matrix user_emb(num_users, dim);
+  user_emb.FillNormal(&rng, 1.0);
+  Matrix item_emb(num_items, dim);
+  item_emb.FillNormal(&rng, 1.0);
+  auto* world = new ServingWorld{
+      Dataset{}, StaticRecommender("bench", std::move(user_emb),
+                                   std::move(item_emb)),
+      {}};
+  world->dataset.num_users = num_users;
+  world->dataset.num_items = num_items;
+  world->dataset.is_cold_item.assign(static_cast<size_t>(num_items), false);
+  // Sparse synthetic train history so exclusion lookups are exercised.
+  for (Index u = 0; u < num_users; ++u) {
+    for (int t = 0; t < 8; ++t) {
+      world->dataset.train.push_back({u, rng.UniformInt(num_items)});
+    }
+  }
+  for (Index u = 0; u < batch; ++u) {
+    world->users.push_back(u % num_users);
+  }
+  return world;
+}
+
+std::vector<std::vector<Recommendation>> MaterializeThenRank(
+    const StaticRecommender& model,
+    const std::vector<std::vector<Index>>& seen,
+    const std::vector<Index>& users, Index k, Matrix* scores) {
+  model.Score(users, scores);  // full users x catalog matrix
+  std::vector<std::vector<Recommendation>> results(users.size());
+  ParallelFor(
+      ThreadPool::Global(), static_cast<Index>(users.size()),
+      [&](Index begin, Index end) {
+        TopKHeap heap(k);
+        for (Index r = begin; r < end; ++r) {
+          const auto& exclude = seen[static_cast<size_t>(
+              users[static_cast<size_t>(r)])];
+          const Real* row = scores->row(r);
+          heap.Reset();
+          for (Index item = 0; item < scores->cols(); ++item) {
+            if (std::binary_search(exclude.begin(), exclude.end(), item)) {
+              continue;
+            }
+            heap.Push(item, row[item]);
+          }
+          const auto& top = heap.Sorted();
+          results[static_cast<size_t>(r)].assign(top.size(), {});
+          for (size_t j = 0; j < top.size(); ++j) {
+            results[static_cast<size_t>(r)][j] = {top[j].item, top[j].score};
+          }
+        }
+      },
+      /*min_shard_size=*/8);
+  return results;
+}
+
+std::vector<RecRequest> MakeRequests(const std::vector<Index>& users,
+                                     Index k) {
+  std::vector<RecRequest> requests;
+  requests.reserve(users.size());
+  for (Index user : users) {
+    RecRequest request;
+    request.user = user;
+    request.k = k;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+// Both paths must agree bit-for-bit; abort the benchmark binary otherwise so
+// a regression can never report a "speedup".
+void CheckParity(const ServingWorld& world, const ServingEngine& engine,
+                 Index k) {
+  Matrix scores;
+  const auto expected = MaterializeThenRank(
+      world.model, world.dataset.TrainItemsByUser(), world.users, k, &scores);
+  const auto got = engine.RecommendBatch(MakeRequests(world.users, k));
+  if (got.size() != expected.size()) std::abort();
+  for (size_t r = 0; r < got.size(); ++r) {
+    if (got[r].items.size() != expected[r].size()) std::abort();
+    for (size_t j = 0; j < expected[r].size(); ++j) {
+      if (got[r].items[j].item != expected[r][j].item ||
+          got[r].items[j].score != expected[r][j].score) {
+        std::fprintf(stderr, "serving parity failure at user row %zu\n", r);
+        std::abort();
+      }
+    }
+  }
+}
+
+std::string FootprintLabel(Index batch, Index block, Index num_items) {
+  const double panel_mb =
+      static_cast<double>(batch) * block * sizeof(Real) / (1 << 20);
+  const double full_mb =
+      static_cast<double>(batch) * num_items * sizeof(Real) / (1 << 20);
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "panel=%.1fMB full=%.1fMB threads=%d", panel_mb, full_mb,
+                GlobalPoolThreadCount());
+  return buf;
+}
+
+void BM_ServingFused(benchmark::State& state) {
+  const Index num_items = state.range(0);
+  const Index batch = state.range(1);
+  constexpr Index kTop = 20;
+  static ServingWorld* world = nullptr;
+  static Index world_items = -1;
+  static Index world_batch = -1;
+  if (world_items != num_items || world_batch != batch) {
+    delete world;
+    world = MakeWorld(4096, num_items, 64, batch);
+    world_items = num_items;
+    world_batch = batch;
+  }
+  ServingEngineOptions options;  // default bounded item_block
+  ServingEngine engine(&world->model, world->dataset, options);
+  CheckParity(*world, engine, kTop);
+  const auto requests = MakeRequests(world->users, kTop);
+  for (auto _ : state) {
+    auto responses = engine.RecommendBatch(requests);
+    benchmark::DoNotOptimize(responses.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * num_items);
+  state.SetLabel(FootprintLabel(batch, options.item_block, num_items));
+}
+BENCHMARK(BM_ServingFused)
+    ->Args({131072, 64})
+    ->Args({131072, 256})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ServingMaterializeSeedRef(benchmark::State& state) {
+  const Index num_items = state.range(0);
+  const Index batch = state.range(1);
+  constexpr Index kTop = 20;
+  ServingWorld* world = MakeWorld(4096, num_items, 64, batch);
+  const auto seen = world->dataset.TrainItemsByUser();
+  Matrix scores;  // reused, but still the full batch x catalog footprint
+  for (auto _ : state) {
+    auto results =
+        MaterializeThenRank(world->model, seen, world->users, kTop, &scores);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * num_items);
+  state.SetLabel(FootprintLabel(batch, num_items, num_items));
+  delete world;
+}
+BENCHMARK(BM_ServingMaterializeSeedRef)
+    ->Args({131072, 64})
+    ->Args({131072, 256})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace firzen
+
+BENCHMARK_MAIN();

@@ -37,9 +37,6 @@ int main() {
 
   TablePrinter table({"Branches", "Setting", "R@20", "M@20", "N@20", "H@20",
                       "P@20"});
-  ScoreFn fn = [&model](const std::vector<Index>& u, Matrix* s) {
-    model.Score(u, s);
-  };
   EvalOptions eval_options;
   eval_options.pool = train.pool;
   for (const Gate& gate : gates) {
@@ -50,13 +47,16 @@ int main() {
     options.use_text = gate.ta;
     options.use_mshgl = gate.ms;
 
-    // Warm: training graphs; Cold: expanded + masked graphs.
+    // Warm: training graphs; Cold: expanded + masked graphs. Scorers
+    // snapshot the final tables, so re-mint after each recompute.
     model.RecomputeFinal(dataset, options, /*cold_expanded=*/false);
-    const EvalResult warm = EvaluateRanking(
-        dataset, dataset.warm_test, EvalSetting::kWarm, fn, eval_options);
+    const EvalResult warm =
+        EvaluateRanking(dataset, dataset.warm_test, EvalSetting::kWarm,
+                        *model.MakeScorer(), eval_options);
     model.RecomputeFinal(dataset, options, /*cold_expanded=*/true);
-    const EvalResult cold = EvaluateRanking(
-        dataset, dataset.cold_test, EvalSetting::kCold, fn, eval_options);
+    const EvalResult cold =
+        EvaluateRanking(dataset, dataset.cold_test, EvalSetting::kCold,
+                        *model.MakeScorer(), eval_options);
     const MetricBundle hm = HarmonicMean(cold.metrics, warm.metrics);
     std::fprintf(stderr, "  [%s] done\n", gate.label);
     for (const char* setting : {"Cold", "Warm", "HM"}) {

@@ -11,6 +11,7 @@
 #include "src/core/firzen_model.h"
 #include "src/data/synthetic.h"
 #include "src/eval/evaluator.h"
+#include "src/eval/serving.h"
 #include "src/util/logging.h"
 
 int main() {
@@ -44,35 +45,35 @@ int main() {
       demo_users.push_back(x.user);
     }
   }
-  Matrix scores;
-  model.Score(demo_users, &scores);
-  for (size_t r = 0; r < demo_users.size(); ++r) {
-    std::vector<std::pair<Real, Index>> ranked;
-    for (Index item : cold_items) {
-      ranked.emplace_back(scores(static_cast<Index>(r), item), item);
-    }
-    std::partial_sort(ranked.begin(), ranked.begin() + 5, ranked.end(),
-                      [](const auto& a, const auto& b) {
-                        return a.first > b.first;
-                      });
+  // The ServingEngine streams item blocks through the model's Scorer and
+  // ranks on the fly — no user x catalog score matrix, whatever the catalog
+  // size. `cold_only` restricts a request to the new-arrivals shelf.
+  ServingEngine engine(&model, dataset);
+  std::vector<RecRequest> requests;
+  for (Index user : demo_users) {
+    RecRequest request;
+    request.user = user;
+    request.k = 5;
+    request.cold_only = true;
+    request.exclusion = ExclusionPolicy::kNone;  // cold items are unseen
+    requests.push_back(std::move(request));
+  }
+  for (const RecResponse& response : engine.RecommendBatch(requests)) {
     std::printf("user %lld -> new arrivals: ",
-                static_cast<long long>(demo_users[r]));
-    for (int k = 0; k < 5; ++k) {
-      std::printf("%lld(%.3f) ", static_cast<long long>(ranked[k].second),
-                  ranked[k].first);
+                static_cast<long long>(response.user));
+    for (const Recommendation& rec : response.items) {
+      std::printf("%lld(%.3f) ", static_cast<long long>(rec.item), rec.score);
     }
     std::printf("\n");
   }
 
-  // How good are these rankings? Evaluate against held-out cold truth.
-  ScoreFn score_fn = [&model](const std::vector<Index>& users, Matrix* out) {
-    model.Score(users, out);
-  };
+  // How good are these rankings? Evaluate against held-out cold truth using
+  // the same block-streaming scorer.
   EvalOptions eval_options;
   eval_options.pool = train.pool;
   const EvalResult cold = EvaluateRanking(dataset, dataset.cold_test,
-                                          EvalSetting::kCold, score_fn,
-                                          eval_options);
+                                          EvalSetting::kCold,
+                                          *model.MakeScorer(), eval_options);
   std::printf("strict cold-start quality: %s\n",
               FormatEvalResult(cold).c_str());
   return 0;

@@ -9,6 +9,7 @@
 #include "src/data/io.h"
 #include "src/data/split.h"
 #include "src/data/synthetic.h"
+#include "src/eval/serving.h"
 #include "src/models/registry.h"
 #include "src/util/logging.h"
 
@@ -75,5 +76,19 @@ int main() {
   const ProtocolResult result = RunStrictColdProtocol(&model, dataset, train);
   std::printf("cold: %s\nwarm: %s\n", FormatEvalResult(result.cold).c_str(),
               FormatEvalResult(result.warm).c_str());
+
+  // Serve one live request against your freshly trained model. Training
+  // interactions are excluded by default; pass an explicit candidate pool
+  // to rank a merchandised shelf instead.
+  ServingEngine engine(&model, dataset);
+  RecRequest request;
+  request.user = 0;
+  request.k = 5;
+  const RecResponse response = engine.Recommend(request);
+  std::printf("user 0 top-5:");
+  for (const Recommendation& rec : response.items) {
+    std::printf(" %lld(%.3f)", static_cast<long long>(rec.item), rec.score);
+  }
+  std::printf("\n");
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "src/core/firzen_model.h"
 #include "src/data/noise.h"
 #include "src/data/synthetic.h"
+#include "src/eval/serving.h"
 #include "src/models/registry.h"
 #include "src/util/logging.h"
 #include "src/util/table_printer.h"
@@ -23,12 +24,12 @@ int main() {
   train.eval_every = 4;
   train.pool = ThreadPool::Global();
 
-  auto run = [&](const Dataset& dataset) {
-    FirzenModel model;
-    return RunStrictColdProtocol(&model, dataset, train);
+  auto run = [&](const Dataset& dataset, FirzenModel* model) {
+    return RunStrictColdProtocol(model, dataset, train);
   };
 
-  const ProtocolResult base = run(clean);
+  FirzenModel clean_model;
+  const ProtocolResult base = run(clean, &clean_model);
   TablePrinter table({"KG condition", "Cold M@20", "Warm M@20", "HM M@20",
                       "HM drop vs clean (%)"});
   auto add_row = [&](const char* name, const ProtocolResult& r) {
@@ -49,8 +50,24 @@ int main() {
                            KgNoiseKind::kDiscrepancy}) {
     Dataset noisy = clean;
     noisy.kg = InjectKgNoise(clean.kg, kind, /*rate=*/0.2, &rng);
-    add_row(KgNoiseKindName(kind), run(noisy));
+    FirzenModel model;
+    add_row(KgNoiseKindName(kind), run(noisy, &model));
   }
   table.Print();
+
+  // Serving sanity probe: the cold shelf still fires after the protocol's
+  // cold-inference rebuild (the engine mints its scorer from that state).
+  ServingEngine engine(&clean_model, clean);
+  RecRequest request;
+  request.user = 0;
+  request.k = 3;
+  request.cold_only = true;
+  request.exclusion = ExclusionPolicy::kNone;
+  const RecResponse shelf = engine.Recommend(request);
+  std::printf("clean-KG cold shelf for user 0:");
+  for (const Recommendation& rec : shelf.items) {
+    std::printf(" %lld(%.3f)", static_cast<long long>(rec.item), rec.score);
+  }
+  std::printf("\n");
   return 0;
 }

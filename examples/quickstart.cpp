@@ -9,6 +9,7 @@
 
 #include "src/core/firzen_model.h"
 #include "src/data/synthetic.h"
+#include "src/eval/serving.h"
 #include "src/models/registry.h"
 #include "src/util/logging.h"
 #include "src/util/table_printer.h"
@@ -57,5 +58,19 @@ int main() {
   table.Print();
   std::printf("fit took %.1fs; modality importances (beta): text=%.3f image=%.3f\n",
               result.fit_seconds, model.betas()[0], model.betas()[1]);
+
+  // 4. Serve live top-K through the block-streaming engine: scores stream
+  //    in bounded item panels fused with ranking, so serving memory does
+  //    not grow with the catalog. Train-seen items are excluded by default.
+  ServingEngine engine(&model, dataset);
+  RecRequest request;
+  request.user = 0;
+  request.k = 5;
+  const RecResponse response = engine.Recommend(request);
+  std::printf("user 0 top-5: ");
+  for (const Recommendation& rec : response.items) {
+    std::printf("%lld(%.3f) ", static_cast<long long>(rec.item), rec.score);
+  }
+  std::printf("\n");
   return 0;
 }

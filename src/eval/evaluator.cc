@@ -10,29 +10,16 @@
 #include "src/util/table_printer.h"
 
 namespace firzen {
-namespace {
-
-// Fixed-size top-K selection over candidate columns via the shared bounded
-// min-heap (deterministic tie-breaking: higher score first, then lower item
-// id). `heap` is caller-owned per-thread scratch.
-std::vector<Index> TopK(const Real* scores,
-                        const std::vector<Index>& candidates, TopKHeap* heap) {
-  heap->Reset();
-  for (Index item : candidates) heap->Push(item, scores[item]);
-  const auto& sorted = heap->Sorted();
-  std::vector<Index> out;
-  out.reserve(sorted.size());
-  for (const ScoredItem& e : sorted) out.push_back(e.item);
-  return out;
-}
-
-}  // namespace
 
 EvalResult EvaluateRanking(const Dataset& dataset,
                            const std::vector<Interaction>& split,
-                           EvalSetting setting, const ScoreFn& score_fn,
+                           EvalSetting setting, const Scorer& scorer,
                            const EvalOptions& options) {
   FIRZEN_CHECK_GT(options.k, 0);
+  FIRZEN_CHECK_GT(options.user_batch, 0);
+  FIRZEN_CHECK_GT(options.item_block, 0);
+  const Index num_items = dataset.num_items;
+  FIRZEN_CHECK_EQ(scorer.num_items(), num_items);
 
   // Ground truth per user.
   std::unordered_map<Index, std::unordered_set<Index>> relevant_by_user;
@@ -50,64 +37,90 @@ EvalResult EvaluateRanking(const Dataset& dataset,
   EvalResult result;
   if (eval_users.empty()) return result;
 
-  // Candidate pools. Warm candidates exclude each user's training items
-  // (handled per user below); cold candidates are shared.
-  const std::vector<Index> base_candidates = setting == EvalSetting::kWarm
-                                                 ? dataset.WarmItems()
-                                                 : dataset.ColdItems();
-  FIRZEN_CHECK(!base_candidates.empty());
+  // Candidate membership is a per-item predicate (cold bitmap + per-user
+  // sorted train lists) instead of a materialized pool, so the streamed
+  // ranking below can test items block-by-block.
+  const bool warm_setting = setting == EvalSetting::kWarm;
+  FIRZEN_CHECK(!(warm_setting ? dataset.WarmItems() : dataset.ColdItems())
+                    .empty());
   std::vector<std::vector<Index>> train_items;
-  if (setting == EvalSetting::kWarm) {
+  if (warm_setting) {
     train_items = dataset.TrainItemsByUser();
   }
+  const std::vector<bool>& is_cold = dataset.is_cold_item;
+  FIRZEN_CHECK_EQ(static_cast<Index>(is_cold.size()), num_items);
 
   MetricBundle total;
   Index counted = 0;
   std::mutex total_mu;
 
+  Matrix panel;  // user_batch x item_block scoring panel, reused per block
   for (size_t begin = 0; begin < eval_users.size();
        begin += static_cast<size_t>(options.user_batch)) {
     const size_t end = std::min(
         begin + static_cast<size_t>(options.user_batch), eval_users.size());
     const std::vector<Index> batch(eval_users.begin() + begin,
                                    eval_users.begin() + end);
-    Matrix scores;
-    score_fn(batch, &scores);
-    FIRZEN_CHECK_EQ(scores.rows(), static_cast<Index>(batch.size()));
-    FIRZEN_CHECK_EQ(scores.cols(), dataset.num_items);
+    const Index batch_rows = static_cast<Index>(batch.size());
+
+    // In-candidate-pool test for (user row r, item i).
+    auto eligible = [&](Index r, Index i) {
+      if (warm_setting) {
+        if (is_cold[static_cast<size_t>(i)]) return false;
+        const auto& seen = train_items[static_cast<size_t>(
+            batch[static_cast<size_t>(r)])];
+        return !std::binary_search(seen.begin(), seen.end(), i);
+      }
+      return static_cast<bool>(is_cold[static_cast<size_t>(i)]);
+    };
+
+    // Stream item blocks, fusing scoring with per-user bounded top-K: the
+    // heaps persist across blocks, so only the current panel is live.
+    std::vector<TopKHeap> heaps;
+    heaps.reserve(batch.size());
+    for (size_t r = 0; r < batch.size(); ++r) heaps.emplace_back(options.k);
+    for (Index block_begin = 0; block_begin < num_items;
+         block_begin += options.item_block) {
+      const ItemBlock block{block_begin,
+                            std::min(block_begin + options.item_block,
+                                     num_items)};
+      panel.ResizeUninitialized(batch_rows, block.size());
+      scorer.ScoreBlock(batch, block, MatrixView(&panel));
+      ParallelFor(
+          options.pool, batch_rows,
+          [&](Index row_begin, Index row_end) {
+            for (Index r = row_begin; r < row_end; ++r) {
+              TopKHeap& heap = heaps[static_cast<size_t>(r)];
+              const Real* row = panel.row(r);
+              for (Index i = block.begin; i < block.end; ++i) {
+                if (eligible(r, i)) heap.Push(i, row[i - block.begin]);
+              }
+            }
+          },
+          /*min_shard_size=*/16);
+    }
 
     ParallelFor(
-        options.pool, static_cast<Index>(batch.size()),
+        options.pool, batch_rows,
         [&](Index row_begin, Index row_end) {
           MetricBundle local;
           Index local_count = 0;
-          std::vector<Index> candidates;
-          TopKHeap heap(options.k);
           for (Index r = row_begin; r < row_end; ++r) {
             const Index user = batch[static_cast<size_t>(r)];
             // find() not operator[]: this map is shared across worker
             // threads and must stay strictly read-only here.
             const auto& relevant = relevant_by_user.find(user)->second;
-
-            const std::vector<Index>* pool_items = &base_candidates;
-            if (setting == EvalSetting::kWarm) {
-              const auto& seen = train_items[static_cast<size_t>(user)];
-              candidates.clear();
-              std::unordered_set<Index> seen_set(seen.begin(), seen.end());
-              for (Index item : base_candidates) {
-                if (seen_set.count(item) == 0) candidates.push_back(item);
-              }
-              pool_items = &candidates;
-            }
             // Relevant items inside the candidate pool.
             Index num_relevant = 0;
-            for (Index item : *pool_items) {
-              if (relevant.count(item) > 0) ++num_relevant;
+            for (Index item : relevant) {
+              if (eligible(r, item)) ++num_relevant;
             }
             if (num_relevant == 0) continue;
 
-            const std::vector<Index> top =
-                TopK(scores.row(r), *pool_items, &heap);
+            const auto& sorted = heaps[static_cast<size_t>(r)].Sorted();
+            std::vector<Index> top;
+            top.reserve(sorted.size());
+            for (const ScoredItem& e : sorted) top.push_back(e.item);
             local += ComputeUserMetrics(top, relevant, num_relevant,
                                         options.k);
             ++local_count;

@@ -4,28 +4,31 @@
 //   * warm setting: every warm item the user has not interacted with in
 //     training;
 //   * cold setting: every strict cold item.
+// Scoring streams through the block Scorer API fused with bounded top-K
+// selection, so peak memory is O(user_batch * item_block) — the full
+// users x items score matrix never materializes.
 #ifndef FIRZEN_EVAL_EVALUATOR_H_
 #define FIRZEN_EVAL_EVALUATOR_H_
 
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "src/data/dataset.h"
 #include "src/eval/metrics.h"
+#include "src/models/scorer.h"
 #include "src/util/thread_pool.h"
 
 namespace firzen {
-
-/// Produces a (users.size() x num_items) score matrix for the given users.
-using ScoreFn =
-    std::function<void(const std::vector<Index>& users, Matrix* scores)>;
 
 enum class EvalSetting { kWarm, kCold };
 
 struct EvalOptions {
   Index k = 20;
   Index user_batch = 512;
+  /// Streamed scoring panel width (items per ScoreBlock call).
+  Index item_block = 8192;
+  /// Pool for the fused ranking/metric loops; nullptr = serial. Scoring
+  /// kernels parallelize over ThreadPool::Global() regardless.
   ThreadPool* pool = nullptr;
 };
 
@@ -35,10 +38,11 @@ struct EvalResult {
   Index num_users = 0;
 };
 
-/// Evaluates `score_fn` against `split` under the given setting.
+/// Evaluates `scorer` against `split` under the given setting. Results are
+/// identical for any user_batch / item_block / pool configuration.
 EvalResult EvaluateRanking(const Dataset& dataset,
                            const std::vector<Interaction>& split,
-                           EvalSetting setting, const ScoreFn& score_fn,
+                           EvalSetting setting, const Scorer& scorer,
                            const EvalOptions& options = {});
 
 /// Pretty one-line summary "R=.. M=.. N=.. H=.. P=.." in percentage points.

@@ -1,6 +1,7 @@
 #include "src/eval/serving.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/eval/topk.h"
 #include "src/util/check.h"
@@ -8,12 +9,202 @@
 
 namespace firzen {
 
-ServingIndex::ServingIndex(const Recommender* model, const Dataset& dataset)
-    : model_(model),
-      num_items_(dataset.num_items),
-      seen_(dataset.TrainItemsByUser()) {
-  FIRZEN_CHECK(model != nullptr);
+namespace {
+
+// Per-request ranking state for the fused stream: the bounded heap plus the
+// resolved exclusion list (sorted, for binary_search).
+struct RequestState {
+  explicit RequestState(Index k) : heap(k) {}
+
+  TopKHeap heap;
+  const std::vector<Index>* exclude = nullptr;  // sorted, may be empty
+  std::vector<Index> custom_sorted;             // backing store for kCustom
+};
+
+bool Excluded(const RequestState& state, Index item) {
+  return state.exclude != nullptr &&
+         std::binary_search(state.exclude->begin(), state.exclude->end(),
+                            item);
 }
+
+std::unique_ptr<Scorer> MintScorer(const Recommender* model) {
+  FIRZEN_CHECK(model != nullptr);
+  return model->MakeScorer();
+}
+
+}  // namespace
+
+ServingEngine::ServingEngine(const Recommender* model, const Dataset& dataset,
+                             ServingEngineOptions options)
+    : ServingEngine(MintScorer(model), dataset, options) {}
+
+ServingEngine::ServingEngine(std::unique_ptr<Scorer> scorer,
+                             const Dataset& dataset,
+                             ServingEngineOptions options)
+    : scorer_(std::move(scorer)),
+      num_items_(dataset.num_items),
+      seen_(dataset.TrainItemsByUser()),
+      is_cold_(dataset.is_cold_item),
+      options_(options) {
+  FIRZEN_CHECK(scorer_ != nullptr);
+  FIRZEN_CHECK_GT(options_.item_block, 0);
+  if (num_items_ == 0) num_items_ = scorer_->num_items();
+  FIRZEN_CHECK_EQ(scorer_->num_items(), num_items_);
+  if (is_cold_.empty()) {
+    is_cold_.assign(static_cast<size_t>(num_items_), false);
+  }
+  FIRZEN_CHECK_EQ(static_cast<Index>(is_cold_.size()), num_items_);
+}
+
+RecResponse ServingEngine::Recommend(const RecRequest& request) const {
+  return RecommendBatch({request})[0];
+}
+
+std::vector<RecResponse> ServingEngine::RecommendBatch(
+    const std::vector<RecRequest>& requests) const {
+  std::vector<RecResponse> responses(requests.size());
+  if (requests.empty()) return responses;
+
+  std::vector<RequestState> states;
+  // Reserve up front: states[i].exclude may point at states[i].custom_sorted,
+  // so the elements must never relocate.
+  states.reserve(requests.size());
+  for (const RecRequest& request : requests) {
+    FIRZEN_CHECK_GT(request.k, 0);
+    FIRZEN_CHECK_GE(request.user, 0);
+    for (Index item : request.candidates) {
+      FIRZEN_CHECK_GE(item, 0);
+      FIRZEN_CHECK_LT(item, num_items_);
+    }
+    states.emplace_back(request.k);
+    RequestState& state = states.back();
+    switch (request.exclusion) {
+      case ExclusionPolicy::kTrainSeen:
+        if (request.user < static_cast<Index>(seen_.size())) {
+          state.exclude = &seen_[static_cast<size_t>(request.user)];
+        }
+        break;
+      case ExclusionPolicy::kCustom:
+        state.custom_sorted = request.exclude;
+        std::sort(state.custom_sorted.begin(), state.custom_sorted.end());
+        state.exclude = &state.custom_sorted;
+        break;
+      case ExclusionPolicy::kNone:
+        break;
+    }
+  }
+
+  // Requests over the full catalog share one fused score-and-rank stream;
+  // explicit candidate pools are scored per request in bounded chunks.
+  std::vector<size_t> streamed;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].candidates.empty()) streamed.push_back(i);
+  }
+
+  if (!streamed.empty()) {
+    std::vector<Index> users;
+    users.reserve(streamed.size());
+    for (size_t i : streamed) users.push_back(requests[i].user);
+    Matrix panel;  // streamed.size() x item_block, reused per block
+    for (Index block_begin = 0; block_begin < num_items_;
+         block_begin += options_.item_block) {
+      const ItemBlock block{
+          block_begin,
+          std::min(block_begin + options_.item_block, num_items_)};
+      panel.ResizeUninitialized(static_cast<Index>(users.size()),
+                                block.size());
+      scorer_->ScoreBlock(users, block, MatrixView(&panel));
+      // Requests are independent: each shard feeds disjoint heaps.
+      ParallelFor(
+          options_.pool, static_cast<Index>(streamed.size()),
+          [&](Index begin, Index end) {
+            for (Index r = begin; r < end; ++r) {
+              const RecRequest& request = requests[streamed[
+                  static_cast<size_t>(r)]];
+              RequestState& state = states[streamed[static_cast<size_t>(r)]];
+              const Real* row = panel.row(r);
+              for (Index item = block.begin; item < block.end; ++item) {
+                if (request.cold_only &&
+                    !is_cold_[static_cast<size_t>(item)]) {
+                  continue;
+                }
+                if (Excluded(state, item)) continue;
+                state.heap.Push(item, row[item - block.begin]);
+              }
+            }
+          },
+          /*min_shard_size=*/8);
+    }
+  }
+
+  // Explicit candidate pools, chunked so peak memory stays bounded.
+  // Consecutive requests sharing an equal pool (exactly what the TopKBatch
+  // shim emits) score as one user batch, keeping the batched Gemm.
+  std::vector<size_t> explicit_idx;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (!requests[i].candidates.empty()) explicit_idx.push_back(i);
+  }
+  Matrix chunk_scores;
+  std::vector<Index> chunk;
+  for (size_t g0 = 0; g0 < explicit_idx.size();) {
+    const std::vector<Index>& pool_items =
+        requests[explicit_idx[g0]].candidates;
+    size_t g1 = g0 + 1;
+    while (g1 < explicit_idx.size() &&
+           requests[explicit_idx[g1]].candidates == pool_items) {
+      ++g1;
+    }
+    std::vector<Index> group_users;
+    group_users.reserve(g1 - g0);
+    for (size_t g = g0; g < g1; ++g) {
+      group_users.push_back(requests[explicit_idx[g]].user);
+    }
+    for (size_t begin = 0; begin < pool_items.size();
+         begin += static_cast<size_t>(options_.item_block)) {
+      const size_t end =
+          std::min(begin + static_cast<size_t>(options_.item_block),
+                   pool_items.size());
+      chunk.assign(pool_items.begin() + begin, pool_items.begin() + end);
+      chunk_scores.ResizeUninitialized(static_cast<Index>(group_users.size()),
+                                       static_cast<Index>(chunk.size()));
+      scorer_->ScoreCandidates(group_users, chunk, MatrixView(&chunk_scores));
+      ParallelFor(
+          options_.pool, static_cast<Index>(g1 - g0),
+          [&](Index row_begin, Index row_end) {
+            for (Index r = row_begin; r < row_end; ++r) {
+              const size_t idx = explicit_idx[g0 + static_cast<size_t>(r)];
+              const RecRequest& request = requests[idx];
+              RequestState& state = states[idx];
+              const Real* row = chunk_scores.row(r);
+              for (size_t j = 0; j < chunk.size(); ++j) {
+                const Index item = chunk[j];
+                if (request.cold_only &&
+                    !is_cold_[static_cast<size_t>(item)]) {
+                  continue;
+                }
+                if (Excluded(state, item)) continue;
+                state.heap.Push(item, row[j]);
+              }
+            }
+          },
+          /*min_shard_size=*/8);
+    }
+    g0 = g1;
+  }
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    responses[i].user = requests[i].user;
+    const auto& top = states[i].heap.Sorted();
+    responses[i].items.reserve(top.size());
+    for (const ScoredItem& e : top) {
+      responses[i].items.push_back({e.item, e.score});
+    }
+  }
+  return responses;
+}
+
+ServingIndex::ServingIndex(const Recommender* model, const Dataset& dataset)
+    : engine_(model, dataset) {}
 
 std::vector<Recommendation> ServingIndex::TopK(
     Index user, Index k, const std::vector<Index>& candidates) const {
@@ -23,47 +214,20 @@ std::vector<Recommendation> ServingIndex::TopK(
 std::vector<std::vector<Recommendation>> ServingIndex::TopKBatch(
     const std::vector<Index>& users, Index k,
     const std::vector<Index>& candidates) const {
-  FIRZEN_CHECK_GT(k, 0);
-  for (Index item : candidates) {
-    FIRZEN_CHECK_GE(item, 0);
-    FIRZEN_CHECK_LT(item, num_items_);
+  std::vector<RecRequest> requests;
+  requests.reserve(users.size());
+  for (Index user : users) {
+    RecRequest request;
+    request.user = user;
+    request.k = k;
+    request.candidates = candidates;
+    requests.push_back(std::move(request));
   }
-  Matrix scores;
-  model_->Score(users, &scores);
-  FIRZEN_CHECK_EQ(scores.cols(), num_items_);
-
-  // Users are independent, so they shard across the pool with per-thread
-  // heap scratch; each shard writes disjoint result slots. Selection is a
-  // bounded min-heap: O(items log k) instead of copying + partial_sort over
-  // every unseen item.
+  const std::vector<RecResponse> responses = engine_.RecommendBatch(requests);
   std::vector<std::vector<Recommendation>> results(users.size());
-  ParallelFor(
-      ThreadPool::Global(), static_cast<Index>(users.size()),
-      [&](Index begin, Index end) {
-        TopKHeap heap(k);
-        for (Index r = begin; r < end; ++r) {
-          const Index user = users[static_cast<size_t>(r)];
-          const auto& exclude = seen_[static_cast<size_t>(user)];
-          const Real* user_scores = scores.row(r);
-          heap.Reset();
-          auto offer = [&](Index item) {
-            if (std::binary_search(exclude.begin(), exclude.end(), item)) {
-              return;
-            }
-            heap.Push(item, user_scores[item]);
-          };
-          if (candidates.empty()) {
-            for (Index item = 0; item < num_items_; ++item) offer(item);
-          } else {
-            for (Index item : candidates) offer(item);
-          }
-          const auto& top = heap.Sorted();
-          std::vector<Recommendation>& out = results[static_cast<size_t>(r)];
-          out.reserve(top.size());
-          for (const ScoredItem& e : top) out.push_back({e.item, e.score});
-        }
-      },
-      /*min_shard_size=*/8);
+  for (size_t i = 0; i < responses.size(); ++i) {
+    results[i] = responses[i].items;
+  }
   return results;
 }
 

@@ -1,10 +1,12 @@
-// Online-serving helper: top-K recommendation queries against a trained
-// Recommender, with per-user exclusion of already-consumed items and
-// optional restriction to a candidate pool (e.g. only cold items for a
-// "new arrivals" shelf).
+// Online-serving engine: top-K recommendation queries against a trained
+// Recommender through the block-streaming Scorer API. Scoring and ranking
+// are fused — item panels stream through a bounded min-heap per request —
+// so a batch of requests peaks at O(batch_users * item_block) memory for
+// any catalog size; the full users x items score matrix never materializes.
 #ifndef FIRZEN_EVAL_SERVING_H_
 #define FIRZEN_EVAL_SERVING_H_
 
+#include <memory>
 #include <vector>
 
 #include "src/data/dataset.h"
@@ -18,6 +20,81 @@ struct Recommendation {
   Real score;
 };
 
+/// Which items are withheld from a request's results.
+enum class ExclusionPolicy {
+  kTrainSeen,  // the user's training interactions (default)
+  kCustom,     // exactly RecRequest::exclude
+  kNone,       // nothing excluded
+};
+
+/// One top-K recommendation query.
+struct RecRequest {
+  Index user = 0;
+  Index k = 10;
+  /// Explicit candidate pool; empty = the full catalog (streamed in blocks).
+  std::vector<Index> candidates;
+  ExclusionPolicy exclusion = ExclusionPolicy::kTrainSeen;
+  /// Items withheld under ExclusionPolicy::kCustom (any order, duplicates
+  /// allowed).
+  std::vector<Index> exclude;
+  /// Restrict results to the strict cold-start shelf ("new arrivals").
+  bool cold_only = false;
+};
+
+/// Ranked answer to one RecRequest, best first. May hold fewer than k items
+/// when the pool is smaller than k or exclusions consume it — never an
+/// error.
+struct RecResponse {
+  Index user = 0;
+  std::vector<Recommendation> items;
+};
+
+struct ServingEngineOptions {
+  /// Streamed scoring panel width (items per ScoreBlock call). Per-batch
+  /// peak memory is batch_users * item_block * sizeof(Real).
+  Index item_block = 8192;
+  /// Pool for the fused ranking loops (heap pushes); nullptr =
+  /// ThreadPool::Global(). Scoring kernels themselves parallelize over the
+  /// global pool, as everywhere in the tensor layer.
+  ThreadPool* pool = nullptr;
+};
+
+/// Request/response serving front end. Mints one Scorer from the model at
+/// construction (re-construct after Prepare*ColdInference to pick up new
+/// state). Not thread-safe: the underlying scorer keeps per-batch scratch —
+/// build one engine per serving thread; each engine parallelizes internally
+/// over the pool.
+class ServingEngine {
+ public:
+  /// The model must outlive the engine. Train-seen exclusions and the cold
+  /// shelf come from `dataset`.
+  ServingEngine(const Recommender* model, const Dataset& dataset,
+                ServingEngineOptions options = {});
+
+  /// Engine over an explicit scorer (e.g. a DotProductScorer on loaded
+  /// embeddings) — the offline-training / online-serving split.
+  ServingEngine(std::unique_ptr<Scorer> scorer, const Dataset& dataset,
+                ServingEngineOptions options = {});
+
+  RecResponse Recommend(const RecRequest& request) const;
+
+  /// Answers every request, preserving order. Requests over the full
+  /// catalog share one fused score-and-rank stream.
+  std::vector<RecResponse> RecommendBatch(
+      const std::vector<RecRequest>& requests) const;
+
+  Index num_items() const { return num_items_; }
+
+ private:
+  std::unique_ptr<Scorer> scorer_;
+  Index num_items_;
+  std::vector<std::vector<Index>> seen_;  // sorted train items per user
+  std::vector<bool> is_cold_;
+  ServingEngineOptions options_;
+};
+
+/// Deprecated serving front end, kept as a thin shim over ServingEngine so
+/// existing call sites keep working. Prefer ServingEngine + RecRequest.
 class ServingIndex {
  public:
   /// The model must outlive the index. Exclusions default to each user's
@@ -26,6 +103,8 @@ class ServingIndex {
 
   /// Top-k items for one user, best first. `candidates` empty = all items.
   /// Items the user already interacted with (train split) are excluded.
+  /// Returns fewer than k items (possibly none) when the candidate pool is
+  /// exhausted.
   std::vector<Recommendation> TopK(
       Index user, Index k, const std::vector<Index>& candidates = {}) const;
 
@@ -35,9 +114,7 @@ class ServingIndex {
       const std::vector<Index>& candidates = {}) const;
 
  private:
-  const Recommender* model_;
-  Index num_items_;
-  std::vector<std::vector<Index>> seen_;  // sorted train items per user
+  ServingEngine engine_;
 };
 
 }  // namespace firzen

@@ -5,17 +5,10 @@
 
 namespace firzen {
 
-void EmbeddingModel::Score(const std::vector<Index>& users,
-                           Matrix* scores) const {
+std::unique_ptr<Scorer> EmbeddingModel::MakeScorer() const {
   FIRZEN_CHECK(!final_user_.empty());
   FIRZEN_CHECK(!final_item_.empty());
-  Matrix batch(static_cast<Index>(users.size()), final_user_.cols());
-  for (size_t r = 0; r < users.size(); ++r) {
-    const Real* src = final_user_.row(users[r]);
-    Real* dst = batch.row(static_cast<Index>(r));
-    for (Index c = 0; c < final_user_.cols(); ++c) dst[c] = src[c];
-  }
-  Gemm(false, true, 1.0, batch, final_item_, 0.0, scores);
+  return std::make_unique<DotProductScorer>(final_user_, final_item_);
 }
 
 Tensor EmbeddingModel::BprLoss(const Tensor& user_emb, const Tensor& pos_emb,
@@ -41,20 +34,11 @@ Real EmbeddingModel::ValidationMrr(const Dataset& dataset,
                                    const Matrix& user_emb,
                                    const Matrix& item_emb, ThreadPool* pool) {
   if (dataset.warm_val.empty()) return 0.0;
-  ScoreFn score_fn = [&user_emb, &item_emb](const std::vector<Index>& users,
-                                            Matrix* scores) {
-    Matrix batch(static_cast<Index>(users.size()), user_emb.cols());
-    for (size_t r = 0; r < users.size(); ++r) {
-      const Real* src = user_emb.row(users[r]);
-      Real* dst = batch.row(static_cast<Index>(r));
-      for (Index c = 0; c < user_emb.cols(); ++c) dst[c] = src[c];
-    }
-    Gemm(false, true, 1.0, batch, item_emb, 0.0, scores);
-  };
+  const DotProductScorer scorer(user_emb, item_emb);
   EvalOptions options;
   options.pool = pool;
   const EvalResult result = EvaluateRanking(dataset, dataset.warm_val,
-                                            EvalSetting::kWarm, score_fn,
+                                            EvalSetting::kWarm, scorer,
                                             options);
   return result.metrics.mrr;
 }

@@ -14,8 +14,10 @@ namespace firzen {
 
 class EmbeddingModel : public Recommender {
  public:
-  /// scores = user_emb[users] * item_emb^T.
-  void Score(const std::vector<Index>& users, Matrix* scores) const override;
+  /// Streaming dot-product scorer over the final tables: an item block is a
+  /// zero-copy row slice of final_item_ fed to GemmBT. The model must
+  /// outlive the scorer.
+  std::unique_ptr<Scorer> MakeScorer() const override;
 
   Matrix ItemEmbeddings() const override { return final_item_; }
 

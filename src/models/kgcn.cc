@@ -168,60 +168,143 @@ void Kgcn::Fit(const Dataset& dataset, const TrainOptions& options) {
   final_item_ = ItemEmbeddings();
 }
 
-void Kgcn::Score(const std::vector<Index>& users, Matrix* scores) const {
+namespace {
+
+// Block-native scorer for the user-conditioned KGCN tower. Holds references
+// into the owning model (which must outlive it) plus the projected entity
+// table (entity_emb * W) computed once at mint time instead of once per
+// scoring call. Item positions shard across the pool with per-shard softmax
+// scratch; every (user, item) cell is an independent p-ordered computation,
+// so results are bit-identical for any block partitioning and pool size.
+class KgcnScorer : public Scorer {
+ public:
+  KgcnScorer(const Matrix& user_emb, const Matrix& relation_emb,
+             const Matrix& bias, const std::vector<Index>& neighbor_tails,
+             const std::vector<Index>& neighbor_rels, Index s,
+             Index num_items, Matrix projected)
+      : user_emb_(user_emb),
+        relation_emb_(relation_emb),
+        bias_(bias),
+        neighbor_tails_(neighbor_tails),
+        neighbor_rels_(neighbor_rels),
+        s_(s),
+        num_items_(num_items),
+        projected_(std::move(projected)) {}
+
+  Index num_items() const override { return num_items_; }
+
+  void ScoreBlock(const std::vector<Index>& users, ItemBlock block,
+                  MatrixView out) const override {
+    FIRZEN_CHECK_GE(block.begin, 0);
+    FIRZEN_CHECK_LE(block.begin, block.end);
+    FIRZEN_CHECK_LE(block.end, num_items_);
+    ScoreItems(users, block.begin, nullptr, block.size(), out);
+  }
+
+  void ScoreCandidates(const std::vector<Index>& users,
+                       const std::vector<Index>& candidates,
+                       MatrixView out) const override {
+    for (Index item : candidates) {
+      FIRZEN_CHECK_GE(item, 0);
+      FIRZEN_CHECK_LT(item, num_items_);
+    }
+    ScoreItems(users, 0, &candidates, static_cast<Index>(candidates.size()),
+               out);
+  }
+
+ private:
+  // Scores `count` items — candidates when given, else the contiguous range
+  // starting at `first` — for every user into `out`.
+  void ScoreItems(const std::vector<Index>& users, Index first,
+                  const std::vector<Index>* candidates, Index count,
+                  MatrixView out) const {
+    FIRZEN_CHECK_EQ(out.rows(), static_cast<Index>(users.size()));
+    FIRZEN_CHECK_EQ(out.cols(), count);
+    if (users.empty() || count == 0) return;
+    const Index d = user_emb_.cols();
+    const Index num_rel = relation_emb_.rows();
+
+    // Per-user relation attention logits, shared by every item in the call.
+    Matrix rel_score(static_cast<Index>(users.size()), num_rel);
+    for (size_t r = 0; r < users.size(); ++r) {
+      const Real* eu = user_emb_.row(users[r]);
+      for (Index rel = 0; rel < num_rel; ++rel) {
+        const Real* er = relation_emb_.row(rel);
+        Real acc = 0.0;
+        for (Index c = 0; c < d; ++c) acc += eu[c] * er[c];
+        rel_score(static_cast<Index>(r), rel) = acc;
+      }
+    }
+
+    ParallelFor(
+        ThreadPool::Global(), count,
+        [&](Index begin, Index end) {
+          std::vector<Real> weight(static_cast<size_t>(s_));
+          std::vector<Real> tower(static_cast<size_t>(d));
+          for (Index j = begin; j < end; ++j) {
+            const Index i =
+                candidates ? (*candidates)[static_cast<size_t>(j)] : first + j;
+            for (size_t r = 0; r < users.size(); ++r) {
+              const Real* logits = rel_score.row(static_cast<Index>(r));
+              // Softmax over the item's sampled neighbor relations.
+              Real max_v = -1e30;
+              for (Index t = 0; t < s_; ++t) {
+                max_v = std::max(
+                    max_v, logits[neighbor_rels_[static_cast<size_t>(
+                               i * s_ + t)]]);
+              }
+              Real denom = 0.0;
+              for (Index t = 0; t < s_; ++t) {
+                weight[static_cast<size_t>(t)] = std::exp(
+                    logits[neighbor_rels_[static_cast<size_t>(i * s_ + t)]] -
+                    max_v);
+                denom += weight[static_cast<size_t>(t)];
+              }
+              const Real* ego = projected_.row(i);
+              for (Index c = 0; c < d; ++c) {
+                tower[static_cast<size_t>(c)] = ego[c];
+              }
+              for (Index t = 0; t < s_; ++t) {
+                const Real wj = weight[static_cast<size_t>(t)] / denom;
+                const Real* tail = projected_.row(
+                    neighbor_tails_[static_cast<size_t>(i * s_ + t)]);
+                for (Index c = 0; c < d; ++c) {
+                  tower[static_cast<size_t>(c)] += wj * tail[c];
+                }
+              }
+              const Real* eu = user_emb_.row(users[r]);
+              Real score = 0.0;
+              for (Index c = 0; c < d; ++c) {
+                score += eu[c] * std::tanh(tower[static_cast<size_t>(c)] +
+                                           bias_(0, c));
+              }
+              out(static_cast<Index>(r), j) = score;
+            }
+          }
+        },
+        /*min_shard_size=*/64);
+  }
+
+  const Matrix& user_emb_;
+  const Matrix& relation_emb_;
+  const Matrix& bias_;
+  const std::vector<Index>& neighbor_tails_;
+  const std::vector<Index>& neighbor_rels_;
+  Index s_;
+  Index num_items_;
+  Matrix projected_;
+};
+
+}  // namespace
+
+std::unique_ptr<Scorer> Kgcn::MakeScorer() const {
   FIRZEN_CHECK(!user_emb_.empty());
-  const Index s = kgcn_options_.neighbor_samples;
-  const Index d = dim_;
-  // Precompute entity_emb * W once per call.
+  // entity_emb * W once per scorer, amortized over every streamed block.
   Matrix projected;
   Gemm(false, false, 1.0, entity_emb_, w_, 0.0, &projected);
-
-  scores->Resize(static_cast<Index>(users.size()), num_items_);
-  std::vector<Real> rel_score(static_cast<size_t>(relation_emb_.rows()));
-  std::vector<Real> weight(static_cast<size_t>(s));
-  std::vector<Real> tower(static_cast<size_t>(d));
-  for (size_t r = 0; r < users.size(); ++r) {
-    const Real* eu = user_emb_.row(users[r]);
-    for (Index rel = 0; rel < relation_emb_.rows(); ++rel) {
-      const Real* er = relation_emb_.row(rel);
-      Real acc = 0.0;
-      for (Index c = 0; c < d; ++c) acc += eu[c] * er[c];
-      rel_score[static_cast<size_t>(rel)] = acc;
-    }
-    for (Index i = 0; i < num_items_; ++i) {
-      // Softmax over the item's sampled neighbor relations.
-      Real max_v = -1e30;
-      for (Index j = 0; j < s; ++j) {
-        max_v = std::max(
-            max_v, rel_score[static_cast<size_t>(
-                       neighbor_rels_[static_cast<size_t>(i * s + j)])]);
-      }
-      Real denom = 0.0;
-      for (Index j = 0; j < s; ++j) {
-        weight[static_cast<size_t>(j)] = std::exp(
-            rel_score[static_cast<size_t>(
-                neighbor_rels_[static_cast<size_t>(i * s + j)])] -
-            max_v);
-        denom += weight[static_cast<size_t>(j)];
-      }
-      const Real* ego = projected.row(i);
-      for (Index c = 0; c < d; ++c) tower[static_cast<size_t>(c)] = ego[c];
-      for (Index j = 0; j < s; ++j) {
-        const Real wj = weight[static_cast<size_t>(j)] / denom;
-        const Real* tail = projected.row(
-            neighbor_tails_[static_cast<size_t>(i * s + j)]);
-        for (Index c = 0; c < d; ++c) {
-          tower[static_cast<size_t>(c)] += wj * tail[c];
-        }
-      }
-      Real score = 0.0;
-      for (Index c = 0; c < d; ++c) {
-        score += eu[c] * std::tanh(tower[static_cast<size_t>(c)] +
-                                   bias_(0, c));
-      }
-      (*scores)(static_cast<Index>(r), i) = score;
-    }
-  }
+  return std::make_unique<KgcnScorer>(
+      user_emb_, relation_emb_, bias_, neighbor_tails_, neighbor_rels_,
+      kgcn_options_.neighbor_samples, num_items_, std::move(projected));
 }
 
 Matrix Kgcn::ItemEmbeddings() const {
@@ -235,13 +318,11 @@ Matrix Kgcn::ItemEmbeddings() const {
 Real Kgcn::ScoreValidationMrr(const Dataset& dataset,
                               ThreadPool* pool) const {
   if (dataset.warm_val.empty()) return 0.0;
-  ScoreFn fn = [this](const std::vector<Index>& users, Matrix* scores) {
-    Score(users, scores);
-  };
+  const auto scorer = MakeScorer();
   EvalOptions options;
   options.pool = pool;
-  return EvaluateRanking(dataset, dataset.warm_val, EvalSetting::kWarm, fn,
-                         options)
+  return EvaluateRanking(dataset, dataset.warm_val, EvalSetting::kWarm,
+                         *scorer, options)
       .metrics.mrr;
 }
 

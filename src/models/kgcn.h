@@ -24,8 +24,11 @@ class Kgcn : public EmbeddingModel {
   void Fit(const Dataset& dataset, const TrainOptions& options) override;
 
   /// User-conditioned scoring: the item tower depends on the querying user,
-  /// so scores are computed directly rather than via static embeddings.
-  void Score(const std::vector<Index>& users, Matrix* scores) const override;
+  /// so there is no factorized dot-product path. The scorer evaluates item
+  /// towers natively per block (the projected entity table is computed once
+  /// at mint time), keeping streamed scoring O(users * block) like the
+  /// factorized models.
+  std::unique_ptr<Scorer> MakeScorer() const override;
 
   Matrix ItemEmbeddings() const override;
 

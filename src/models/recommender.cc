@@ -4,6 +4,25 @@ namespace firzen {
 
 Recommender::~Recommender() = default;
 
+std::unique_ptr<Scorer> Recommender::MakeScorer() const {
+  // Generic full-row fallback: an empty-batch probe learns the catalog
+  // width (a 0 x num_items resize, no scoring work) before adapting the
+  // legacy Score() contract. Models with a factorized or block-native path
+  // override this instead.
+  Matrix probe;
+  Score({}, &probe);
+  return std::make_unique<FullScoreAdapter>(
+      [this](const std::vector<Index>& users, Matrix* scores) {
+        Score(users, scores);
+      },
+      probe.cols());
+}
+
+void Recommender::Score(const std::vector<Index>& users,
+                        Matrix* scores) const {
+  MakeScorer()->ScoreAll(users, scores);
+}
+
 void Recommender::PrepareColdInference(const Dataset& dataset) {
   (void)dataset;
 }

@@ -2,10 +2,12 @@
 #ifndef FIRZEN_MODELS_RECOMMENDER_H_
 #define FIRZEN_MODELS_RECOMMENDER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/data/dataset.h"
+#include "src/models/scorer.h"
 #include "src/tensor/matrix.h"
 #include "src/util/thread_pool.h"
 
@@ -29,8 +31,13 @@ struct TrainOptions {
 };
 
 /// Abstract recommender. Lifecycle: Fit() -> [PrepareColdInference()] ->
-/// Score(). Scoring returns one row per requested user over ALL items; the
-/// evaluator applies candidate masking.
+/// MakeScorer() -> ScoreBlock()/ScoreCandidates(). Scoring streams bounded
+/// item panels; the evaluator and the serving engine fuse ranking with the
+/// stream so no users x num_items matrix ever materializes.
+///
+/// A concrete model must override at least one of MakeScorer() or the
+/// deprecated Score() — each default is implemented on top of the other, so
+/// overriding neither recurses.
 class Recommender {
  public:
   virtual ~Recommender();
@@ -40,9 +47,20 @@ class Recommender {
   /// Trains on dataset.train (strict cold items never appear there).
   virtual void Fit(const Dataset& dataset, const TrainOptions& options) = 0;
 
-  /// Fills `scores` (users.size() x num_items).
-  virtual void Score(const std::vector<Index>& users,
-                     Matrix* scores) const = 0;
+  /// Mints a streaming scorer over the model's current inference state
+  /// (post Fit / PrepareColdInference). The model must outlive the scorer,
+  /// and the scorer reflects the state at mint time: re-mint after
+  /// Prepare*ColdInference. Default: a FullScoreAdapter over Score() — the
+  /// generic full-row fallback for non-factorized models (which must then
+  /// accept an empty user list: the adapter probes the catalog width with
+  /// one 0-row Score() call).
+  virtual std::unique_ptr<Scorer> MakeScorer() const;
+
+  /// Deprecated full-matrix scoring: fills `scores`
+  /// (users.size() x num_items) via one catalog-wide ScoreBlock. Kept so
+  /// existing call sites migrate without behavior change; prefer
+  /// MakeScorer() + ScoreBlock in new code.
+  virtual void Score(const std::vector<Index>& users, Matrix* scores) const;
 
   /// Rebuilds inference-time structures that may include strict cold items
   /// (e.g. expanded + masked item-item graphs, Eqs. 34-35). Default: no-op.

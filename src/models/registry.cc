@@ -59,17 +59,17 @@ ProtocolResult RunStrictColdProtocol(Recommender* model,
   model->Fit(dataset, options);
   result.fit_seconds = fit_watch.ElapsedSeconds();
 
-  ScoreFn score_fn = [model](const std::vector<Index>& users,
-                             Matrix* scores) {
-    model->Score(users, scores);
-  };
   EvalOptions eval_options;
   eval_options.pool = options.pool;
+  // Scorers snapshot inference state at mint time, so re-mint after the
+  // cold-inference rebuild.
   result.warm = EvaluateRanking(dataset, dataset.warm_test,
-                                EvalSetting::kWarm, score_fn, eval_options);
+                                EvalSetting::kWarm, *model->MakeScorer(),
+                                eval_options);
   model->PrepareColdInference(dataset);
   result.cold = EvaluateRanking(dataset, dataset.cold_test,
-                                EvalSetting::kCold, score_fn, eval_options);
+                                EvalSetting::kCold, *model->MakeScorer(),
+                                eval_options);
   result.hm = HarmonicMean(result.cold.metrics, result.warm.metrics);
   return result;
 }
@@ -77,14 +77,10 @@ ProtocolResult RunStrictColdProtocol(Recommender* model,
 EvalResult RunNormalColdEval(Recommender* model, const Dataset& dataset,
                              const TrainOptions& options) {
   model->PrepareNormalColdInference(dataset);
-  ScoreFn score_fn = [model](const std::vector<Index>& users,
-                             Matrix* scores) {
-    model->Score(users, scores);
-  };
   EvalOptions eval_options;
   eval_options.pool = options.pool;
   return EvaluateRanking(dataset, dataset.cold_test, EvalSetting::kCold,
-                         score_fn, eval_options);
+                         *model->MakeScorer(), eval_options);
 }
 
 }  // namespace firzen

@@ -1,0 +1,149 @@
+#include "src/models/scorer.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace firzen {
+
+namespace {
+
+// Copies the rows named by `users` out of `table` into `batch`.
+void GatherRows(const Matrix& table, const std::vector<Index>& users,
+                Matrix* batch) {
+  batch->ResizeUninitialized(static_cast<Index>(users.size()), table.cols());
+  for (size_t r = 0; r < users.size(); ++r) {
+    FIRZEN_CHECK_GE(users[r], 0);
+    FIRZEN_CHECK_LT(users[r], table.rows());
+    const Real* src = table.row(users[r]);
+    Real* dst = batch->row(static_cast<Index>(r));
+    for (Index c = 0; c < table.cols(); ++c) dst[c] = src[c];
+  }
+}
+
+void CheckBlock(ItemBlock block, Index num_items) {
+  FIRZEN_CHECK_GE(block.begin, 0);
+  FIRZEN_CHECK_LE(block.begin, block.end);
+  FIRZEN_CHECK_LE(block.end, num_items);
+}
+
+void CheckOut(MatrixView out, Index rows, Index cols) {
+  FIRZEN_CHECK_EQ(out.rows(), rows);
+  FIRZEN_CHECK_EQ(out.cols(), cols);
+}
+
+}  // namespace
+
+Scorer::~Scorer() = default;
+
+void Scorer::ScoreCandidates(const std::vector<Index>& users,
+                             const std::vector<Index>& candidates,
+                             MatrixView out) const {
+  CheckOut(out, static_cast<Index>(users.size()),
+           static_cast<Index>(candidates.size()));
+  Matrix full(static_cast<Index>(users.size()), num_items());
+  ScoreBlock(users, {0, num_items()}, MatrixView(&full));
+  for (size_t r = 0; r < users.size(); ++r) {
+    const Real* src = full.row(static_cast<Index>(r));
+    Real* dst = out.row(static_cast<Index>(r));
+    for (size_t j = 0; j < candidates.size(); ++j) {
+      FIRZEN_CHECK_GE(candidates[j], 0);
+      FIRZEN_CHECK_LT(candidates[j], num_items());
+      dst[j] = src[candidates[j]];
+    }
+  }
+}
+
+void Scorer::ScoreAll(const std::vector<Index>& users, Matrix* scores) const {
+  scores->ResizeUninitialized(static_cast<Index>(users.size()), num_items());
+  ScoreBlock(users, {0, num_items()}, MatrixView(scores));
+}
+
+DotProductScorer::DotProductScorer(const Matrix& user_emb,
+                                   const Matrix& item_emb, ThreadPool* pool)
+    : user_emb_(user_emb), item_emb_(item_emb), pool_(pool) {
+  FIRZEN_CHECK(!user_emb.empty());
+  FIRZEN_CHECK(!item_emb.empty());
+  FIRZEN_CHECK_EQ(user_emb.cols(), item_emb.cols());
+}
+
+const Matrix& DotProductScorer::BatchFor(
+    const std::vector<Index>& users) const {
+  if (users != cached_users_ ||
+      user_batch_.rows() != static_cast<Index>(users.size())) {
+    GatherRows(user_emb_, users, &user_batch_);
+    cached_users_ = users;
+  }
+  return user_batch_;
+}
+
+void DotProductScorer::ScoreBlock(const std::vector<Index>& users,
+                                  ItemBlock block, MatrixView out) const {
+  CheckBlock(block, num_items());
+  CheckOut(out, static_cast<Index>(users.size()), block.size());
+  if (users.empty() || block.size() == 0) return;
+  GemmBT(BatchFor(users), item_emb_.row(block.begin), block.size(), out,
+         pool_);
+}
+
+void DotProductScorer::ScoreCandidates(const std::vector<Index>& users,
+                                       const std::vector<Index>& candidates,
+                                       MatrixView out) const {
+  CheckOut(out, static_cast<Index>(users.size()),
+           static_cast<Index>(candidates.size()));
+  if (users.empty() || candidates.empty()) return;
+  GatherRows(item_emb_, candidates, &candidate_rows_);
+  GemmBT(BatchFor(users), candidate_rows_.data(), candidate_rows_.rows(), out,
+         pool_);
+}
+
+FullScoreAdapter::FullScoreAdapter(FullScoreFn score_fn, Index num_items)
+    : score_fn_(std::move(score_fn)), num_items_(num_items) {
+  FIRZEN_CHECK(score_fn_ != nullptr);
+  FIRZEN_CHECK_GT(num_items, 0);
+}
+
+const Matrix& FullScoreAdapter::RowsFor(
+    const std::vector<Index>& users) const {
+  if (users != cached_users_ ||
+      full_rows_.rows() != static_cast<Index>(users.size())) {
+    score_fn_(users, &full_rows_);
+    FIRZEN_CHECK_EQ(full_rows_.rows(), static_cast<Index>(users.size()));
+    FIRZEN_CHECK_EQ(full_rows_.cols(), num_items_);
+    cached_users_ = users;
+  }
+  return full_rows_;
+}
+
+void FullScoreAdapter::ScoreBlock(const std::vector<Index>& users,
+                                  ItemBlock block, MatrixView out) const {
+  CheckBlock(block, num_items_);
+  CheckOut(out, static_cast<Index>(users.size()), block.size());
+  if (users.empty() || block.size() == 0) return;
+  const Matrix& rows = RowsFor(users);
+  for (size_t r = 0; r < users.size(); ++r) {
+    const Real* src = rows.row(static_cast<Index>(r)) + block.begin;
+    Real* dst = out.row(static_cast<Index>(r));
+    for (Index j = 0; j < block.size(); ++j) dst[j] = src[j];
+  }
+}
+
+void FullScoreAdapter::ScoreCandidates(const std::vector<Index>& users,
+                                       const std::vector<Index>& candidates,
+                                       MatrixView out) const {
+  CheckOut(out, static_cast<Index>(users.size()),
+           static_cast<Index>(candidates.size()));
+  if (users.empty() || candidates.empty()) return;
+  const Matrix& rows = RowsFor(users);
+  for (size_t r = 0; r < users.size(); ++r) {
+    const Real* src = rows.row(static_cast<Index>(r));
+    Real* dst = out.row(static_cast<Index>(r));
+    for (size_t j = 0; j < candidates.size(); ++j) {
+      FIRZEN_CHECK_GE(candidates[j], 0);
+      FIRZEN_CHECK_LT(candidates[j], num_items_);
+      dst[j] = src[candidates[j]];
+    }
+  }
+}
+
+}  // namespace firzen

@@ -1,0 +1,135 @@
+// Block-streaming scoring API. A Scorer is a lightweight handle minted by
+// Recommender::MakeScorer() that produces scores in bounded item panels:
+// instead of one dense users x num_items matrix per request — a
+// catalog-sized transient — callers stream ItemBlocks (or explicit candidate
+// lists) through ScoreBlock/ScoreCandidates and fuse ranking on the fly, so
+// peak memory is O(user_batch * block_size) for any catalog size.
+//
+// Models whose scores are user·item dot products expose a DotProductScorer
+// over their final embedding tables (zero-copy Gemm over an item-row slice);
+// non-factorized models either implement ScoreBlock natively or fall back to
+// the generic FullScoreAdapter.
+#ifndef FIRZEN_MODELS_SCORER_H_
+#define FIRZEN_MODELS_SCORER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+#include "src/util/thread_pool.h"
+
+namespace firzen {
+
+/// Half-open range [begin, end) of item ids.
+struct ItemBlock {
+  Index begin = 0;
+  Index end = 0;
+
+  Index size() const { return end - begin; }
+};
+
+/// Streaming scorer handle. Holds whatever per-inference state the model
+/// needs (e.g. a projected entity table), so minting one can do one-off work
+/// that then amortizes over every block.
+///
+/// Scorers are NOT thread-safe: they may keep mutable per-batch scratch.
+/// Internally they parallelize over the thread pool; callers wanting
+/// concurrent scoring mint one Scorer per thread.
+class Scorer {
+ public:
+  virtual ~Scorer();
+
+  /// Total number of scorable items (the catalog size).
+  virtual Index num_items() const = 0;
+
+  /// Fills `out` (users.size() x block.size()) with scores of items
+  /// [block.begin, block.end) for each user, out(r, j) = score of
+  /// users[r] for item block.begin + j.
+  virtual void ScoreBlock(const std::vector<Index>& users, ItemBlock block,
+                          MatrixView out) const = 0;
+
+  /// Fills `out` (users.size() x candidates.size()) with scores of the
+  /// explicitly listed items, out(r, j) = score of users[r] for
+  /// candidates[j]. Default: scores the full catalog into a temporary and
+  /// gathers — correct for any model, but O(num_items) per call; factorized
+  /// scorers override with a zero-materialization gather + Gemm.
+  virtual void ScoreCandidates(const std::vector<Index>& users,
+                               const std::vector<Index>& candidates,
+                               MatrixView out) const;
+
+  /// Legacy full-matrix convenience: resizes `scores` to
+  /// users.size() x num_items() and fills it with one catalog-wide block.
+  /// Prefer streaming ScoreBlock in new code.
+  void ScoreAll(const std::vector<Index>& users, Matrix* scores) const;
+};
+
+/// Scorer for models whose score is dot(user_emb[u], item_emb[i]). Holds
+/// references to the tables (the owner must outlive the scorer); an item
+/// block is a zero-copy row slice of the item table fed to GemmBT. The
+/// gathered user batch is cached across consecutive calls with the same
+/// users, so streaming a catalog block-by-block gathers each batch once.
+class DotProductScorer : public Scorer {
+ public:
+  /// `user_emb`: num_users x d, `item_emb`: num_items x d. Both must stay
+  /// alive and unchanged for the scorer's lifetime.
+  DotProductScorer(const Matrix& user_emb, const Matrix& item_emb,
+                   ThreadPool* pool = nullptr);
+
+  Index num_items() const override { return item_emb_.rows(); }
+
+  void ScoreBlock(const std::vector<Index>& users, ItemBlock block,
+                  MatrixView out) const override;
+
+  void ScoreCandidates(const std::vector<Index>& users,
+                       const std::vector<Index>& candidates,
+                       MatrixView out) const override;
+
+ private:
+  const Matrix& BatchFor(const std::vector<Index>& users) const;
+
+  const Matrix& user_emb_;
+  const Matrix& item_emb_;
+  ThreadPool* pool_;
+  // Per-batch scratch: the gathered user rows and (for ScoreCandidates) the
+  // gathered candidate rows. Mutable because scoring is logically const.
+  mutable std::vector<Index> cached_users_;
+  mutable Matrix user_batch_;
+  mutable Matrix candidate_rows_;
+};
+
+/// Produces one row of scores per requested user over the full catalog
+/// (the legacy Recommender::Score contract).
+using FullScoreFn =
+    std::function<void(const std::vector<Index>& users, Matrix* scores)>;
+
+/// Generic adapter for models without a factorized or block-native scoring
+/// path: evaluates the full score rows for the batch, then copies the
+/// requested window out. Peak memory is O(users * num_items) per distinct
+/// user batch — the legacy footprint — but consecutive blocks for the same
+/// batch reuse the cached rows, so streaming costs one full evaluation.
+class FullScoreAdapter : public Scorer {
+ public:
+  FullScoreAdapter(FullScoreFn score_fn, Index num_items);
+
+  Index num_items() const override { return num_items_; }
+
+  void ScoreBlock(const std::vector<Index>& users, ItemBlock block,
+                  MatrixView out) const override;
+
+  void ScoreCandidates(const std::vector<Index>& users,
+                       const std::vector<Index>& candidates,
+                       MatrixView out) const override;
+
+ private:
+  const Matrix& RowsFor(const std::vector<Index>& users) const;
+
+  FullScoreFn score_fn_;
+  Index num_items_;
+  mutable std::vector<Index> cached_users_;
+  mutable Matrix full_rows_;
+};
+
+}  // namespace firzen
+
+#endif  // FIRZEN_MODELS_SCORER_H_

@@ -55,16 +55,8 @@ void StaticRecommender::Fit(const Dataset& dataset,
                    "cannot be fitted");
 }
 
-void StaticRecommender::Score(const std::vector<Index>& users,
-                              Matrix* scores) const {
-  Matrix batch(static_cast<Index>(users.size()), user_emb_.cols());
-  for (size_t r = 0; r < users.size(); ++r) {
-    FIRZEN_CHECK_LT(users[r], user_emb_.rows());
-    const Real* src = user_emb_.row(users[r]);
-    Real* dst = batch.row(static_cast<Index>(r));
-    for (Index c = 0; c < user_emb_.cols(); ++c) dst[c] = src[c];
-  }
-  Gemm(false, true, 1.0, batch, item_emb_, 0.0, scores);
+std::unique_ptr<Scorer> StaticRecommender::MakeScorer() const {
+  return std::make_unique<DotProductScorer>(user_emb_, item_emb_);
 }
 
 Status SaveEmbeddings(const Recommender& model, const Matrix& user_emb,

@@ -25,7 +25,7 @@ class StaticRecommender : public Recommender {
 
   std::string Name() const override { return name_; }
   void Fit(const Dataset& dataset, const TrainOptions& options) override;
-  void Score(const std::vector<Index>& users, Matrix* scores) const override;
+  std::unique_ptr<Scorer> MakeScorer() const override;
   Matrix ItemEmbeddings() const override { return item_emb_; }
 
   const Matrix& user_embeddings() const { return user_emb_; }

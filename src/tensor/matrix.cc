@@ -176,6 +176,110 @@ void GemmRowShard(Index row_begin, Index row_end, Index k, Index n,
   }
 }
 
+// One shard of rows [row_begin, row_end) of C = alpha * A * B^T + beta * C,
+// with A row-major (lda elements per row) and B given untransposed as n
+// row-major rows of width k. Instead of materializing all of B^T — an
+// O(k * n) transient that rivals the compute at catalog scale — each kNc
+// column panel of B^T (k x jw, at most k * kNc elements) is packed into
+// shard-local scratch and consumed by the same micro-kernels as the
+// untransposed path. Pack and compute deliberately live in ONE function:
+// splitting them across a call boundary costs gcc its loop fusion here
+// (~1.35x measured on the 512x64x8192 scoring shape). Redundant packing
+// across shards is bounded by the kBTMinShardRows floor in the dispatcher.
+// Accumulation stays p-ordered per output element, so results are
+// bit-identical to the materialize-then-multiply approach.
+void GemmRowShardBT(Index row_begin, Index row_end, Index k, Index n,
+                    Real alpha, const Real* a, Index lda, const Real* b,
+                    Real beta, Real* c, Index ldc) {
+  Real scratch[kMr * kNc];
+  std::vector<Real> panel(static_cast<size_t>(k) * kNc);
+  for (Index jb = 0; jb < n; jb += kNc) {
+    const Index jw = std::min<Index>(kNc, n - jb);
+    for (Index j = 0; j < jw; ++j) {
+      const Real* brow = b + (jb + j) * k;
+      for (Index p = 0; p < k; ++p) {
+        panel[static_cast<size_t>(p * jw + j)] = brow[p];
+      }
+    }
+    const Real* bp = panel.data();
+    for (Index i = row_begin; i < row_end; i += kMr) {
+      const Index mr = std::min<Index>(kMr, row_end - i);
+      for (Index r = 0; r < mr; ++r) {
+        Real* srow = scratch + r * kNc;
+        for (Index j = 0; j < jw; ++j) srow[j] = 0.0;
+      }
+      if (mr == kMr) {
+        MicroKernel4(k, jw, a + i * lda, lda, bp, jw, scratch);
+      } else {
+        MicroKernelEdge(mr, k, jw, a + i * lda, lda, bp, jw, scratch);
+      }
+      for (Index r = 0; r < mr; ++r) {
+        const Real* srow = scratch + r * kNc;
+        Real* crow = c + (i + r) * ldc + jb;
+        if (beta == 0.0) {
+          for (Index j = 0; j < jw; ++j) crow[j] = alpha * srow[j];
+        } else {
+          for (Index j = 0; j < jw; ++j) {
+            crow[j] = beta * crow[j] + alpha * srow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+// Every shard re-packs the B^T panels it consumes, so shards must be tall
+// enough to amortize that: at >= 64 rows per shard the packing is <= ~1.6%
+// of the shard's multiply-adds for any shape.
+constexpr Index kBTMinShardRows = 64;
+
+// Batch sizes up to this take the zero-copy dot-product path for A * B^T;
+// larger batches go through the panel-packed blocked kernel.
+constexpr Index kDotPathMaxRows = 32;
+
+// A (m x k, lda elements per row) times the transpose of n row-major rows of
+// width k at `b`, written through (ldc-strided) C. Shared by Gemm's trans_b
+// path (full matrices) and GemmBT (views over row slices).
+void GemmDispatchBT(Index m, Index k, Index n, Real alpha, const Real* a,
+                    Index lda, const Real* b, Real beta, Real* c, Index ldc,
+                    ThreadPool* pool) {
+  if (pool == nullptr) pool = ThreadPool::Global();
+  if (m <= kDotPathMaxRows) {
+    // Small-m fast path (single-user / small-batch scoring): dot products
+    // with j outer stream B exactly once while the whole A panel stays
+    // cache-resident. Columns shard across the pool; each dot is a p-ordered
+    // sum, so results stay bit-identical for any pool size.
+    const Index min_cols =
+        std::max<Index>(1, 65536 / std::max<Index>(1, m * k));
+    ParallelFor(
+        pool, n,
+        [&](Index col_begin, Index col_end) {
+          for (Index j = col_begin; j < col_end; ++j) {
+            const Real* brow = b + j * k;
+            for (Index i = 0; i < m; ++i) {
+              const Real* arow = a + i * lda;
+              Real acc = 0.0;
+              for (Index p = 0; p < k; ++p) acc += arow[p] * brow[p];
+              Real* cell = c + i * ldc + j;
+              *cell = beta == 0.0 ? alpha * acc : beta * *cell + alpha * acc;
+            }
+          }
+        },
+        min_cols);
+    return;
+  }
+  // Larger batches: row shards run the fused pack-and-multiply kernel. The
+  // row floor keeps the per-shard panel packing amortized (see
+  // kBTMinShardRows); peak scratch is one k x kNc panel per worker instead
+  // of the O(k * n) full transpose.
+  ParallelFor(
+      pool, m,
+      [&](Index begin, Index end) {
+        GemmRowShardBT(begin, end, k, n, alpha, a, lda, b, beta, c, ldc);
+      },
+      kBTMinShardRows);
+}
+
 }  // namespace
 
 void Gemm(bool trans_a, bool trans_b, Real alpha, const Matrix& a,
@@ -195,51 +299,29 @@ void Gemm(bool trans_a, bool trans_b, Real alpha, const Matrix& a,
   }
   if (m == 0 || n == 0) return;
 
-  // Small-m A * B^T fast path (single-user / small-batch scoring): dot
-  // products with j outer stream B exactly once while the whole A panel
-  // (m * k elements) stays cache-resident, so materializing B^T — an
-  // O(k*n) copy that would rival the O(m*k*n) compute and put a
-  // catalog-sized allocation on every serving request — is avoided.
-  // Columns shard across the pool; each dot is a p-ordered sum, so results
-  // stay bit-identical for any pool size.
-  constexpr Index kDotPathMaxRows = 32;
-  if (!trans_a && trans_b && m <= kDotPathMaxRows) {
-    if (pool == nullptr) pool = ThreadPool::Global();
-    const Index min_cols =
-        std::max<Index>(1, 65536 / std::max<Index>(1, m * k));
-    Real* c_data = c->data();
-    ParallelFor(
-        pool, n,
-        [&](Index col_begin, Index col_end) {
-          for (Index j = col_begin; j < col_end; ++j) {
-            const Real* brow = b.row(j);
-            for (Index i = 0; i < m; ++i) {
-              const Real* arow = a.row(i);
-              Real acc = 0.0;
-              for (Index p = 0; p < k; ++p) acc += arow[p] * brow[p];
-              Real* cell = c_data + i * n + j;
-              *cell = beta == 0.0 ? alpha * acc : beta * *cell + alpha * acc;
-            }
-          }
-        },
-        min_cols);
+  // A * B^T never materializes B^T: GemmDispatchBT takes the zero-copy dot
+  // path for small m and packs bounded kNc-column panels of B^T otherwise.
+  // Only A is packed when transposed (rare; turns strided loads into
+  // streaming ones at an O(m*k) cost against the kernel's O(mnk)).
+  if (trans_b) {
+    const Matrix* ap = &a;
+    Matrix a_packed;
+    if (trans_a) {
+      a_packed = a.Transposed();
+      ap = &a_packed;
+    }
+    GemmDispatchBT(m, k, n, alpha, ap->data(), /*lda=*/k, b.data(), beta,
+                   c->data(), /*ldc=*/n, pool);
     return;
   }
 
   // The blocked kernel wants both operands row-major and untransposed.
-  // Materializing the transpose costs O(size) against the kernel's O(mnk);
-  // it also turns the formerly strided trans_a path into streaming loads.
   const Matrix* ap = &a;
   const Matrix* bp = &b;
   Matrix a_packed;
-  Matrix b_packed;
   if (trans_a) {
     a_packed = a.Transposed();
     ap = &a_packed;
-  }
-  if (trans_b) {
-    b_packed = b.Transposed();
-    bp = &b_packed;
   }
 
   if (pool == nullptr) pool = ThreadPool::Global();
@@ -256,6 +338,17 @@ void Gemm(bool trans_a, bool trans_b, Real alpha, const Matrix& a,
         GemmRowShard(begin, end, k, n, alpha, a_data, b_data, beta, c_data);
       },
       min_rows);
+}
+
+void GemmBT(const Matrix& a, const Real* b_rows, Index n, MatrixView out,
+            ThreadPool* pool) {
+  FIRZEN_CHECK_GE(n, 0);
+  FIRZEN_CHECK_EQ(out.rows(), a.rows());
+  FIRZEN_CHECK_EQ(out.cols(), n);
+  if (a.rows() == 0 || n == 0) return;
+  GemmDispatchBT(a.rows(), a.cols(), n, /*alpha=*/1.0, a.data(),
+                 /*lda=*/a.cols(), b_rows, /*beta=*/0.0, out.data(),
+                 out.stride(), pool);
 }
 
 }  // namespace firzen

@@ -89,13 +89,72 @@ class Matrix {
   std::vector<Real> data_;
 };
 
+/// Non-owning writable window into a dense row-major buffer: `rows` x `cols`
+/// with a row stride of `stride` elements (stride >= cols). Block-streaming
+/// scorers write score panels through views so a column window of a wider
+/// batch matrix — or a caller-owned flat buffer — works without a copy.
+/// The underlying storage must outlive the view.
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(Real* data, Index rows, Index cols, Index stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {
+    FIRZEN_CHECK_GE(rows, 0);
+    FIRZEN_CHECK_GE(cols, 0);
+    FIRZEN_CHECK_GE(stride, cols);
+  }
+
+  /// View of a whole matrix (stride == cols).
+  explicit MatrixView(Matrix* m)
+      : MatrixView(m->data(), m->rows(), m->cols(), m->cols()) {}
+
+  /// Column window [col_begin, col_begin + cols) of every row of `m`.
+  static MatrixView Columns(Matrix* m, Index col_begin, Index cols) {
+    FIRZEN_CHECK_GE(col_begin, 0);
+    FIRZEN_CHECK_LE(col_begin + cols, m->cols());
+    return MatrixView(m->data() + col_begin, m->rows(), cols, m->cols());
+  }
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index stride() const { return stride_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  Real* data() const { return data_; }
+  Real* row(Index r) const { return data_ + r * stride_; }
+  Real& operator()(Index r, Index c) const {
+    return data_[static_cast<size_t>(r * stride_ + c)];
+  }
+
+ private:
+  Real* data_ = nullptr;
+  Index rows_ = 0;
+  Index cols_ = 0;
+  Index stride_ = 0;
+};
+
 /// C = alpha * op(A) * op(B) + beta * C, where op is optional transpose.
 /// Shapes are checked. C must already have the correct shape when beta != 0;
 /// otherwise it is resized (uninitialized, then fully overwritten). Rows of C
 /// are sharded across `pool` (nullptr = ThreadPool::Global()); results do not
-/// depend on the pool size.
+/// depend on the pool size. The trans_b path never materializes B^T: small
+/// row counts take a zero-copy dot-product path and larger ones pack B^T
+/// one bounded kNc-column panel at a time inside each row shard, so peak
+/// scratch is O(k * kNc) per worker instead of O(k * n), with shard height
+/// floored so the re-pack stays amortized.
 void Gemm(bool trans_a, bool trans_b, Real alpha, const Matrix& a,
           const Matrix& b, Real beta, Matrix* c, ThreadPool* pool = nullptr);
+
+/// out = a * slice^T where `slice` is `n` contiguous row-major rows of width
+/// a.cols() starting at `b_rows` — i.e. out(i, j) = dot(a.row(i),
+/// b_rows + j * k). This is the block-scoring kernel: a row range (or a
+/// gathered candidate pack) of an item-embedding table scores against a user
+/// batch with zero copies of the table. out must be a.rows() x n. Every
+/// output element is a straight p-ordered sum, so results are bit-identical
+/// to the full-matrix Gemm(trans_b) path for any block partitioning and any
+/// pool size.
+void GemmBT(const Matrix& a, const Real* b_rows, Index n, MatrixView out,
+            ThreadPool* pool = nullptr);
 
 }  // namespace firzen
 

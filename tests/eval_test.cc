@@ -71,15 +71,17 @@ Dataset TinyEvalDataset() {
   return d;
 }
 
-ScoreFn DescendingByItemId() {
-  return [](const std::vector<Index>& users, Matrix* scores) {
-    scores->Resize(static_cast<Index>(users.size()), 6);
-    for (Index r = 0; r < scores->rows(); ++r) {
-      for (Index i = 0; i < 6; ++i) {
-        (*scores)(r, i) = -static_cast<Real>(i);
-      }
-    }
-  };
+FullScoreAdapter DescendingByItemId() {
+  return FullScoreAdapter(
+      [](const std::vector<Index>& users, Matrix* scores) {
+        scores->Resize(static_cast<Index>(users.size()), 6);
+        for (Index r = 0; r < scores->rows(); ++r) {
+          for (Index i = 0; i < 6; ++i) {
+            (*scores)(r, i) = -static_cast<Real>(i);
+          }
+        }
+      },
+      /*num_items=*/6);
 }
 
 TEST(EvaluatorTest, WarmSettingMasksTrainItems) {
@@ -131,26 +133,41 @@ TEST(EvaluatorTest, ParallelMatchesSerial) {
   fake_user.FillNormal(&rng, 1.0);
   Matrix fake_item(d.num_items, 8);
   fake_item.FillNormal(&rng, 1.0);
-  ScoreFn fn = [&](const std::vector<Index>& users, Matrix* scores) {
-    Matrix batch(static_cast<Index>(users.size()), 8);
-    for (size_t r = 0; r < users.size(); ++r) {
-      for (Index c = 0; c < 8; ++c) {
-        batch(static_cast<Index>(r), c) = fake_user(users[r], c);
-      }
-    }
-    Gemm(false, true, 1.0, batch, fake_item, 0.0, scores);
-  };
+  const DotProductScorer scorer(fake_user, fake_item);
   EvalOptions serial;
   EvalOptions parallel;
   ThreadPool pool(4);
   parallel.pool = &pool;
   const EvalResult a =
-      EvaluateRanking(d, d.warm_test, EvalSetting::kWarm, fn, serial);
+      EvaluateRanking(d, d.warm_test, EvalSetting::kWarm, scorer, serial);
   const EvalResult b =
-      EvaluateRanking(d, d.warm_test, EvalSetting::kWarm, fn, parallel);
+      EvaluateRanking(d, d.warm_test, EvalSetting::kWarm, scorer, parallel);
   EXPECT_EQ(a.num_users, b.num_users);
   EXPECT_NEAR(a.metrics.mrr, b.metrics.mrr, 1e-12);
   EXPECT_NEAR(a.metrics.ndcg, b.metrics.ndcg, 1e-12);
+}
+
+TEST(EvaluatorTest, ResultsIndependentOfItemBlockSize) {
+  const Dataset d = GenerateSyntheticDataset(BeautySConfig(0.15));
+  Rng rng(4);
+  Matrix fake_user(d.num_users, 8);
+  fake_user.FillNormal(&rng, 1.0);
+  Matrix fake_item(d.num_items, 8);
+  fake_item.FillNormal(&rng, 1.0);
+  const DotProductScorer scorer(fake_user, fake_item);
+  EvalOptions reference;  // default item_block covers the whole catalog
+  const EvalResult a =
+      EvaluateRanking(d, d.warm_test, EvalSetting::kWarm, scorer, reference);
+  for (Index block : {Index{1}, Index{7}, Index{64}}) {
+    EvalOptions streamed;
+    streamed.item_block = block;
+    const EvalResult b =
+        EvaluateRanking(d, d.warm_test, EvalSetting::kWarm, scorer, streamed);
+    EXPECT_EQ(a.num_users, b.num_users) << "block=" << block;
+    EXPECT_DOUBLE_EQ(a.metrics.mrr, b.metrics.mrr) << "block=" << block;
+    EXPECT_DOUBLE_EQ(a.metrics.recall, b.metrics.recall) << "block=" << block;
+    EXPECT_DOUBLE_EQ(a.metrics.ndcg, b.metrics.ndcg) << "block=" << block;
+  }
 }
 
 TEST(HarmonicTest, FormulaAndShortBarrelPenalty) {

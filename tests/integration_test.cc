@@ -95,15 +95,13 @@ TEST(IntegrationTest, NormalColdLinksHelpGraphModels) {
 
   auto model = CreateModel("LightGCN");
   model->Fit(normal, options);
-  ScoreFn fn = [&model](const std::vector<Index>& u, Matrix* s) {
-    model->Score(u, s);
-  };
   // Strict-cold view of the same eval split.
   model->PrepareColdInference(normal);
   EvalOptions eval_options;
   eval_options.pool = options.pool;
-  const EvalResult strict_cold = EvaluateRanking(
-      normal, normal.cold_test, EvalSetting::kCold, fn, eval_options);
+  const EvalResult strict_cold =
+      EvaluateRanking(normal, normal.cold_test, EvalSetting::kCold,
+                      *model->MakeScorer(), eval_options);
   // Normal-cold view: revealed links enter the propagation graph.
   const EvalResult normal_cold =
       RunNormalColdEval(model.get(), normal, options);

@@ -127,6 +127,44 @@ TEST(KernelParityTest, GemmAlphaBetaAccumulateMatchesNaive) {
   }
 }
 
+TEST(KernelParityTest, GemmBTBlockSlicesMatchFullTransB) {
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  // m on both sides of the dot-path cutoff; n past one kNc column panel.
+  for (const Index m : {1, 7, 40, 130}) {
+    const Index k = 24;
+    const Index n = 700;
+    const Matrix a = RandomMatrix(m, k, 51);
+    const Matrix b = RandomMatrix(n, k, 52);  // item-table layout: n x k
+    Matrix expected;
+    Gemm(false, true, 1.0, a, b, 0.0, &expected, &pool1);
+
+    // Whole-slice view, both pools: bit-identical to Gemm(trans_b).
+    for (ThreadPool* pool : {&pool1, &pool4}) {
+      Matrix got(m, n);
+      GemmBT(a, b.row(0), n, MatrixView(&got), pool);
+      for (Index i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got.data()[i], expected.data()[i]) << "m=" << m;
+      }
+    }
+
+    // Streamed row-slice blocks written through strided column windows of a
+    // wider output: the zero-copy ScoreBlock pattern.
+    for (const Index block : {Index{1}, Index{13}, Index{512}, n}) {
+      Matrix streamed(m, n);
+      for (Index begin = 0; begin < n; begin += block) {
+        const Index width = std::min(block, n - begin);
+        GemmBT(a, b.row(begin), width,
+               MatrixView::Columns(&streamed, begin, width), &pool4);
+      }
+      for (Index i = 0; i < streamed.size(); ++i) {
+        ASSERT_EQ(streamed.data()[i], expected.data()[i])
+            << "m=" << m << " block=" << block;
+      }
+    }
+  }
+}
+
 // Sparse fixture with interaction-graph shape quirks: empty rows, a dense
 // hub row, duplicate-free random tail.
 CsrMatrix RandomSparse(Index rows, Index cols, Index degree, uint64_t seed) {

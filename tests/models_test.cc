@@ -71,20 +71,19 @@ TEST_P(ModelSmokeTest, TrainsScoresAndRanksAboveDegenerate) {
   EXPECT_GT(max_v - min_v, 1e-9) << GetParam().name;
 
   // Warm evaluation runs and produces sane bounded metrics.
-  ScoreFn fn = [&model](const std::vector<Index>& u, Matrix* s) {
-    model->Score(u, s);
-  };
   const EvalResult warm =
-      EvaluateRanking(dataset, dataset.warm_test, EvalSetting::kWarm, fn, {});
+      EvaluateRanking(dataset, dataset.warm_test, EvalSetting::kWarm,
+                      *model->MakeScorer(), {});
   EXPECT_GT(warm.num_users, 0);
   EXPECT_GE(warm.metrics.mrr, 0.0);
   EXPECT_LE(warm.metrics.mrr, 1.0);
   EXPECT_LE(warm.metrics.recall, 1.0);
 
-  // Cold inference path runs.
+  // Cold inference path runs (re-mint: scorers snapshot state).
   model->PrepareColdInference(dataset);
   const EvalResult cold =
-      EvaluateRanking(dataset, dataset.cold_test, EvalSetting::kCold, fn, {});
+      EvaluateRanking(dataset, dataset.cold_test, EvalSetting::kCold,
+                      *model->MakeScorer(), {});
   EXPECT_GT(cold.num_users, 0);
   EXPECT_LE(cold.metrics.recall, 1.0);
 }
@@ -132,11 +131,9 @@ TEST(BprTest, LearnsBetterThanInitialization) {
   TrainOptions options = TinyTrainOptions();
   options.epochs = 16;
   model->Fit(dataset, options);
-  ScoreFn fn = [&model](const std::vector<Index>& u, Matrix* s) {
-    model->Score(u, s);
-  };
   const EvalResult warm =
-      EvaluateRanking(dataset, dataset.warm_test, EvalSetting::kWarm, fn, {});
+      EvaluateRanking(dataset, dataset.warm_test, EvalSetting::kWarm,
+                      *model->MakeScorer(), {});
   // Degenerate (uniform random) MRR@20 over ~100 warm candidates is ~0.04;
   // a trained BPR on this separable world must clear it comfortably.
   EXPECT_GT(warm.metrics.mrr, 0.05);

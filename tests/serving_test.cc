@@ -1,13 +1,17 @@
 // Serving and serialization tests: embedding save/load round trips, the
-// StaticRecommender scoring contract, and ServingIndex exclusion /
-// candidate-restriction semantics.
+// StaticRecommender scoring contract, ServingEngine request/response
+// semantics (exclusion policies, candidate pools, cold shelf, fused-stream
+// parity with the materialized legacy path), and the deprecated
+// ServingIndex shim.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
 #include "src/data/synthetic.h"
 #include "src/eval/serving.h"
+#include "src/eval/topk.h"
 #include "src/models/bpr_mf.h"
 #include "src/models/registry.h"
 #include "src/models/serialize.h"
@@ -161,6 +165,163 @@ TEST_F(ServingFixture, BatchMatchesSingle) {
     ASSERT_EQ(batch[static_cast<size_t>(u)].size(), single.size());
     for (size_t k = 0; k < single.size(); ++k) {
       EXPECT_EQ(batch[static_cast<size_t>(u)][k].item, single[k].item);
+    }
+  }
+}
+
+// --- Regression: degenerate pools must yield short/empty lists, never a
+// read past the retained heap entries. ---
+
+TEST_F(ServingFixture, KLargerThanCandidatePoolReturnsShortList) {
+  ServingIndex index(model_.get(), dataset_);
+  const auto recs = index.TopK(2, 100, {3, 5});
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_GE(recs[0].score, recs[1].score);
+}
+
+TEST_F(ServingFixture, UserWhoSawEveryCandidateGetsEmptyList) {
+  // User 0 trained on items 0 and 1; restrict the pool to exactly those.
+  ServingIndex index(model_.get(), dataset_);
+  EXPECT_TRUE(index.TopK(0, 3, {0, 1}).empty());
+}
+
+TEST_F(ServingFixture, KLargerThanUnseenCatalogReturnsAllUnseen) {
+  ServingIndex index(model_.get(), dataset_);
+  const auto recs = index.TopK(0, 1000);
+  EXPECT_EQ(recs.size(), 4u);  // 6 items minus the 2 train-seen
+}
+
+// --- ServingEngine request/response semantics. ---
+
+TEST_F(ServingFixture, EngineExcludesTrainSeenByDefault) {
+  ServingEngine engine(model_.get(), dataset_);
+  RecRequest request;
+  request.user = 0;
+  request.k = 6;
+  const RecResponse response = engine.Recommend(request);
+  EXPECT_EQ(response.user, 0);
+  EXPECT_EQ(response.items.size(), 4u);
+  for (const Recommendation& rec : response.items) {
+    EXPECT_NE(rec.item, 0);
+    EXPECT_NE(rec.item, 1);
+  }
+}
+
+TEST_F(ServingFixture, EngineCustomAndNoneExclusionPolicies) {
+  ServingEngine engine(model_.get(), dataset_);
+  RecRequest none;
+  none.user = 0;
+  none.k = 6;
+  none.exclusion = ExclusionPolicy::kNone;
+  EXPECT_EQ(engine.Recommend(none).items.size(), 6u);
+
+  RecRequest custom;
+  custom.user = 0;
+  custom.k = 6;
+  custom.exclusion = ExclusionPolicy::kCustom;
+  custom.exclude = {5, 2, 5};  // unsorted with a duplicate
+  const RecResponse response = engine.Recommend(custom);
+  EXPECT_EQ(response.items.size(), 4u);
+  for (const Recommendation& rec : response.items) {
+    EXPECT_NE(rec.item, 2);
+    EXPECT_NE(rec.item, 5);
+  }
+}
+
+TEST_F(ServingFixture, EngineColdShelfFlag) {
+  Dataset dataset = dataset_;
+  dataset.is_cold_item = {false, false, false, true, false, true};
+  ServingEngine engine(model_.get(), dataset);
+  RecRequest request;
+  request.user = 1;
+  request.k = 10;
+  request.cold_only = true;
+  request.exclusion = ExclusionPolicy::kNone;
+  const RecResponse response = engine.Recommend(request);
+  ASSERT_EQ(response.items.size(), 2u);
+  for (const Recommendation& rec : response.items) {
+    EXPECT_TRUE(rec.item == 3 || rec.item == 5);
+  }
+  // cold_only composes with an explicit candidate pool.
+  request.candidates = {0, 1, 3};
+  const RecResponse shelf = engine.Recommend(request);
+  ASSERT_EQ(shelf.items.size(), 1u);
+  EXPECT_EQ(shelf.items[0].item, 3);
+}
+
+TEST_F(ServingFixture, EngineBatchMixesStreamedAndCandidateRequests) {
+  ServingEngine engine(model_.get(), dataset_);
+  std::vector<RecRequest> requests(3);
+  requests[0].user = 0;
+  requests[0].k = 3;
+  requests[1].user = 1;
+  requests[1].k = 2;
+  requests[1].candidates = {3, 4, 5};
+  requests[2].user = 2;
+  requests[2].k = 3;
+  const auto responses = engine.RecommendBatch(requests);
+  ASSERT_EQ(responses.size(), 3u);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const RecResponse single = engine.Recommend(requests[i]);
+    ASSERT_EQ(responses[i].items.size(), single.items.size()) << i;
+    for (size_t j = 0; j < single.items.size(); ++j) {
+      EXPECT_EQ(responses[i].items[j].item, single.items[j].item) << i;
+      EXPECT_DOUBLE_EQ(responses[i].items[j].score, single.items[j].score)
+          << i;
+    }
+  }
+}
+
+// Fused block streaming must reproduce the legacy materialize-then-rank
+// results bit-for-bit, for any block size.
+TEST(ServingEngineParityTest, FusedMatchesMaterializedForTrainedModel) {
+  SetLogLevel(LogLevel::kError);
+  const Dataset dataset = GenerateSyntheticDataset(BeautySConfig(0.12));
+  BprMf model;
+  TrainOptions options;
+  options.embedding_dim = 8;
+  options.epochs = 3;
+  options.eval_every = 3;
+  model.Fit(dataset, options);
+
+  const std::vector<Index> users{0, 2, 5, 9};
+  const Index k = 20;
+  // Legacy reference: full score matrix, then per-user bounded heap.
+  Matrix scores;
+  model.Score(users, &scores);
+  const auto seen = dataset.TrainItemsByUser();
+  std::vector<std::vector<ScoredItem>> reference;
+  for (size_t r = 0; r < users.size(); ++r) {
+    TopKHeap heap(k);
+    const auto& exclude = seen[static_cast<size_t>(users[r])];
+    for (Index item = 0; item < dataset.num_items; ++item) {
+      if (std::binary_search(exclude.begin(), exclude.end(), item)) continue;
+      heap.Push(item, scores(static_cast<Index>(r), item));
+    }
+    reference.push_back(heap.Sorted());
+  }
+
+  for (Index block : {Index{1}, Index{7}, Index{64}, dataset.num_items}) {
+    ServingEngineOptions engine_options;
+    engine_options.item_block = block;
+    ServingEngine engine(&model, dataset, engine_options);
+    std::vector<RecRequest> requests;
+    for (Index user : users) {
+      RecRequest request;
+      request.user = user;
+      request.k = k;
+      requests.push_back(std::move(request));
+    }
+    const auto responses = engine.RecommendBatch(requests);
+    for (size_t r = 0; r < users.size(); ++r) {
+      ASSERT_EQ(responses[r].items.size(), reference[r].size())
+          << "block=" << block;
+      for (size_t j = 0; j < reference[r].size(); ++j) {
+        EXPECT_EQ(responses[r].items[j].item, reference[r][j].item)
+            << "block=" << block;
+        EXPECT_EQ(responses[r].items[j].score, reference[r][j].score)
+            << "block=" << block;
+      }
     }
   }
 }

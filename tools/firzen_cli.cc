@@ -9,10 +9,13 @@
 //       warm-start metrics, optionally serialize the final embeddings.
 //
 //   firzen_cli recommend --embeddings model.fzem --user ID [--k 10]
-//       Serve top-K recommendations from a serialized model.
+//              [--exclude 3,17,42]
+//       Serve top-K recommendations from a serialized model through the
+//       block-streaming ServingEngine.
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <stdexcept>
 #include <string>
 
 #include "src/data/io.h"
@@ -207,15 +210,40 @@ int RunRecommend(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
     return 1;
   }
-  const Index user =
-      static_cast<Index>(std::stoll(FlagOr(flags, "user", "0")));
-  const Index k = static_cast<Index>(std::stol(FlagOr(flags, "k", "10")));
   Dataset empty;
   empty.num_users = loaded.value()->user_embeddings().rows();
   empty.num_items = loaded.value()->ItemEmbeddings().rows();
   empty.is_cold_item.assign(static_cast<size_t>(empty.num_items), false);
-  ServingIndex index(loaded.value().get(), empty);
-  for (const Recommendation& rec : index.TopK(user, k)) {
+  ServingEngine engine(loaded.value().get(), empty);
+
+  RecRequest request;
+  request.user = static_cast<Index>(std::stoll(FlagOr(flags, "user", "0")));
+  request.k = static_cast<Index>(std::stol(FlagOr(flags, "k", "10")));
+  // A serialized model carries no training interactions, so exclusions are
+  // whatever the caller passes explicitly.
+  const std::string exclude = FlagOr(flags, "exclude", "");
+  if (!exclude.empty()) {
+    request.exclusion = ExclusionPolicy::kCustom;
+    size_t pos = 0;
+    while (pos < exclude.size()) {
+      size_t next = exclude.find(',', pos);
+      if (next == std::string::npos) next = exclude.size();
+      const std::string token = exclude.substr(pos, next - pos);
+      try {
+        size_t used = 0;
+        request.exclude.push_back(
+            static_cast<Index>(std::stoll(token, &used)));
+        if (used != token.size()) throw std::invalid_argument(token);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "--exclude expects comma-separated item ids, "
+                             "got '%s'\n", token.c_str());
+        return 2;
+      }
+      pos = next + 1;
+    }
+  }
+  const RecResponse response = engine.Recommend(request);
+  for (const Recommendation& rec : response.items) {
     std::printf("%lld\t%.6f\n", static_cast<long long>(rec.item), rec.score);
   }
   return 0;

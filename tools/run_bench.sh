@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Builds the Release benchmark binary and writes the kernel perf trajectory
-# to BENCH_kernels.json (google-benchmark JSON format).
+# Builds the Release benchmark binaries and writes the perf trajectory to
+# BENCH_kernels.json (google-benchmark JSON format): the kernel sweep from
+# bench_kernels plus the end-to-end serving case from bench_serving (fused
+# ScoreBlock+TopK vs. materialize-then-rank), appended into one file.
 #
 # Usage:
-#   tools/run_bench.sh                    # full kernel sweep, JSON + console
+#   tools/run_bench.sh                    # full sweep, JSON + console
 #   tools/run_bench.sh --quick            # one fast pass (CI smoke)
 #   FIRZEN_NUM_THREADS=4 tools/run_bench.sh
 #
@@ -27,15 +29,38 @@ if [[ "${1:-}" == "--quick" ]]; then
 fi
 
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "${BUILD_DIR}" -j --target bench_kernels >/dev/null
+cmake --build "${BUILD_DIR}" -j --target bench_kernels --target bench_serving \
+  >/dev/null
 
 "./${BUILD_DIR}/bench_kernels" \
   "--benchmark_filter=BM_(Gemm|SpMM|BatchTopK)" \
   --benchmark_min_time="${MIN_TIME}" \
   --benchmark_repetitions="${REPS}" \
-  --benchmark_report_aggregates_only \
   --benchmark_out="${OUT}" \
+  --benchmark_report_aggregates_only \
   --benchmark_out_format=json \
   "$@"
+
+# End-to-end serving: one repetition is representative (the case verifies
+# fused/materialized parity internally before timing).
+SERVING_OUT="${OUT%.json}_serving.tmp.json"
+"./${BUILD_DIR}/bench_serving" \
+  --benchmark_filter=BM_Serving \
+  --benchmark_min_time="${MIN_TIME}" \
+  --benchmark_out="${SERVING_OUT}" \
+  --benchmark_out_format=json
+
+# Append the serving benchmarks into the kernel JSON so one file carries the
+# whole trajectory. Without jq the serving rows are kept in a side file
+# instead of losing the whole run.
+if command -v jq >/dev/null; then
+  jq -s '.[0].benchmarks += .[1].benchmarks | .[0]' \
+    "${OUT}" "${SERVING_OUT}" > "${OUT}.merged" \
+    && mv "${OUT}.merged" "${OUT}"
+  rm -f "${SERVING_OUT}"
+else
+  mv "${SERVING_OUT}" "${OUT%.json}_serving.json"
+  echo "jq not found: serving results left in ${OUT%.json}_serving.json" >&2
+fi
 
 echo "wrote ${OUT} (threads label = FIRZEN_NUM_THREADS at run time)"

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# CI-style check runner:
+#   1. configure + build the default tree and run the full ctest suite;
+#   2. rebuild with -DFIRZEN_SANITIZE=address and re-run ctest under ASan.
+#
+# Usage:
+#   tools/run_checks.sh             # both passes
+#   tools/run_checks.sh --fast      # default-build pass only (skip ASan)
+#   FIRZEN_NUM_THREADS=4 tools/run_checks.sh
+#
+# Extra arguments are forwarded to ctest (e.g. -R serving_test).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then
+  FAST=1
+  shift
+fi
+
+run_pass() {
+  local build_dir=$1
+  shift
+  cmake -B "${build_dir}" -S . ${1+"$@"} >/dev/null
+  cmake --build "${build_dir}" -j
+  (cd "${build_dir}" && ctest --output-on-failure -j \
+    ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"})
+}
+
+CTEST_ARGS=("$@")
+
+echo "== pass 1: default build + ctest =="
+run_pass build
+
+if [[ "${FAST}" == "0" ]]; then
+  echo "== pass 2: AddressSanitizer build + ctest =="
+  # halt_on_error is the default; detect_leaks stays on to catch engine /
+  # scorer ownership mistakes.
+  ASAN_OPTIONS=${ASAN_OPTIONS:-abort_on_error=1} \
+    run_pass build-asan -DFIRZEN_SANITIZE=address
+fi
+
+echo "all checks passed"
