@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -181,6 +182,60 @@ BENCHMARK(BM_ServingMaterializeSeedRef)
     ->Args({131072, 64})
     ->Args({131072, 256})
     ->Unit(benchmark::kMillisecond);
+
+// Throughput scaling of ONE shared engine under concurrent request
+// threads (the thread-safe shared-scorer contract): every benchmark thread
+// drives the same ServingEngine with its own request batch. Parity with
+// the single-threaded reference is asserted once at setup. 1/2/4 request
+// threads chart the scaling curve in BENCH_kernels.json.
+void BM_ServingConcurrent(benchmark::State& state) {
+  const Index num_items = state.range(0);
+  const Index batch = state.range(1);
+  constexpr Index kTop = 20;
+  static std::mutex setup_mu;
+  static ServingWorld* world = nullptr;
+  static ServingEngine* engine = nullptr;
+  static Index world_items = -1;
+  static Index world_batch = -1;
+  {
+    // All benchmark threads enter; first one (re)builds the shared world.
+    std::lock_guard<std::mutex> lock(setup_mu);
+    if (world_items != num_items || world_batch != batch) {
+      delete engine;
+      delete world;
+      world = MakeWorld(4096, num_items, 64, batch);
+      engine = new ServingEngine(&world->model, world->dataset);
+      CheckParity(*world, *engine, kTop);
+      world_items = num_items;
+      world_batch = batch;
+    }
+  }
+  // Per-thread request slice: same users, rotated so concurrent threads
+  // exercise distinct gather batches against the one shared scorer.
+  std::vector<Index> users = world->users;
+  std::rotate(users.begin(),
+              users.begin() + (static_cast<size_t>(state.thread_index()) *
+                               7 % users.size()),
+              users.end());
+  const auto requests = MakeRequests(users, kTop);
+  for (auto _ : state) {
+    auto responses = engine->RecommendBatch(requests);
+    benchmark::DoNotOptimize(responses.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * num_items);
+  if (state.thread_index() == 0) {
+    state.SetLabel(FootprintLabel(batch, ServingEngineOptions{}.item_block,
+                                  num_items) +
+                   " req_threads=" + std::to_string(state.threads()));
+  }
+}
+BENCHMARK(BM_ServingConcurrent)
+    ->Args({131072, 64})
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace firzen

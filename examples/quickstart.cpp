@@ -6,6 +6,8 @@
 // This is the 60-second tour of the public API:
 //   GenerateSyntheticDataset -> FirzenModel::Fit -> RunStrictColdProtocol.
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "src/core/firzen_model.h"
 #include "src/data/synthetic.h"
@@ -62,7 +64,10 @@ int main() {
   // 4. Serve live top-K through the block-streaming engine: scores stream
   //    in bounded item panels fused with ranking, so serving memory does
   //    not grow with the catalog. Train-seen items are excluded by default.
-  ServingEngine engine(&model, dataset);
+  //    The engine is thread-safe — ONE shared instance answers concurrent
+  //    request threads (per-thread scoring scratch lives in pooled arenas),
+  //    which is the production pattern: never mint one engine per thread.
+  const ServingEngine engine(&model, dataset);
   RecRequest request;
   request.user = 0;
   request.k = 5;
@@ -72,5 +77,27 @@ int main() {
     std::printf("%lld(%.3f) ", static_cast<long long>(rec.item), rec.score);
   }
   std::printf("\n");
+
+  // Concurrent request threads against the same engine: answers are
+  // bit-identical to serial calls no matter how the threads interleave.
+  std::vector<RecResponse> concurrent(4);
+  std::vector<std::thread> servers;
+  for (Index u = 0; u < 4; ++u) {
+    servers.emplace_back([&engine, &concurrent, u] {
+      RecRequest r;
+      r.user = u;
+      r.k = 3;
+      concurrent[static_cast<size_t>(u)] = engine.Recommend(r);
+    });
+  }
+  for (std::thread& t : servers) t.join();
+  for (const RecResponse& res : concurrent) {
+    std::printf("user %lld top-3 (served concurrently): ",
+                static_cast<long long>(res.user));
+    for (const Recommendation& rec : res.items) {
+      std::printf("%lld(%.3f) ", static_cast<long long>(rec.item), rec.score);
+    }
+    std::printf("\n");
+  }
   return 0;
 }

@@ -55,6 +55,7 @@ EvalResult EvaluateRanking(const Dataset& dataset,
   std::mutex total_mu;
 
   Matrix panel;  // user_batch x item_block scoring panel, reused per block
+  ScoringArena arena;  // this call's scoring scratch: scorers stay shareable
   for (size_t begin = 0; begin < eval_users.size();
        begin += static_cast<size_t>(options.user_batch)) {
     const size_t end = std::min(
@@ -85,7 +86,7 @@ EvalResult EvaluateRanking(const Dataset& dataset,
                             std::min(block_begin + options.item_block,
                                      num_items)};
       panel.ResizeUninitialized(batch_rows, block.size());
-      scorer.ScoreBlock(batch, block, MatrixView(&panel));
+      scorer.ScoreBlock(batch, block, MatrixView(&panel), &arena);
       ParallelFor(
           options.pool, batch_rows,
           [&](Index row_begin, Index row_end) {

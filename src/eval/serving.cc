@@ -12,13 +12,15 @@ namespace firzen {
 namespace {
 
 // Per-request ranking state for the fused stream: the bounded heap plus the
-// resolved exclusion list (sorted, for binary_search).
+// resolved exclusion list (sorted, for binary_search) and, for explicit
+// pools, the request's deduplicated sorted candidates.
 struct RequestState {
   explicit RequestState(Index k) : heap(k) {}
 
   TopKHeap heap;
   const std::vector<Index>* exclude = nullptr;  // sorted, may be empty
   std::vector<Index> custom_sorted;             // backing store for kCustom
+  std::vector<Index> pool_sorted;  // sorted unique explicit pool (else empty)
 };
 
 bool Excluded(const RequestState& state, Index item) {
@@ -32,7 +34,23 @@ std::unique_ptr<Scorer> MintScorer(const Recommender* model) {
   return model->MakeScorer();
 }
 
+std::shared_ptr<const ServingSharedState> StateFor(const Dataset& dataset,
+                                                   Index num_items) {
+  auto state = std::make_shared<ServingSharedState>();
+  state->seen = dataset.TrainItemsByUser();
+  state->is_cold = dataset.is_cold_item;
+  if (state->is_cold.empty()) {
+    state->is_cold.assign(static_cast<size_t>(num_items), false);
+  }
+  return state;
+}
+
 }  // namespace
+
+std::shared_ptr<const ServingSharedState> ServingSharedState::FromDataset(
+    const Dataset& dataset) {
+  return StateFor(dataset, dataset.num_items);
+}
 
 ServingEngine::ServingEngine(const Recommender* model, const Dataset& dataset,
                              ServingEngineOptions options)
@@ -43,17 +61,26 @@ ServingEngine::ServingEngine(std::unique_ptr<Scorer> scorer,
                              ServingEngineOptions options)
     : scorer_(std::move(scorer)),
       num_items_(dataset.num_items),
-      seen_(dataset.TrainItemsByUser()),
-      is_cold_(dataset.is_cold_item),
       options_(options) {
   FIRZEN_CHECK(scorer_ != nullptr);
   FIRZEN_CHECK_GT(options_.item_block, 0);
   if (num_items_ == 0) num_items_ = scorer_->num_items();
   FIRZEN_CHECK_EQ(scorer_->num_items(), num_items_);
-  if (is_cold_.empty()) {
-    is_cold_.assign(static_cast<size_t>(num_items_), false);
-  }
-  FIRZEN_CHECK_EQ(static_cast<Index>(is_cold_.size()), num_items_);
+  state_ = StateFor(dataset, num_items_);
+  FIRZEN_CHECK_EQ(static_cast<Index>(state_->is_cold.size()), num_items_);
+  if (options_.pool == nullptr) options_.pool = ThreadPool::Global();
+}
+
+ServingEngine::ServingEngine(std::unique_ptr<Scorer> scorer,
+                             std::shared_ptr<const ServingSharedState> state,
+                             ServingEngineOptions options)
+    : scorer_(std::move(scorer)), state_(std::move(state)), options_(options) {
+  FIRZEN_CHECK(scorer_ != nullptr);
+  FIRZEN_CHECK(state_ != nullptr);
+  FIRZEN_CHECK_GT(options_.item_block, 0);
+  num_items_ = scorer_->num_items();
+  FIRZEN_CHECK_EQ(static_cast<Index>(state_->is_cold.size()), num_items_);
+  if (options_.pool == nullptr) options_.pool = ThreadPool::Global();
 }
 
 RecResponse ServingEngine::Recommend(const RecRequest& request) const {
@@ -65,6 +92,14 @@ std::vector<RecResponse> ServingEngine::RecommendBatch(
   std::vector<RecResponse> responses(requests.size());
   if (requests.empty()) return responses;
 
+  // All mutable per-call state is local (or leased): `states`, the score
+  // panels, and the scoring arena. Concurrent RecommendBatch calls on this
+  // const engine therefore never share scratch; they interleave freely on
+  // the thread pool (per-call completion groups).
+  const ArenaPool::Lease arena = arenas_.Acquire();
+  const std::vector<std::vector<Index>>& seen = state_->seen;
+  const std::vector<bool>& is_cold = state_->is_cold;
+
   std::vector<RequestState> states;
   // Reserve up front: states[i].exclude may point at states[i].custom_sorted,
   // so the elements must never relocate.
@@ -72,16 +107,26 @@ std::vector<RecResponse> ServingEngine::RecommendBatch(
   for (const RecRequest& request : requests) {
     FIRZEN_CHECK_GT(request.k, 0);
     FIRZEN_CHECK_GE(request.user, 0);
-    for (Index item : request.candidates) {
-      FIRZEN_CHECK_GE(item, 0);
-      FIRZEN_CHECK_LT(item, num_items_);
-    }
     states.emplace_back(request.k);
     RequestState& state = states.back();
+    if (!request.candidates.empty()) {
+      for (Index item : request.candidates) {
+        FIRZEN_CHECK_GE(item, 0);
+        FIRZEN_CHECK_LT(item, num_items_);
+      }
+      // Deduplicate: each pool item is ranked once no matter how often the
+      // request lists it, and the sorted copy doubles as the membership
+      // filter for the union stream below.
+      state.pool_sorted = request.candidates;
+      std::sort(state.pool_sorted.begin(), state.pool_sorted.end());
+      state.pool_sorted.erase(
+          std::unique(state.pool_sorted.begin(), state.pool_sorted.end()),
+          state.pool_sorted.end());
+    }
     switch (request.exclusion) {
       case ExclusionPolicy::kTrainSeen:
-        if (request.user < static_cast<Index>(seen_.size())) {
-          state.exclude = &seen_[static_cast<size_t>(request.user)];
+        if (request.user < static_cast<Index>(seen.size())) {
+          state.exclude = &seen[static_cast<size_t>(request.user)];
         }
         break;
       case ExclusionPolicy::kCustom:
@@ -95,7 +140,7 @@ std::vector<RecResponse> ServingEngine::RecommendBatch(
   }
 
   // Requests over the full catalog share one fused score-and-rank stream;
-  // explicit candidate pools are scored per request in bounded chunks.
+  // explicit candidate pools stream the union of all pools below.
   std::vector<size_t> streamed;
   for (size_t i = 0; i < requests.size(); ++i) {
     if (requests[i].candidates.empty()) streamed.push_back(i);
@@ -113,7 +158,7 @@ std::vector<RecResponse> ServingEngine::RecommendBatch(
           std::min(block_begin + options_.item_block, num_items_)};
       panel.ResizeUninitialized(static_cast<Index>(users.size()),
                                 block.size());
-      scorer_->ScoreBlock(users, block, MatrixView(&panel));
+      scorer_->ScoreBlock(users, block, MatrixView(&panel), arena.get());
       // Requests are independent: each shard feeds disjoint heaps.
       ParallelFor(
           options_.pool, static_cast<Index>(streamed.size()),
@@ -125,7 +170,7 @@ std::vector<RecResponse> ServingEngine::RecommendBatch(
               const Real* row = panel.row(r);
               for (Index item = block.begin; item < block.end; ++item) {
                 if (request.cold_only &&
-                    !is_cold_[static_cast<size_t>(item)]) {
+                    !is_cold[static_cast<size_t>(item)]) {
                   continue;
                 }
                 if (Excluded(state, item)) continue;
@@ -137,59 +182,107 @@ std::vector<RecResponse> ServingEngine::RecommendBatch(
     }
   }
 
-  // Explicit candidate pools, chunked so peak memory stays bounded.
-  // Consecutive requests sharing an equal pool (exactly what the TopKBatch
-  // shim emits) score as one user batch, keeping the batched Gemm.
+  // Explicit candidate pools, possibly unequal across requests: stream the
+  // sorted union of all pools in bounded chunks and score each chunk once
+  // for the whole explicit-user batch — one batched gather/Gemm per chunk
+  // instead of one scoring call per request. Each request keeps only the
+  // chunk items inside its own pool (binary search over pool_sorted, only
+  // needed in union mode). Per-cell scores are independent of the
+  // batching, and the heap retains a unique top-k under a total order, so
+  // responses are bit-identical to scoring every pool alone at the same
+  // user-batch size. When the pools barely overlap the union costs
+  // O(requests * |union|) score cells against O(sum of pool sizes) for
+  // per-group scoring, so a waste bound gates it: past kUnionWasteFactor
+  // we fall back to grouping requests with identical pools (the TopKBatch
+  // shim's shape, which under the union is free anyway: union == pool).
   std::vector<size_t> explicit_idx;
   for (size_t i = 0; i < requests.size(); ++i) {
     if (!requests[i].candidates.empty()) explicit_idx.push_back(i);
   }
-  Matrix chunk_scores;
-  std::vector<Index> chunk;
-  for (size_t g0 = 0; g0 < explicit_idx.size();) {
-    const std::vector<Index>& pool_items =
-        requests[explicit_idx[g0]].candidates;
-    size_t g1 = g0 + 1;
-    while (g1 < explicit_idx.size() &&
-           requests[explicit_idx[g1]].candidates == pool_items) {
-      ++g1;
-    }
-    std::vector<Index> group_users;
-    group_users.reserve(g1 - g0);
-    for (size_t g = g0; g < g1; ++g) {
-      group_users.push_back(requests[explicit_idx[g]].user);
-    }
-    for (size_t begin = 0; begin < pool_items.size();
-         begin += static_cast<size_t>(options_.item_block)) {
-      const size_t end =
-          std::min(begin + static_cast<size_t>(options_.item_block),
-                   pool_items.size());
-      chunk.assign(pool_items.begin() + begin, pool_items.begin() + end);
-      chunk_scores.ResizeUninitialized(static_cast<Index>(group_users.size()),
-                                       static_cast<Index>(chunk.size()));
-      scorer_->ScoreCandidates(group_users, chunk, MatrixView(&chunk_scores));
-      ParallelFor(
-          options_.pool, static_cast<Index>(g1 - g0),
-          [&](Index row_begin, Index row_end) {
-            for (Index r = row_begin; r < row_end; ++r) {
-              const size_t idx = explicit_idx[g0 + static_cast<size_t>(r)];
-              const RecRequest& request = requests[idx];
-              RequestState& state = states[idx];
-              const Real* row = chunk_scores.row(r);
-              for (size_t j = 0; j < chunk.size(); ++j) {
-                const Index item = chunk[j];
-                if (request.cold_only &&
-                    !is_cold_[static_cast<size_t>(item)]) {
-                  continue;
+  if (!explicit_idx.empty()) {
+    // Streams `pool_items` in bounded chunks for the requests in `idxs`,
+    // scoring each chunk once for all of them. `filter` = chunk items may
+    // be outside a request's own pool and must be membership-checked.
+    const auto stream_pool = [&](const std::vector<Index>& pool_items,
+                                 const std::vector<size_t>& idxs,
+                                 bool filter) {
+      std::vector<Index> users;
+      users.reserve(idxs.size());
+      for (size_t i : idxs) users.push_back(requests[i].user);
+      Matrix chunk_scores;
+      std::vector<Index> chunk;
+      for (size_t begin = 0; begin < pool_items.size();
+           begin += static_cast<size_t>(options_.item_block)) {
+        const size_t end =
+            std::min(begin + static_cast<size_t>(options_.item_block),
+                     pool_items.size());
+        chunk.assign(pool_items.begin() + begin, pool_items.begin() + end);
+        chunk_scores.ResizeUninitialized(static_cast<Index>(users.size()),
+                                         static_cast<Index>(chunk.size()));
+        scorer_->ScoreCandidates(users, chunk, MatrixView(&chunk_scores),
+                                 arena.get());
+        ParallelFor(
+            options_.pool, static_cast<Index>(idxs.size()),
+            [&](Index row_begin, Index row_end) {
+              for (Index r = row_begin; r < row_end; ++r) {
+                const size_t idx = idxs[static_cast<size_t>(r)];
+                const RecRequest& request = requests[idx];
+                RequestState& state = states[idx];
+                const Real* row = chunk_scores.row(r);
+                for (size_t j = 0; j < chunk.size(); ++j) {
+                  const Index item = chunk[j];
+                  if (filter &&
+                      !std::binary_search(state.pool_sorted.begin(),
+                                          state.pool_sorted.end(), item)) {
+                    continue;
+                  }
+                  if (request.cold_only &&
+                      !is_cold[static_cast<size_t>(item)]) {
+                    continue;
+                  }
+                  if (Excluded(state, item)) continue;
+                  state.heap.Push(item, row[j]);
                 }
-                if (Excluded(state, item)) continue;
-                state.heap.Push(item, row[j]);
               }
-            }
-          },
-          /*min_shard_size=*/8);
+            },
+            /*min_shard_size=*/8);
+      }
+    };
+
+    std::vector<Index> union_items;
+    size_t total_entries = 0;
+    for (size_t i : explicit_idx) {
+      union_items.insert(union_items.end(), states[i].pool_sorted.begin(),
+                         states[i].pool_sorted.end());
+      total_entries += states[i].pool_sorted.size();
     }
-    g0 = g1;
+    std::sort(union_items.begin(), union_items.end());
+    union_items.erase(std::unique(union_items.begin(), union_items.end()),
+                      union_items.end());
+
+    // Identical pools: union cost == grouped cost (ratio 1). Disjoint
+    // pools: union scores ~|requests|x more cells than asked for.
+    constexpr size_t kUnionWasteFactor = 4;
+    const bool use_union = union_items.size() * explicit_idx.size() <=
+                           kUnionWasteFactor * total_entries;
+    if (use_union) {
+      stream_pool(union_items, explicit_idx, /*filter=*/true);
+    } else {
+      // Consecutive requests with identical (deduplicated) pools score as
+      // one group; every chunk item is then in every grouped pool.
+      std::vector<size_t> group;
+      for (size_t g0 = 0; g0 < explicit_idx.size();) {
+        const std::vector<Index>& pool = states[explicit_idx[g0]].pool_sorted;
+        size_t g1 = g0 + 1;
+        while (g1 < explicit_idx.size() &&
+               states[explicit_idx[g1]].pool_sorted == pool) {
+          ++g1;
+        }
+        group.assign(explicit_idx.begin() + g0, explicit_idx.begin() + g1);
+        stream_pool(pool, group, /*filter=*/false);
+        g0 = g1;
+      }
+    }
   }
 
   for (size_t i = 0; i < requests.size(); ++i) {

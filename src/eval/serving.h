@@ -3,6 +3,14 @@
 // are fused — item panels stream through a bounded min-heap per request —
 // so a batch of requests peaks at O(batch_users * item_block) memory for
 // any catalog size; the full users x items score matrix never materializes.
+//
+// Thread safety: one ServingEngine safely serves any number of concurrent
+// request threads. The scorer is shared (it is logically const; per-call
+// scratch lives in ScoringArenas recycled through an internal mutex-guarded
+// pool), exclusion/cold-shelf state is immutable after construction, and
+// responses are bit-identical to a single-threaded run regardless of how
+// calls interleave. Do NOT mint one engine per thread — that only
+// duplicates gather caches and mint-time projections.
 #ifndef FIRZEN_EVAL_SERVING_H_
 #define FIRZEN_EVAL_SERVING_H_
 
@@ -32,6 +40,8 @@ struct RecRequest {
   Index user = 0;
   Index k = 10;
   /// Explicit candidate pool; empty = the full catalog (streamed in blocks).
+  /// Any order; duplicate entries are deduplicated (each item is scored and
+  /// recommended at most once).
   std::vector<Index> candidates;
   ExclusionPolicy exclusion = ExclusionPolicy::kTrainSeen;
   /// Items withheld under ExclusionPolicy::kCustom (any order, duplicates
@@ -43,7 +53,7 @@ struct RecRequest {
 
 /// Ranked answer to one RecRequest, best first. May hold fewer than k items
 /// when the pool is smaller than k or exclusions consume it — never an
-/// error.
+/// error. Items whose model score is NaN are never returned.
 struct RecResponse {
   Index user = 0;
   std::vector<Recommendation> items;
@@ -59,11 +69,25 @@ struct ServingEngineOptions {
   ThreadPool* pool = nullptr;
 };
 
+/// Immutable per-catalog serving state: sorted train items per user (the
+/// kTrainSeen exclusion lists) and the strict-cold-item bitmap. Engines hold
+/// it by shared_ptr, so engines over the same dataset — per-shard engines of
+/// a partitioned catalog, or an engine re-minted after
+/// Prepare*ColdInference — share one copy instead of deep-copying it each.
+/// The state must never be mutated once an engine holds it.
+struct ServingSharedState {
+  std::vector<std::vector<Index>> seen;  // sorted train items per user
+  std::vector<bool> is_cold;
+
+  /// Builds the state once from a dataset.
+  static std::shared_ptr<const ServingSharedState> FromDataset(
+      const Dataset& dataset);
+};
+
 /// Request/response serving front end. Mints one Scorer from the model at
 /// construction (re-construct after Prepare*ColdInference to pick up new
-/// state). Not thread-safe: the underlying scorer keeps per-batch scratch —
-/// build one engine per serving thread; each engine parallelizes internally
-/// over the pool.
+/// state). Thread-safe: share one engine across request threads — see the
+/// file comment.
 class ServingEngine {
  public:
   /// The model must outlive the engine. Train-seen exclusions and the cold
@@ -76,21 +100,40 @@ class ServingEngine {
   ServingEngine(std::unique_ptr<Scorer> scorer, const Dataset& dataset,
                 ServingEngineOptions options = {});
 
+  /// Engine sharing a pre-built state (see ServingSharedState): sibling
+  /// engines — e.g. one per catalog shard — hold the same exclusion lists
+  /// and cold bitmap instead of one deep copy each. `state` must be non-null
+  /// and its is_cold size must match the scorer's catalog.
+  ServingEngine(std::unique_ptr<Scorer> scorer,
+                std::shared_ptr<const ServingSharedState> state,
+                ServingEngineOptions options = {});
+
   RecResponse Recommend(const RecRequest& request) const;
 
   /// Answers every request, preserving order. Requests over the full
-  /// catalog share one fused score-and-rank stream.
+  /// catalog share one fused score-and-rank stream; requests with explicit
+  /// (possibly unequal) candidate pools are batched by streaming the sorted
+  /// union of their pools in bounded chunks — one batched scoring call per
+  /// chunk instead of one per request.
   std::vector<RecResponse> RecommendBatch(
       const std::vector<RecRequest>& requests) const;
 
   Index num_items() const { return num_items_; }
 
+  /// The engine's shared exclusion/cold state, for constructing sibling
+  /// engines over the same catalog.
+  const std::shared_ptr<const ServingSharedState>& shared_state() const {
+    return state_;
+  }
+
  private:
-  std::unique_ptr<Scorer> scorer_;
+  std::unique_ptr<const Scorer> scorer_;
   Index num_items_;
-  std::vector<std::vector<Index>> seen_;  // sorted train items per user
-  std::vector<bool> is_cold_;
+  std::shared_ptr<const ServingSharedState> state_;
   ServingEngineOptions options_;
+  // Recycles per-call scoring scratch across requests; mutex-guarded, so
+  // concurrent calls on this const engine each lease a private arena.
+  mutable ArenaPool arenas_;
 };
 
 /// Deprecated serving front end, kept as a thin shim over ServingEngine so

@@ -1,6 +1,7 @@
 #include "src/eval/topk.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/util/check.h"
 
@@ -12,6 +13,11 @@ TopKHeap::TopKHeap(Index k) : k_(k) {
 }
 
 void TopKHeap::Push(Index item, Real score) {
+  // NaN compares false against everything, which breaks Better's strict
+  // weak ordering — push_heap/sort_heap over a NaN-laden buffer is UB and
+  // can emit garbage rankings. Deterministic policy: a NaN score ranks
+  // below every real score, i.e. it is never retained, so drop it here.
+  if (std::isnan(score)) return;
   const ScoredItem e{item, score};
   if (static_cast<Index>(heap_.size()) < k_) {
     heap_.push_back(e);

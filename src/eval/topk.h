@@ -31,7 +31,9 @@ class TopKHeap {
   /// Clears the heap for the next user; keeps the allocated scratch.
   void Reset() { heap_.clear(); }
 
-  /// Offers one candidate. Kept iff it beats the current k-th best.
+  /// Offers one candidate. Kept iff it beats the current k-th best. NaN
+  /// scores are dropped deterministically (they rank below every real
+  /// score); letting them in would break Better's strict weak ordering.
   void Push(Index item, Real score);
 
   /// Sorts the retained candidates best-first in place and returns them.

@@ -173,11 +173,18 @@ namespace {
 // Block-native scorer for the user-conditioned KGCN tower. Holds references
 // into the owning model (which must outlive it) plus the projected entity
 // table (entity_emb * W) computed once at mint time instead of once per
-// scoring call. Item positions shard across the pool with per-shard softmax
-// scratch; every (user, item) cell is an independent p-ordered computation,
-// so results are bit-identical for any block partitioning and pool size.
+// scoring call. The per-user relation-attention logits are cached in the
+// caller's ScoringArena keyed by the user batch, so streaming a catalog
+// block-by-block computes them once per batch (and concurrent callers with
+// separate arenas never share scratch). Item positions shard across the
+// pool with per-shard softmax scratch; every (user, item) cell is an
+// independent p-ordered computation, so results are bit-identical for any
+// block partitioning and pool size.
 class KgcnScorer : public Scorer {
  public:
+  using Scorer::ScoreBlock;
+  using Scorer::ScoreCandidates;
+
   KgcnScorer(const Matrix& user_emb, const Matrix& relation_emb,
              const Matrix& bias, const std::vector<Index>& neighbor_tails,
              const std::vector<Index>& neighbor_rels, Index s,
@@ -194,47 +201,61 @@ class KgcnScorer : public Scorer {
   Index num_items() const override { return num_items_; }
 
   void ScoreBlock(const std::vector<Index>& users, ItemBlock block,
-                  MatrixView out) const override {
+                  MatrixView out, ScoringArena* arena) const override {
     FIRZEN_CHECK_GE(block.begin, 0);
     FIRZEN_CHECK_LE(block.begin, block.end);
     FIRZEN_CHECK_LE(block.end, num_items_);
-    ScoreItems(users, block.begin, nullptr, block.size(), out);
+    ScoreItems(users, block.begin, nullptr, block.size(), out, arena);
   }
 
   void ScoreCandidates(const std::vector<Index>& users,
-                       const std::vector<Index>& candidates,
-                       MatrixView out) const override {
+                       const std::vector<Index>& candidates, MatrixView out,
+                       ScoringArena* arena) const override {
     for (Index item : candidates) {
       FIRZEN_CHECK_GE(item, 0);
       FIRZEN_CHECK_LT(item, num_items_);
     }
     ScoreItems(users, 0, &candidates, static_cast<Index>(candidates.size()),
-               out);
+               out, arena);
   }
 
  private:
+  // Per-user relation attention logits, shared by every item in a call and
+  // cached in the arena across consecutive calls with the same user batch.
+  const Matrix& RelLogitsFor(const std::vector<Index>& users,
+                             ScoringArena* arena) const {
+    arena->BindTo(scorer_id());
+    const Index d = user_emb_.cols();
+    const Index num_rel = relation_emb_.rows();
+    if (users != arena->cached_users ||
+        arena->rel_logits.rows() != static_cast<Index>(users.size())) {
+      Matrix& rel_score = arena->rel_logits;
+      rel_score.ResizeUninitialized(static_cast<Index>(users.size()), num_rel);
+      for (size_t r = 0; r < users.size(); ++r) {
+        const Real* eu = user_emb_.row(users[r]);
+        for (Index rel = 0; rel < num_rel; ++rel) {
+          const Real* er = relation_emb_.row(rel);
+          Real acc = 0.0;
+          for (Index c = 0; c < d; ++c) acc += eu[c] * er[c];
+          rel_score(static_cast<Index>(r), rel) = acc;
+        }
+      }
+      arena->cached_users = users;
+    }
+    return arena->rel_logits;
+  }
+
   // Scores `count` items — candidates when given, else the contiguous range
   // starting at `first` — for every user into `out`.
   void ScoreItems(const std::vector<Index>& users, Index first,
                   const std::vector<Index>* candidates, Index count,
-                  MatrixView out) const {
+                  MatrixView out, ScoringArena* arena) const {
+    FIRZEN_CHECK(arena != nullptr);
     FIRZEN_CHECK_EQ(out.rows(), static_cast<Index>(users.size()));
     FIRZEN_CHECK_EQ(out.cols(), count);
     if (users.empty() || count == 0) return;
     const Index d = user_emb_.cols();
-    const Index num_rel = relation_emb_.rows();
-
-    // Per-user relation attention logits, shared by every item in the call.
-    Matrix rel_score(static_cast<Index>(users.size()), num_rel);
-    for (size_t r = 0; r < users.size(); ++r) {
-      const Real* eu = user_emb_.row(users[r]);
-      for (Index rel = 0; rel < num_rel; ++rel) {
-        const Real* er = relation_emb_.row(rel);
-        Real acc = 0.0;
-        for (Index c = 0; c < d; ++c) acc += eu[c] * er[c];
-        rel_score(static_cast<Index>(r), rel) = acc;
-      }
-    }
+    const Matrix& rel_score = RelLogitsFor(users, arena);
 
     ParallelFor(
         ThreadPool::Global(), count,

@@ -50,7 +50,11 @@ class Recommender {
   /// Mints a streaming scorer over the model's current inference state
   /// (post Fit / PrepareColdInference). The model must outlive the scorer,
   /// and the scorer reflects the state at mint time: re-mint after
-  /// Prepare*ColdInference. Default: a FullScoreAdapter over Score() — the
+  /// Prepare*ColdInference. Scorers are logically const and safely shared
+  /// across threads (per-call scratch lives in caller ScoringArenas), so
+  /// one mint serves any number of concurrent scoring streams — there is
+  /// no reason to mint per thread. Default: a FullScoreAdapter over
+  /// Score() — the
   /// generic full-row fallback for non-factorized models (which must then
   /// accept an empty user list: the adapter probes the catalog width with
   /// one 0-row Score() call).

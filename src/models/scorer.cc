@@ -1,5 +1,6 @@
 #include "src/models/scorer.h"
 
+#include <atomic>
 #include <utility>
 
 #include "src/util/check.h"
@@ -32,17 +33,73 @@ void CheckOut(MatrixView out, Index rows, Index cols) {
   FIRZEN_CHECK_EQ(out.cols(), cols);
 }
 
+// Arena behind the arena-less convenience overloads: one per thread, shared
+// by every scorer that thread drives (BindTo invalidates across scorers).
+ScoringArena* ThreadArena() {
+  thread_local ScoringArena arena;
+  return &arena;
+}
+
 }  // namespace
+
+ArenaPool::Lease& ArenaPool::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr && arena_ != nullptr) {
+      pool_->Release(std::move(arena_));
+    }
+    pool_ = other.pool_;
+    arena_ = std::move(other.arena_);
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+ArenaPool::Lease::~Lease() {
+  if (pool_ != nullptr && arena_ != nullptr) {
+    pool_->Release(std::move(arena_));
+  }
+}
+
+ArenaPool::Lease ArenaPool::Acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      std::unique_ptr<ScoringArena> arena = std::move(free_.back());
+      free_.pop_back();
+      return Lease(this, std::move(arena));
+    }
+  }
+  return Lease(this, std::make_unique<ScoringArena>());
+}
+
+void ArenaPool::Release(std::unique_ptr<ScoringArena> arena) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(arena));
+}
+
+namespace {
+
+// Monotonic scorer-id source: ids are never reused, so an arena bound to a
+// destroyed scorer can never mistake a newly minted one (even at the same
+// address) for its previous owner.
+uint64_t NextScorerId() {
+  static std::atomic<uint64_t> counter{0};
+  return ++counter;  // first id is 1; 0 means "arena unbound"
+}
+
+}  // namespace
+
+Scorer::Scorer() : scorer_id_(NextScorerId()) {}
 
 Scorer::~Scorer() = default;
 
 void Scorer::ScoreCandidates(const std::vector<Index>& users,
                              const std::vector<Index>& candidates,
-                             MatrixView out) const {
+                             MatrixView out, ScoringArena* arena) const {
   CheckOut(out, static_cast<Index>(users.size()),
            static_cast<Index>(candidates.size()));
   Matrix full(static_cast<Index>(users.size()), num_items());
-  ScoreBlock(users, {0, num_items()}, MatrixView(&full));
+  ScoreBlock(users, {0, num_items()}, MatrixView(&full), arena);
   for (size_t r = 0; r < users.size(); ++r) {
     const Real* src = full.row(static_cast<Index>(r));
     Real* dst = out.row(static_cast<Index>(r));
@@ -54,9 +111,20 @@ void Scorer::ScoreCandidates(const std::vector<Index>& users,
   }
 }
 
+void Scorer::ScoreBlock(const std::vector<Index>& users, ItemBlock block,
+                        MatrixView out) const {
+  ScoreBlock(users, block, out, ThreadArena());
+}
+
+void Scorer::ScoreCandidates(const std::vector<Index>& users,
+                             const std::vector<Index>& candidates,
+                             MatrixView out) const {
+  ScoreCandidates(users, candidates, out, ThreadArena());
+}
+
 void Scorer::ScoreAll(const std::vector<Index>& users, Matrix* scores) const {
   scores->ResizeUninitialized(static_cast<Index>(users.size()), num_items());
-  ScoreBlock(users, {0, num_items()}, MatrixView(scores));
+  ScoreBlock(users, {0, num_items()}, MatrixView(scores), ThreadArena());
 }
 
 DotProductScorer::DotProductScorer(const Matrix& user_emb,
@@ -67,34 +135,41 @@ DotProductScorer::DotProductScorer(const Matrix& user_emb,
   FIRZEN_CHECK_EQ(user_emb.cols(), item_emb.cols());
 }
 
-const Matrix& DotProductScorer::BatchFor(
-    const std::vector<Index>& users) const {
-  if (users != cached_users_ ||
-      user_batch_.rows() != static_cast<Index>(users.size())) {
-    GatherRows(user_emb_, users, &user_batch_);
-    cached_users_ = users;
+const Matrix& DotProductScorer::BatchFor(const std::vector<Index>& users,
+                                         ScoringArena* arena) const {
+  arena->BindTo(scorer_id());
+  if (users != arena->cached_users ||
+      arena->user_batch.rows() != static_cast<Index>(users.size())) {
+    GatherRows(user_emb_, users, &arena->user_batch);
+    arena->cached_users = users;
   }
-  return user_batch_;
+  return arena->user_batch;
 }
 
 void DotProductScorer::ScoreBlock(const std::vector<Index>& users,
-                                  ItemBlock block, MatrixView out) const {
+                                  ItemBlock block, MatrixView out,
+                                  ScoringArena* arena) const {
+  FIRZEN_CHECK(arena != nullptr);
   CheckBlock(block, num_items());
   CheckOut(out, static_cast<Index>(users.size()), block.size());
   if (users.empty() || block.size() == 0) return;
-  GemmBT(BatchFor(users), item_emb_.row(block.begin), block.size(), out,
+  GemmBT(BatchFor(users, arena), item_emb_.row(block.begin), block.size(), out,
          pool_);
 }
 
 void DotProductScorer::ScoreCandidates(const std::vector<Index>& users,
                                        const std::vector<Index>& candidates,
-                                       MatrixView out) const {
+                                       MatrixView out,
+                                       ScoringArena* arena) const {
+  FIRZEN_CHECK(arena != nullptr);
   CheckOut(out, static_cast<Index>(users.size()),
            static_cast<Index>(candidates.size()));
   if (users.empty() || candidates.empty()) return;
-  GatherRows(item_emb_, candidates, &candidate_rows_);
-  GemmBT(BatchFor(users), candidate_rows_.data(), candidate_rows_.rows(), out,
-         pool_);
+  // Gather candidates before BatchFor: both share the arena, and BatchFor's
+  // cached batch must stay valid while GemmBT reads it.
+  GatherRows(item_emb_, candidates, &arena->candidate_rows);
+  GemmBT(BatchFor(users, arena), arena->candidate_rows.data(),
+         arena->candidate_rows.rows(), out, pool_);
 }
 
 FullScoreAdapter::FullScoreAdapter(FullScoreFn score_fn, Index num_items)
@@ -103,24 +178,27 @@ FullScoreAdapter::FullScoreAdapter(FullScoreFn score_fn, Index num_items)
   FIRZEN_CHECK_GT(num_items, 0);
 }
 
-const Matrix& FullScoreAdapter::RowsFor(
-    const std::vector<Index>& users) const {
-  if (users != cached_users_ ||
-      full_rows_.rows() != static_cast<Index>(users.size())) {
-    score_fn_(users, &full_rows_);
-    FIRZEN_CHECK_EQ(full_rows_.rows(), static_cast<Index>(users.size()));
-    FIRZEN_CHECK_EQ(full_rows_.cols(), num_items_);
-    cached_users_ = users;
+const Matrix& FullScoreAdapter::RowsFor(const std::vector<Index>& users,
+                                        ScoringArena* arena) const {
+  arena->BindTo(scorer_id());
+  if (users != arena->cached_users ||
+      arena->full_rows.rows() != static_cast<Index>(users.size())) {
+    score_fn_(users, &arena->full_rows);
+    FIRZEN_CHECK_EQ(arena->full_rows.rows(), static_cast<Index>(users.size()));
+    FIRZEN_CHECK_EQ(arena->full_rows.cols(), num_items_);
+    arena->cached_users = users;
   }
-  return full_rows_;
+  return arena->full_rows;
 }
 
 void FullScoreAdapter::ScoreBlock(const std::vector<Index>& users,
-                                  ItemBlock block, MatrixView out) const {
+                                  ItemBlock block, MatrixView out,
+                                  ScoringArena* arena) const {
+  FIRZEN_CHECK(arena != nullptr);
   CheckBlock(block, num_items_);
   CheckOut(out, static_cast<Index>(users.size()), block.size());
   if (users.empty() || block.size() == 0) return;
-  const Matrix& rows = RowsFor(users);
+  const Matrix& rows = RowsFor(users, arena);
   for (size_t r = 0; r < users.size(); ++r) {
     const Real* src = rows.row(static_cast<Index>(r)) + block.begin;
     Real* dst = out.row(static_cast<Index>(r));
@@ -130,11 +208,13 @@ void FullScoreAdapter::ScoreBlock(const std::vector<Index>& users,
 
 void FullScoreAdapter::ScoreCandidates(const std::vector<Index>& users,
                                        const std::vector<Index>& candidates,
-                                       MatrixView out) const {
+                                       MatrixView out,
+                                       ScoringArena* arena) const {
+  FIRZEN_CHECK(arena != nullptr);
   CheckOut(out, static_cast<Index>(users.size()),
            static_cast<Index>(candidates.size()));
   if (users.empty() || candidates.empty()) return;
-  const Matrix& rows = RowsFor(users);
+  const Matrix& rows = RowsFor(users, arena);
   for (size_t r = 0; r < users.size(); ++r) {
     const Real* src = rows.row(static_cast<Index>(r));
     Real* dst = out.row(static_cast<Index>(r));

@@ -9,11 +9,21 @@
 // over their final embedding tables (zero-copy Gemm over an item-row slice);
 // non-factorized models either implement ScoreBlock natively or fall back to
 // the generic FullScoreAdapter.
+//
+// Thread safety: scorers are logically const and safely shared across
+// threads. All mutable per-batch scratch (gathered user rows, cached full
+// score rows, per-user relation logits, ...) lives in an explicit
+// ScoringArena supplied by the caller — one arena per concurrent stream.
+// The arena-less convenience overloads use a per-thread arena, so legacy
+// call sites are concurrency-safe without changes. One ServingEngine can
+// therefore serve many request threads over a single shared scorer.
 #ifndef FIRZEN_MODELS_SCORER_H_
 #define FIRZEN_MODELS_SCORER_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/tensor/matrix.h"
@@ -29,15 +39,100 @@ struct ItemBlock {
   Index size() const { return end - begin; }
 };
 
-/// Streaming scorer handle. Holds whatever per-inference state the model
-/// needs (e.g. a projected entity table), so minting one can do one-off work
-/// that then amortizes over every block.
+/// Mutable per-stream scratch for a Scorer. Owning the scratch here — not in
+/// the scorer — is what makes scorers shareable: each concurrent caller
+/// passes its own arena, and consecutive calls with the same user batch
+/// amortize the gather/projection work through the arena's cache.
 ///
-/// Scorers are NOT thread-safe: they may keep mutable per-batch scratch.
-/// Internally they parallelize over the thread pool; callers wanting
-/// concurrent scoring mint one Scorer per thread.
+/// An arena must not be used from two threads at once; everything else is
+/// flexible — it may be reused across scorers (the owner tag below
+/// invalidates stale caches) and kept alive across calls to amortize
+/// allocations. See ArenaPool for a mutex-guarded free list suitable for
+/// request-driven reuse.
+class ScoringArena {
+ public:
+  /// Claims the arena for the scorer with the given id (see
+  /// Scorer::scorer_id()), clearing the cached-batch key when the previous
+  /// user was a different scorer so one scorer never reads another's
+  /// scratch. Ids are process-unique and never reused — unlike an owner
+  /// *pointer*, a scorer minted at a destroyed scorer's address cannot
+  /// inherit its cache. Scorer implementations call this first.
+  void BindTo(uint64_t owner_id) {
+    if (owner_id_ != owner_id) {
+      cached_users.clear();
+      owner_id_ = owner_id;
+    }
+  }
+
+  // Scratch slots. Which ones a scorer uses is an implementation detail;
+  // all caching is keyed by `cached_users` under the current owner.
+  std::vector<Index> cached_users;  // batch the cached matrices were built for
+  Matrix user_batch;                // gathered user rows (DotProductScorer)
+  Matrix candidate_rows;            // gathered candidate rows
+  Matrix full_rows;                 // cached full score rows (FullScoreAdapter)
+  Matrix rel_logits;                // per-user relation logits (KGCN)
+
+ private:
+  uint64_t owner_id_ = 0;  // 0 = unbound; scorer ids start at 1
+};
+
+/// Mutex-guarded free list of ScoringArenas. Acquire() hands out an RAII
+/// lease (recycling a previously released arena when one is free, so its
+/// buffers amortize across requests); the lease returns the arena on
+/// destruction. Safe for concurrent Acquire/release from any thread.
+class ArenaPool {
+ public:
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept = default;
+    Lease& operator=(Lease&& other) noexcept;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+    ScoringArena* get() const { return arena_.get(); }
+    ScoringArena* operator->() const { return arena_.get(); }
+    ScoringArena& operator*() const { return *arena_; }
+
+   private:
+    friend class ArenaPool;
+    Lease(ArenaPool* pool, std::unique_ptr<ScoringArena> arena)
+        : pool_(pool), arena_(std::move(arena)) {}
+
+    ArenaPool* pool_ = nullptr;
+    std::unique_ptr<ScoringArena> arena_;
+  };
+
+  ArenaPool() = default;
+  ArenaPool(const ArenaPool&) = delete;
+  ArenaPool& operator=(const ArenaPool&) = delete;
+
+  /// Returns a leased arena: a recycled one when available, else fresh.
+  Lease Acquire();
+
+ private:
+  friend class Lease;
+  void Release(std::unique_ptr<ScoringArena> arena);
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<ScoringArena>> free_;
+};
+
+/// Streaming scorer handle. Holds whatever read-only per-inference state the
+/// model needs (e.g. a projected entity table), so minting one can do
+/// one-off work that then amortizes over every block.
+///
+/// Scorers are logically const and thread-safe: all mutable per-batch
+/// scratch lives in the caller-supplied ScoringArena, so any number of
+/// threads may score through one shared Scorer as long as each passes its
+/// own arena. The arena-less overloads use a per-thread arena and are
+/// likewise safe to call concurrently. Scoring parallelizes internally over
+/// the thread pool; concurrent callers interleave on it without blocking
+/// each other (per-call completion groups).
 class Scorer {
  public:
+  Scorer();
   virtual ~Scorer();
 
   /// Total number of scorable items (the catalog size).
@@ -45,9 +140,10 @@ class Scorer {
 
   /// Fills `out` (users.size() x block.size()) with scores of items
   /// [block.begin, block.end) for each user, out(r, j) = score of
-  /// users[r] for item block.begin + j.
+  /// users[r] for item block.begin + j. `arena` holds this call's scratch
+  /// and must not be shared with a concurrent call.
   virtual void ScoreBlock(const std::vector<Index>& users, ItemBlock block,
-                          MatrixView out) const = 0;
+                          MatrixView out, ScoringArena* arena) const = 0;
 
   /// Fills `out` (users.size() x candidates.size()) with scores of the
   /// explicitly listed items, out(r, j) = score of users[r] for
@@ -56,19 +152,37 @@ class Scorer {
   /// scorers override with a zero-materialization gather + Gemm.
   virtual void ScoreCandidates(const std::vector<Index>& users,
                                const std::vector<Index>& candidates,
-                               MatrixView out) const;
+                               MatrixView out, ScoringArena* arena) const;
+
+  /// Arena-less conveniences: score through a per-thread arena. Streaming
+  /// loops on one thread still amortize the batch gather; distinct threads
+  /// never share scratch.
+  void ScoreBlock(const std::vector<Index>& users, ItemBlock block,
+                  MatrixView out) const;
+  void ScoreCandidates(const std::vector<Index>& users,
+                       const std::vector<Index>& candidates,
+                       MatrixView out) const;
 
   /// Legacy full-matrix convenience: resizes `scores` to
   /// users.size() x num_items() and fills it with one catalog-wide block.
   /// Prefer streaming ScoreBlock in new code.
   void ScoreAll(const std::vector<Index>& users, Matrix* scores) const;
+
+ protected:
+  /// Process-unique, never-reused id for arena cache keying: pass to
+  /// ScoringArena::BindTo before reading or writing cached scratch.
+  uint64_t scorer_id() const { return scorer_id_; }
+
+ private:
+  const uint64_t scorer_id_;
 };
 
 /// Scorer for models whose score is dot(user_emb[u], item_emb[i]). Holds
 /// references to the tables (the owner must outlive the scorer); an item
 /// block is a zero-copy row slice of the item table fed to GemmBT. The
-/// gathered user batch is cached across consecutive calls with the same
-/// users, so streaming a catalog block-by-block gathers each batch once.
+/// gathered user batch lives in the arena and is cached across consecutive
+/// calls with the same users, so streaming a catalog block-by-block gathers
+/// each batch once per arena.
 class DotProductScorer : public Scorer {
  public:
   /// `user_emb`: num_users x d, `item_emb`: num_items x d. Both must stay
@@ -76,26 +190,25 @@ class DotProductScorer : public Scorer {
   DotProductScorer(const Matrix& user_emb, const Matrix& item_emb,
                    ThreadPool* pool = nullptr);
 
+  using Scorer::ScoreBlock;
+  using Scorer::ScoreCandidates;
+
   Index num_items() const override { return item_emb_.rows(); }
 
   void ScoreBlock(const std::vector<Index>& users, ItemBlock block,
-                  MatrixView out) const override;
+                  MatrixView out, ScoringArena* arena) const override;
 
   void ScoreCandidates(const std::vector<Index>& users,
-                       const std::vector<Index>& candidates,
-                       MatrixView out) const override;
+                       const std::vector<Index>& candidates, MatrixView out,
+                       ScoringArena* arena) const override;
 
  private:
-  const Matrix& BatchFor(const std::vector<Index>& users) const;
+  const Matrix& BatchFor(const std::vector<Index>& users,
+                         ScoringArena* arena) const;
 
   const Matrix& user_emb_;
   const Matrix& item_emb_;
   ThreadPool* pool_;
-  // Per-batch scratch: the gathered user rows and (for ScoreCandidates) the
-  // gathered candidate rows. Mutable because scoring is logically const.
-  mutable std::vector<Index> cached_users_;
-  mutable Matrix user_batch_;
-  mutable Matrix candidate_rows_;
 };
 
 /// Produces one row of scores per requested user over the full catalog
@@ -107,27 +220,32 @@ using FullScoreFn =
 /// path: evaluates the full score rows for the batch, then copies the
 /// requested window out. Peak memory is O(users * num_items) per distinct
 /// user batch — the legacy footprint — but consecutive blocks for the same
-/// batch reuse the cached rows, so streaming costs one full evaluation.
+/// batch reuse the rows cached in the arena, so streaming costs one full
+/// evaluation per arena. The wrapped FullScoreFn must itself be safe to
+/// invoke concurrently (pure const scoring is; anything mutating model
+/// state is not).
 class FullScoreAdapter : public Scorer {
  public:
   FullScoreAdapter(FullScoreFn score_fn, Index num_items);
 
+  using Scorer::ScoreBlock;
+  using Scorer::ScoreCandidates;
+
   Index num_items() const override { return num_items_; }
 
   void ScoreBlock(const std::vector<Index>& users, ItemBlock block,
-                  MatrixView out) const override;
+                  MatrixView out, ScoringArena* arena) const override;
 
   void ScoreCandidates(const std::vector<Index>& users,
-                       const std::vector<Index>& candidates,
-                       MatrixView out) const override;
+                       const std::vector<Index>& candidates, MatrixView out,
+                       ScoringArena* arena) const override;
 
  private:
-  const Matrix& RowsFor(const std::vector<Index>& users) const;
+  const Matrix& RowsFor(const std::vector<Index>& users,
+                        ScoringArena* arena) const;
 
   FullScoreFn score_fn_;
   Index num_items_;
-  mutable std::vector<Index> cached_users_;
-  mutable Matrix full_rows_;
 };
 
 }  // namespace firzen

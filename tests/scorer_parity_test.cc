@@ -60,6 +60,11 @@ TEST_P(ScorerParityTest, BlockStreamMatchesLegacyScoreBitExact) {
     const auto scorer = model->MakeScorer();
     ASSERT_EQ(scorer->num_items(), dataset.num_items);
 
+    // Caller-owned arena: the explicit per-stream scratch contract that
+    // makes one scorer shareable across threads. (The arena-less overloads
+    // route to a per-thread arena and are covered by the Score() reference
+    // itself.)
+    ScoringArena arena;
     for (Index block : {Index{1}, Index{7}, Index{64}, dataset.num_items}) {
       Matrix streamed(static_cast<Index>(users.size()), dataset.num_items);
       for (Index begin = 0; begin < dataset.num_items; begin += block) {
@@ -69,7 +74,8 @@ TEST_P(ScorerParityTest, BlockStreamMatchesLegacyScoreBitExact) {
         scorer->ScoreBlock(
             users, item_block,
             MatrixView::Columns(&streamed, item_block.begin,
-                                item_block.size()));
+                                item_block.size()),
+            &arena);
       }
       for (Index i = 0; i < full.size(); ++i) {
         ASSERT_EQ(streamed.data()[i], full.data()[i])
@@ -85,7 +91,7 @@ TEST_P(ScorerParityTest, BlockStreamMatchesLegacyScoreBitExact) {
     }
     Matrix gathered(static_cast<Index>(users.size()),
                     static_cast<Index>(candidates.size()));
-    scorer->ScoreCandidates(users, candidates, MatrixView(&gathered));
+    scorer->ScoreCandidates(users, candidates, MatrixView(&gathered), &arena);
     for (size_t r = 0; r < users.size(); ++r) {
       for (size_t j = 0; j < candidates.size(); ++j) {
         ASSERT_EQ(gathered(static_cast<Index>(r), static_cast<Index>(j)),

@@ -272,6 +272,143 @@ TEST_F(ServingFixture, EngineBatchMixesStreamedAndCandidateRequests) {
   }
 }
 
+// --- Regression: duplicate candidate entries must not yield duplicate
+// recommendations (the pool is deduplicated once per request). ---
+
+TEST_F(ServingFixture, DuplicateCandidateEntriesAreDeduplicated) {
+  ServingEngine engine(model_.get(), dataset_);
+  RecRequest clean;
+  clean.user = 2;
+  clean.k = 10;
+  clean.exclusion = ExclusionPolicy::kNone;
+  clean.candidates = {3, 5};
+  const RecResponse expected = engine.Recommend(clean);
+  ASSERT_EQ(expected.items.size(), 2u);
+
+  RecRequest noisy = clean;
+  noisy.candidates = {5, 3, 5, 5, 3};
+  const RecResponse response = engine.Recommend(noisy);
+  ASSERT_EQ(response.items.size(), 2u);
+  for (size_t j = 0; j < expected.items.size(); ++j) {
+    EXPECT_EQ(response.items[j].item, expected.items[j].item);
+    EXPECT_EQ(response.items[j].score, expected.items[j].score);
+  }
+}
+
+// --- Regression: NaN scores must never corrupt the heap ordering or appear
+// in responses. ---
+
+TEST(TopKHeapTest, NaNPushesAreDroppedDeterministically) {
+  const Real nan = std::nan("");
+  TopKHeap heap(3);
+  heap.Push(0, nan);
+  heap.Push(1, 1.0);
+  heap.Push(2, nan);
+  heap.Push(3, 2.0);
+  heap.Push(4, nan);
+  const auto& sorted = heap.Sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].item, 3);
+  EXPECT_EQ(sorted[1].item, 1);
+}
+
+TEST(ServingEngineTest, NaNScoresNeverRecommended) {
+  // Items 1 and 4 score NaN for every user; the rest score -item.
+  auto scorer = std::make_unique<FullScoreAdapter>(
+      [](const std::vector<Index>& users, Matrix* scores) {
+        scores->Resize(static_cast<Index>(users.size()), 6);
+        for (Index r = 0; r < scores->rows(); ++r) {
+          for (Index i = 0; i < 6; ++i) {
+            (*scores)(r, i) =
+                (i == 1 || i == 4) ? std::nan("") : -static_cast<Real>(i);
+          }
+        }
+      },
+      /*num_items=*/6);
+  Dataset dataset;
+  dataset.num_users = 2;
+  dataset.num_items = 6;
+  dataset.is_cold_item.assign(6, false);
+  ServingEngine engine(std::move(scorer), dataset);
+  RecRequest request;
+  request.user = 0;
+  request.k = 10;
+  request.exclusion = ExclusionPolicy::kNone;
+  const RecResponse response = engine.Recommend(request);
+  ASSERT_EQ(response.items.size(), 4u);  // 6 items minus the 2 NaN-scored
+  for (size_t j = 0; j < response.items.size(); ++j) {
+    EXPECT_TRUE(std::isfinite(response.items[j].score));
+    EXPECT_NE(response.items[j].item, 1);
+    EXPECT_NE(response.items[j].item, 4);
+  }
+  // Deterministic ranking of the finite scores: 0 > -2 > -3 > -5.
+  EXPECT_EQ(response.items[0].item, 0);
+  EXPECT_EQ(response.items[1].item, 2);
+  EXPECT_EQ(response.items[2].item, 3);
+  EXPECT_EQ(response.items[3].item, 5);
+
+  // The same pool through an explicit candidate list, duplicates included.
+  request.candidates = {4, 1, 0, 2, 4, 3, 5, 1};
+  const RecResponse pooled = engine.Recommend(request);
+  ASSERT_EQ(pooled.items.size(), 4u);
+  for (size_t j = 0; j < pooled.items.size(); ++j) {
+    EXPECT_EQ(pooled.items[j].item, response.items[j].item);
+    EXPECT_EQ(pooled.items[j].score, response.items[j].score);
+  }
+}
+
+// --- Unequal explicit pools batch through one union stream; responses must
+// match the same requests served alone. ---
+
+TEST_F(ServingFixture, UnequalCandidatePoolsBatchBitExact) {
+  ServingEngine engine(model_.get(), dataset_);
+  std::vector<RecRequest> requests(4);
+  requests[0].user = 0;
+  requests[0].k = 4;
+  requests[0].candidates = {2, 3, 4};
+  requests[1].user = 1;
+  requests[1].k = 2;
+  requests[1].candidates = {5, 0, 5, 1};  // overlapping, with a duplicate
+  requests[1].exclusion = ExclusionPolicy::kNone;
+  requests[2].user = 2;
+  requests[2].k = 3;  // full catalog mixed into the same batch
+  requests[3].user = 2;
+  requests[3].k = 6;
+  requests[3].candidates = {1, 2};
+  requests[3].exclusion = ExclusionPolicy::kCustom;
+  requests[3].exclude = {2};
+  const auto batched = engine.RecommendBatch(requests);
+  ASSERT_EQ(batched.size(), 4u);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const RecResponse single = engine.Recommend(requests[i]);
+    ASSERT_EQ(batched[i].items.size(), single.items.size()) << i;
+    for (size_t j = 0; j < single.items.size(); ++j) {
+      EXPECT_EQ(batched[i].items[j].item, single.items[j].item) << i;
+      EXPECT_EQ(batched[i].items[j].score, single.items[j].score) << i;
+    }
+  }
+}
+
+// --- Sibling engines share exclusion/cold state instead of deep-copying
+// it. ---
+
+TEST_F(ServingFixture, SiblingEnginesShareState) {
+  ServingEngine engine(model_.get(), dataset_);
+  ASSERT_NE(engine.shared_state(), nullptr);
+  ServingEngine sibling(model_->MakeScorer(), engine.shared_state());
+  EXPECT_EQ(sibling.shared_state().get(), engine.shared_state().get());
+  RecRequest request;
+  request.user = 0;
+  request.k = 6;
+  const RecResponse a = engine.Recommend(request);
+  const RecResponse b = sibling.Recommend(request);
+  ASSERT_EQ(a.items.size(), b.items.size());
+  for (size_t j = 0; j < a.items.size(); ++j) {
+    EXPECT_EQ(a.items[j].item, b.items[j].item);
+    EXPECT_EQ(a.items[j].score, b.items[j].score);
+  }
+}
+
 // Fused block streaming must reproduce the legacy materialize-then-rank
 // results bit-for-bit, for any block size.
 TEST(ServingEngineParityTest, FusedMatchesMaterializedForTrainedModel) {

@@ -9,14 +9,19 @@
 //       warm-start metrics, optionally serialize the final embeddings.
 //
 //   firzen_cli recommend --embeddings model.fzem --user ID [--k 10]
-//              [--exclude 3,17,42]
+//              [--exclude 3,17,42] [--users 1,2,3 [--serve-threads 4]]
 //       Serve top-K recommendations from a serialized model through the
-//       block-streaming ServingEngine.
+//       block-streaming ServingEngine. --users serves several users over
+//       ONE shared engine; --serve-threads answers them from concurrent
+//       request threads (the engine is thread-safe — responses are
+//       identical for any thread count).
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "src/data/io.h"
 #include "src/data/split.h"
@@ -199,6 +204,28 @@ int RunTrain(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// Parses "3,17,42" into ids; returns false (and reports) on bad tokens.
+bool ParseIdList(const std::string& flag_name, const std::string& value,
+                 std::vector<Index>* out) {
+  size_t pos = 0;
+  while (pos < value.size()) {
+    size_t next = value.find(',', pos);
+    if (next == std::string::npos) next = value.size();
+    const std::string token = value.substr(pos, next - pos);
+    try {
+      size_t used = 0;
+      out->push_back(static_cast<Index>(std::stoll(token, &used)));
+      if (used != token.size()) throw std::invalid_argument(token);
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "%s expects comma-separated ids, got '%s'\n",
+                   flag_name.c_str(), token.c_str());
+      return false;
+    }
+    pos = next + 1;
+  }
+  return true;
+}
+
 int RunRecommend(const std::map<std::string, std::string>& flags) {
   const std::string path = FlagOr(flags, "embeddings", "");
   if (path.empty()) {
@@ -214,37 +241,76 @@ int RunRecommend(const std::map<std::string, std::string>& flags) {
   empty.num_users = loaded.value()->user_embeddings().rows();
   empty.num_items = loaded.value()->ItemEmbeddings().rows();
   empty.is_cold_item.assign(static_cast<size_t>(empty.num_items), false);
-  ServingEngine engine(loaded.value().get(), empty);
+  const ServingEngine engine(loaded.value().get(), empty);
 
-  RecRequest request;
-  request.user = static_cast<Index>(std::stoll(FlagOr(flags, "user", "0")));
-  request.k = static_cast<Index>(std::stol(FlagOr(flags, "k", "10")));
+  RecRequest prototype;
+  prototype.k = static_cast<Index>(std::stol(FlagOr(flags, "k", "10")));
   // A serialized model carries no training interactions, so exclusions are
   // whatever the caller passes explicitly.
   const std::string exclude = FlagOr(flags, "exclude", "");
   if (!exclude.empty()) {
-    request.exclusion = ExclusionPolicy::kCustom;
-    size_t pos = 0;
-    while (pos < exclude.size()) {
-      size_t next = exclude.find(',', pos);
-      if (next == std::string::npos) next = exclude.size();
-      const std::string token = exclude.substr(pos, next - pos);
-      try {
-        size_t used = 0;
-        request.exclude.push_back(
-            static_cast<Index>(std::stoll(token, &used)));
-        if (used != token.size()) throw std::invalid_argument(token);
-      } catch (const std::exception&) {
-        std::fprintf(stderr, "--exclude expects comma-separated item ids, "
-                             "got '%s'\n", token.c_str());
-        return 2;
-      }
-      pos = next + 1;
-    }
+    prototype.exclusion = ExclusionPolicy::kCustom;
+    if (!ParseIdList("--exclude", exclude, &prototype.exclude)) return 2;
   }
-  const RecResponse response = engine.Recommend(request);
-  for (const Recommendation& rec : response.items) {
-    std::printf("%lld\t%.6f\n", static_cast<long long>(rec.item), rec.score);
+
+  std::vector<Index> users;
+  const std::string users_flag = FlagOr(flags, "users", "");
+  if (!users_flag.empty()) {
+    if (!ParseIdList("--users", users_flag, &users)) return 2;
+  } else {
+    users.push_back(
+        static_cast<Index>(std::stoll(FlagOr(flags, "user", "0"))));
+  }
+  std::vector<RecRequest> requests;
+  for (Index user : users) {
+    RecRequest request = prototype;
+    request.user = user;
+    requests.push_back(std::move(request));
+  }
+
+  // One shared engine answers every request. With --serve-threads N the
+  // requests fan out over N concurrent threads — the engine's thread-safety
+  // contract guarantees responses identical to the serial path.
+  std::vector<RecResponse> responses(requests.size());
+  int serve_threads = 1;
+  try {
+    const std::string value = FlagOr(flags, "serve-threads", "1");
+    size_t used = 0;
+    serve_threads = std::stoi(value, &used);
+    if (used != value.size() || serve_threads < 1) {
+      throw std::invalid_argument(value);
+    }
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "--serve-threads expects a positive integer\n");
+    return 2;
+  }
+  if (serve_threads > 1 && requests.size() > 1) {
+    std::vector<std::thread> threads;
+    const size_t n = static_cast<size_t>(serve_threads);
+    for (size_t t = 0; t < n; ++t) {
+      threads.emplace_back([&, t] {
+        for (size_t i = t; i < requests.size(); i += n) {
+          responses[i] = engine.Recommend(requests[i]);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  } else {
+    responses = engine.RecommendBatch(requests);
+  }
+
+  const bool tag_user = requests.size() > 1;
+  for (const RecResponse& response : responses) {
+    for (const Recommendation& rec : response.items) {
+      if (tag_user) {
+        std::printf("%lld\t%lld\t%.6f\n",
+                    static_cast<long long>(response.user),
+                    static_cast<long long>(rec.item), rec.score);
+      } else {
+        std::printf("%lld\t%.6f\n", static_cast<long long>(rec.item),
+                    rec.score);
+      }
+    }
   }
   return 0;
 }

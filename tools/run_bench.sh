@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Builds the Release benchmark binaries and writes the perf trajectory to
 # BENCH_kernels.json (google-benchmark JSON format): the kernel sweep from
-# bench_kernels plus the end-to-end serving case from bench_serving (fused
-# ScoreBlock+TopK vs. materialize-then-rank), appended into one file.
+# bench_kernels plus the end-to-end serving cases from bench_serving —
+# fused ScoreBlock+TopK vs. materialize-then-rank, and BM_ServingConcurrent
+# (1/2/4 request threads against ONE shared ServingEngine) charting the
+# shared-engine throughput scaling — appended into one file.
 #
 # Usage:
 #   tools/run_bench.sh                    # full sweep, JSON + console
@@ -41,8 +43,10 @@ cmake --build "${BUILD_DIR}" -j --target bench_kernels --target bench_serving \
   --benchmark_out_format=json \
   "$@"
 
-# End-to-end serving: one repetition is representative (the case verifies
-# fused/materialized parity internally before timing).
+# End-to-end serving, including the concurrent shared-engine scaling cases
+# (the BM_Serving filter matches BM_ServingConcurrent too): one repetition
+# is representative (the cases verify fused/materialized parity internally
+# before timing).
 SERVING_OUT="${OUT%.json}_serving.tmp.json"
 "./${BUILD_DIR}/bench_serving" \
   --benchmark_filter=BM_Serving \

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # CI-style check runner:
 #   1. configure + build the default tree and run the full ctest suite;
-#   2. rebuild with -DFIRZEN_SANITIZE=address and re-run ctest under ASan.
+#   2. rebuild with -DFIRZEN_SANITIZE=address and re-run ctest under ASan;
+#   3. rebuild with -DFIRZEN_SANITIZE=thread and run the serving suites
+#      under TSan — the concurrent-serving stress test hammering one shared
+#      ServingEngine from many threads is the data-race canary for the
+#      shared-scorer / per-thread-arena contract.
 #
 # Usage:
-#   tools/run_checks.sh             # both passes
-#   tools/run_checks.sh --fast      # default-build pass only (skip ASan)
+#   tools/run_checks.sh             # all three passes
+#   tools/run_checks.sh --fast      # default-build pass only (skip sanitizers)
 #   FIRZEN_NUM_THREADS=4 tools/run_checks.sh
 #
 # Extra arguments are forwarded to ctest (e.g. -R serving_test).
@@ -21,9 +25,22 @@ fi
 run_pass() {
   local build_dir=$1
   shift
-  cmake -B "${build_dir}" -S . ${1+"$@"} >/dev/null
+  local cmake_args=()
+  local ctest_extra=()
+  local in_ctest=0
+  for arg in "$@"; do
+    if [[ "${arg}" == "--" ]]; then
+      in_ctest=1
+    elif [[ "${in_ctest}" == "1" ]]; then
+      ctest_extra+=("${arg}")
+    else
+      cmake_args+=("${arg}")
+    fi
+  done
+  cmake -B "${build_dir}" -S . ${cmake_args[@]+"${cmake_args[@]}"} >/dev/null
   cmake --build "${build_dir}" -j
   (cd "${build_dir}" && ctest --output-on-failure -j \
+    ${ctest_extra[@]+"${ctest_extra[@]}"} \
     ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"})
 }
 
@@ -38,6 +55,13 @@ if [[ "${FAST}" == "0" ]]; then
   # scorer ownership mistakes.
   ASAN_OPTIONS=${ASAN_OPTIONS:-abort_on_error=1} \
     run_pass build-asan -DFIRZEN_SANITIZE=address
+
+  echo "== pass 3: ThreadSanitizer build + serving suites =="
+  # Full-suite TSan is prohibitively slow (model training is single-origin
+  # anyway); the serving + scorer-parity binaries are where threads share
+  # one engine/scorer, so they carry the race coverage.
+  TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
+    run_pass build-tsan -DFIRZEN_SANITIZE=thread -- -R "serving|scorer"
 fi
 
 echo "all checks passed"
