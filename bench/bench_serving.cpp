@@ -15,6 +15,7 @@
 
 #include "src/data/dataset.h"
 #include "src/eval/serving.h"
+#include "src/eval/sharded_serving.h"
 #include "src/eval/topk.h"
 #include "src/models/serialize.h"
 #include "src/util/rng.h"
@@ -233,6 +234,87 @@ BENCHMARK(BM_ServingConcurrent)
     ->Args({131072, 64})
     ->Threads(1)
     ->Threads(2)
+    ->Threads(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Sharded-catalog serving: the item table partitioned across 1/2/4 sibling
+// shard views of ONE base scorer, per-shard top-K merged bit-exactly
+// (asserted against the single-engine answer at setup), crossed with 1/4
+// concurrent request threads sharing the one sharded engine. Charts what
+// horizontal catalog partitioning costs (merge + per-shard arenas) and
+// buys (parallel shard ranking) in BENCH_kernels.json.
+void BM_ServingSharded(benchmark::State& state) {
+  const Index num_items = state.range(0);
+  const Index batch = state.range(1);
+  const Index shards = state.range(2);
+  constexpr Index kTop = 20;
+  static std::mutex setup_mu;
+  static ServingWorld* world = nullptr;
+  static ShardedServingEngine* engine = nullptr;
+  static Index world_items = -1;
+  static Index world_batch = -1;
+  static Index world_shards = -1;
+  {
+    // All benchmark threads enter; first one (re)builds the shared world.
+    std::lock_guard<std::mutex> lock(setup_mu);
+    if (world_items != num_items || world_batch != batch ||
+        world_shards != shards) {
+      delete engine;
+      delete world;
+      world = MakeWorld(4096, num_items, 64, batch);
+      ShardedServingOptions options;
+      options.num_shards = shards;
+      engine = new ShardedServingEngine(&world->model, world->dataset,
+                                        options);
+      // Parity gate: the sharded merge must reproduce the single-engine
+      // (== seed materialize-then-rank) answer bit-for-bit before timing.
+      const ServingEngine reference(&world->model, world->dataset);
+      const auto requests = MakeRequests(world->users, kTop);
+      const auto want = reference.RecommendBatch(requests);
+      const auto got = engine->RecommendBatch(requests);
+      if (got.size() != want.size()) std::abort();
+      for (size_t r = 0; r < got.size(); ++r) {
+        if (got[r].items.size() != want[r].items.size()) std::abort();
+        for (size_t j = 0; j < want[r].items.size(); ++j) {
+          if (got[r].items[j].item != want[r].items[j].item ||
+              got[r].items[j].score != want[r].items[j].score) {
+            std::fprintf(stderr,
+                         "sharded parity failure at user row %zu (shards=%lld)\n",
+                         r, static_cast<long long>(shards));
+            std::abort();
+          }
+        }
+      }
+      world_items = num_items;
+      world_batch = batch;
+      world_shards = shards;
+    }
+  }
+  // Per-thread request slice, rotated as in BM_ServingConcurrent.
+  std::vector<Index> users = world->users;
+  std::rotate(users.begin(),
+              users.begin() + (static_cast<size_t>(state.thread_index()) *
+                               7 % users.size()),
+              users.end());
+  const auto requests = MakeRequests(users, kTop);
+  for (auto _ : state) {
+    auto responses = engine->RecommendBatch(requests);
+    benchmark::DoNotOptimize(responses.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * num_items);
+  if (state.thread_index() == 0) {
+    state.SetLabel(FootprintLabel(batch, ShardedServingOptions{}.item_block,
+                                  num_items) +
+                   " shards=" + std::to_string(shards) +
+                   " req_threads=" + std::to_string(state.threads()));
+  }
+}
+BENCHMARK(BM_ServingSharded)
+    ->Args({131072, 64, 1})
+    ->Args({131072, 64, 2})
+    ->Args({131072, 64, 4})
+    ->Threads(1)
     ->Threads(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();

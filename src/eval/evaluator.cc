@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/eval/sharded_serving.h"
 #include "src/eval/topk.h"
 #include "src/util/check.h"
 #include "src/util/table_printer.h"
@@ -54,6 +55,21 @@ EvalResult EvaluateRanking(const Dataset& dataset,
   Index counted = 0;
   std::mutex total_mu;
 
+  // Catalog shards: the offline protocol ranks through the same
+  // shard-partition + per-shard-view + merge machinery the online
+  // ShardedServingEngine uses, so sharded serving and sharded evaluation
+  // exercise one code path. num_shards == 1 is the degenerate single-range
+  // layout; results are bit-identical for any shard count (per-item scores
+  // are partition-invariant and the merge order RanksBefore is total).
+  const std::vector<ItemBlock> shard_ranges =
+      MakeShardRanges(num_items, options.num_shards);
+  std::vector<std::unique_ptr<const ItemRangeScorer>> shard_views;
+  shard_views.reserve(shard_ranges.size());
+  for (const ItemBlock& range : shard_ranges) {
+    shard_views.push_back(std::make_unique<const ItemRangeScorer>(
+        &scorer, range.begin, range.end));
+  }
+
   Matrix panel;  // user_batch x item_block scoring panel, reused per block
   ScoringArena arena;  // this call's scoring scratch: scorers stay shareable
   for (size_t begin = 0; begin < eval_users.size();
@@ -75,30 +91,41 @@ EvalResult EvaluateRanking(const Dataset& dataset,
       return static_cast<bool>(is_cold[static_cast<size_t>(i)]);
     };
 
-    // Stream item blocks, fusing scoring with per-user bounded top-K: the
-    // heaps persist across blocks, so only the current panel is live.
-    std::vector<TopKHeap> heaps;
-    heaps.reserve(batch.size());
-    for (size_t r = 0; r < batch.size(); ++r) heaps.emplace_back(options.k);
-    for (Index block_begin = 0; block_begin < num_items;
-         block_begin += options.item_block) {
-      const ItemBlock block{block_begin,
-                            std::min(block_begin + options.item_block,
-                                     num_items)};
-      panel.ResizeUninitialized(batch_rows, block.size());
-      scorer.ScoreBlock(batch, block, MatrixView(&panel), &arena);
-      ParallelFor(
-          options.pool, batch_rows,
-          [&](Index row_begin, Index row_end) {
-            for (Index r = row_begin; r < row_end; ++r) {
-              TopKHeap& heap = heaps[static_cast<size_t>(r)];
-              const Real* row = panel.row(r);
-              for (Index i = block.begin; i < block.end; ++i) {
-                if (eligible(r, i)) heap.Push(i, row[i - block.begin]);
+    // Per shard, stream item blocks fusing scoring with per-user bounded
+    // top-K: the heaps persist across blocks, so only the current panel is
+    // live. Shards run sequentially here (user batches already saturate
+    // the pool); each streams its own range through its view.
+    std::vector<std::vector<TopKHeap>> shard_heaps(shard_ranges.size());
+    for (auto& heaps : shard_heaps) {
+      heaps.reserve(batch.size());
+      for (size_t r = 0; r < batch.size(); ++r) heaps.emplace_back(options.k);
+    }
+    for (size_t s = 0; s < shard_ranges.size(); ++s) {
+      const ItemBlock& range = shard_ranges[s];
+      const ItemRangeScorer& view = *shard_views[s];
+      std::vector<TopKHeap>& heaps = shard_heaps[s];
+      for (Index block_begin = 0; block_begin < range.size();
+           block_begin += options.item_block) {
+        // Local view coordinates; global item = range.begin + local.
+        const ItemBlock block{block_begin,
+                              std::min(block_begin + options.item_block,
+                                       range.size())};
+        panel.ResizeUninitialized(batch_rows, block.size());
+        view.ScoreBlock(batch, block, MatrixView(&panel), &arena);
+        ParallelFor(
+            options.pool, batch_rows,
+            [&](Index row_begin, Index row_end) {
+              for (Index r = row_begin; r < row_end; ++r) {
+                TopKHeap& heap = heaps[static_cast<size_t>(r)];
+                const Real* row = panel.row(r);
+                for (Index local = block.begin; local < block.end; ++local) {
+                  const Index i = range.begin + local;
+                  if (eligible(r, i)) heap.Push(i, row[local - block.begin]);
+                }
               }
-            }
-          },
-          /*min_shard_size=*/16);
+            },
+            /*min_shard_size=*/16);
+      }
     }
 
     ParallelFor(
@@ -118,7 +145,23 @@ EvalResult EvaluateRanking(const Dataset& dataset,
             }
             if (num_relevant == 0) continue;
 
-            const auto& sorted = heaps[static_cast<size_t>(r)].Sorted();
+            // Merge this user's per-shard top-k lists — the same reduction
+            // ShardedServingEngine applies to responses. One shard (the
+            // default) is already the merged answer: skip the copy + sort.
+            std::vector<ScoredItem> merged;
+            if (shard_heaps.size() > 1) {
+              for (auto& heaps : shard_heaps) {
+                const auto& shard_top =
+                    heaps[static_cast<size_t>(r)].Sorted();
+                merged.insert(merged.end(), shard_top.begin(),
+                              shard_top.end());
+              }
+              merged = MergeTopK(std::move(merged), options.k);
+            }
+            const std::vector<ScoredItem>& sorted =
+                shard_heaps.size() > 1
+                    ? merged
+                    : shard_heaps[0][static_cast<size_t>(r)].Sorted();
             std::vector<Index> top;
             top.reserve(sorted.size());
             for (const ScoredItem& e : sorted) top.push_back(e.item);

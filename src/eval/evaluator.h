@@ -30,6 +30,13 @@ struct EvalOptions {
   /// Pool for the fused ranking/metric loops; nullptr = serial. Scoring
   /// kernels parallelize over ThreadPool::Global() regardless.
   ThreadPool* pool = nullptr;
+  /// Partition the catalog into this many contiguous shards and rank each
+  /// through a per-shard scorer view, merging per-user per-shard top-k
+  /// lists under the serving total order (src/eval/sharded_serving.h) —
+  /// the same shard/merge machinery ShardedServingEngine uses online, so
+  /// offline metrics exercise the sharded code path. Results are
+  /// bit-identical for any value (clamped to [1, num_items]).
+  Index num_shards = 1;
 };
 
 /// Averaged metrics plus the evaluated-user count.

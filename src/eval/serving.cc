@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/eval/serving_internal.h"
 #include "src/eval/topk.h"
 #include "src/util/check.h"
 #include "src/util/thread_pool.h"
@@ -11,31 +12,266 @@ namespace firzen {
 
 namespace {
 
-// Per-request ranking state for the fused stream: the bounded heap plus the
-// resolved exclusion list (sorted, for binary_search) and, for explicit
-// pools, the request's deduplicated sorted candidates.
-struct RequestState {
-  explicit RequestState(Index k) : heap(k) {}
-
-  TopKHeap heap;
-  const std::vector<Index>* exclude = nullptr;  // sorted, may be empty
-  std::vector<Index> custom_sorted;             // backing store for kCustom
-  std::vector<Index> pool_sorted;  // sorted unique explicit pool (else empty)
-};
-
-bool Excluded(const RequestState& state, Index item) {
-  return state.exclude != nullptr &&
-         std::binary_search(state.exclude->begin(), state.exclude->end(),
-                            item);
+bool Excluded(const serving_internal::PreparedRequest& prepared, Index item) {
+  return prepared.exclude != nullptr &&
+         std::binary_search(prepared.exclude->begin(),
+                            prepared.exclude->end(), item);
 }
+
+}  // namespace
+
+namespace serving_internal {
 
 std::unique_ptr<Scorer> MintScorer(const Recommender* model) {
   FIRZEN_CHECK(model != nullptr);
   return model->MakeScorer();
 }
 
-std::shared_ptr<const ServingSharedState> StateFor(const Dataset& dataset,
-                                                   Index num_items) {
+std::vector<PreparedRequest> PrepareRequests(
+    const std::vector<RecRequest>& requests, const ServingSharedState& state,
+    Index num_items) {
+  const std::vector<std::vector<Index>>& seen = state.seen;
+  std::vector<PreparedRequest> prepared;
+  // Reserve up front: prepared[i].exclude may point at
+  // prepared[i].custom_sorted, so the elements must never relocate.
+  prepared.reserve(requests.size());
+  for (const RecRequest& request : requests) {
+    FIRZEN_CHECK_GT(request.k, 0);
+    FIRZEN_CHECK_GE(request.user, 0);
+    prepared.emplace_back();
+    PreparedRequest& p = prepared.back();
+    if (!request.candidates.empty()) {
+      for (Index item : request.candidates) {
+        FIRZEN_CHECK_GE(item, 0);
+        FIRZEN_CHECK_LT(item, num_items);
+      }
+      // Deduplicate: each pool item is ranked once no matter how often the
+      // request lists it, and the sorted copy doubles as the membership
+      // filter for the union stream in RankRequestsInRange.
+      p.pool_sorted = request.candidates;
+      std::sort(p.pool_sorted.begin(), p.pool_sorted.end());
+      p.pool_sorted.erase(
+          std::unique(p.pool_sorted.begin(), p.pool_sorted.end()),
+          p.pool_sorted.end());
+    }
+    switch (request.exclusion) {
+      case ExclusionPolicy::kTrainSeen:
+        if (request.user < static_cast<Index>(seen.size())) {
+          p.exclude = &seen[static_cast<size_t>(request.user)];
+        }
+        break;
+      case ExclusionPolicy::kCustom:
+        p.custom_sorted = request.exclude;
+        std::sort(p.custom_sorted.begin(), p.custom_sorted.end());
+        p.exclude = &p.custom_sorted;
+        break;
+      case ExclusionPolicy::kNone:
+        break;
+    }
+  }
+  return prepared;
+}
+
+PreparedBatch PrepareBatch(const std::vector<RecRequest>& requests,
+                           const ServingSharedState& state, Index num_items) {
+  PreparedBatch batch;
+  batch.requests = PrepareRequests(requests, state, num_items);
+
+  // Requests over the full catalog share one fused score-and-rank stream
+  // per range; explicit candidate pools follow the plan below.
+  size_t total_entries = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].candidates.empty()) {
+      batch.streamed.push_back(i);
+      batch.streamed_users.push_back(requests[i].user);
+    } else {
+      batch.explicit_idx.push_back(i);
+      total_entries += batch.requests[i].pool_sorted.size();
+    }
+  }
+  if (batch.explicit_idx.empty()) return batch;
+
+  // Unequal explicit pools batch by streaming the sorted union of all
+  // pools — one batched gather/Gemm per chunk instead of one scoring call
+  // per request. When the pools barely overlap the union costs
+  // O(requests * |union|) score cells against O(sum of pool sizes) for
+  // per-group scoring, so a waste bound gates it: past kUnionWasteFactor
+  // we fall back to grouping requests with identical pools (the TopKBatch
+  // shim's shape, which under the union is free anyway: union == pool).
+  // Identical pools: union cost == grouped cost (ratio 1). Disjoint pools:
+  // union scores ~|requests|x more cells than asked for.
+  for (size_t i : batch.explicit_idx) {
+    batch.union_items.insert(batch.union_items.end(),
+                             batch.requests[i].pool_sorted.begin(),
+                             batch.requests[i].pool_sorted.end());
+    batch.union_users.push_back(requests[i].user);
+  }
+  std::sort(batch.union_items.begin(), batch.union_items.end());
+  batch.union_items.erase(
+      std::unique(batch.union_items.begin(), batch.union_items.end()),
+      batch.union_items.end());
+  constexpr size_t kUnionWasteFactor = 4;
+  batch.use_union = batch.union_items.size() * batch.explicit_idx.size() <=
+                    kUnionWasteFactor * total_entries;
+  if (!batch.use_union) {
+    batch.union_items.clear();
+    batch.union_users.clear();
+    // Consecutive requests with identical (deduplicated) pools score as
+    // one group; every chunk item is then in every grouped pool.
+    for (size_t g0 = 0; g0 < batch.explicit_idx.size();) {
+      const std::vector<Index>& pool =
+          batch.requests[batch.explicit_idx[g0]].pool_sorted;
+      size_t g1 = g0 + 1;
+      while (g1 < batch.explicit_idx.size() &&
+             batch.requests[batch.explicit_idx[g1]].pool_sorted == pool) {
+        ++g1;
+      }
+      batch.groups.emplace_back(batch.explicit_idx.begin() + g0,
+                                batch.explicit_idx.begin() + g1);
+      batch.group_users.emplace_back();
+      for (size_t s = g0; s < g1; ++s) {
+        batch.group_users.back().push_back(
+            requests[batch.explicit_idx[s]].user);
+      }
+      g0 = g1;
+    }
+  }
+  return batch;
+}
+
+void RankRequestsInRange(const Scorer& scorer, ItemBlock range,
+                         const std::vector<RecRequest>& requests,
+                         const PreparedBatch& batch,
+                         const ServingSharedState& state, Index item_block,
+                         ThreadPool* pool, ScoringArena* arena,
+                         std::vector<TopKHeap>* heaps) {
+  const std::vector<PreparedRequest>& prepared = batch.requests;
+  FIRZEN_CHECK_EQ(static_cast<Index>(prepared.size()),
+                  static_cast<Index>(requests.size()));
+  FIRZEN_CHECK_EQ(static_cast<Index>(heaps->size()),
+                  static_cast<Index>(requests.size()));
+  FIRZEN_CHECK_EQ(scorer.num_items(), range.size());
+  if (requests.empty() || range.size() == 0) return;
+  const std::vector<bool>& is_cold = state.is_cold;
+
+  if (!batch.streamed.empty()) {
+    const std::vector<Index>& users = batch.streamed_users;
+    Matrix panel;  // streamed.size() x item_block, reused per block
+    for (Index block_begin = 0; block_begin < range.size();
+         block_begin += item_block) {
+      // Local view coordinates; global id = range.begin + local id.
+      const ItemBlock block{block_begin,
+                            std::min(block_begin + item_block, range.size())};
+      panel.ResizeUninitialized(static_cast<Index>(users.size()),
+                                block.size());
+      scorer.ScoreBlock(users, block, MatrixView(&panel), arena);
+      // Requests are independent: each shard feeds disjoint heaps.
+      ParallelFor(
+          pool, static_cast<Index>(batch.streamed.size()),
+          [&](Index begin, Index end) {
+            for (Index r = begin; r < end; ++r) {
+              const size_t idx = batch.streamed[static_cast<size_t>(r)];
+              const RecRequest& request = requests[idx];
+              const PreparedRequest& p = prepared[idx];
+              TopKHeap& heap = (*heaps)[idx];
+              const Real* row = panel.row(r);
+              for (Index local = block.begin; local < block.end; ++local) {
+                const Index item = range.begin + local;
+                if (request.cold_only &&
+                    !is_cold[static_cast<size_t>(item)]) {
+                  continue;
+                }
+                if (Excluded(p, item)) continue;
+                heap.Push(item, row[local - block.begin]);
+              }
+            }
+          },
+          /*min_shard_size=*/8);
+    }
+  }
+
+  // Explicit pools: execute the batch plan over this range. Streams the
+  // in-range slice of `pool_items` (global ids, sorted) in bounded chunks
+  // for the requests named by `idxs`, scoring each chunk once for all of
+  // them with exactly the planned user batch — including requests whose
+  // pool misses this range entirely, so the batch (and its per-cell
+  // rounding) never depends on the range. `filter` = chunk items may be
+  // outside a request's own pool and must be membership-checked (union
+  // mode only).
+  Matrix chunk_scores;
+  std::vector<Index> chunk_local;
+  const auto stream_pool = [&](const std::vector<Index>& pool_items,
+                               const std::vector<size_t>& idxs,
+                               const std::vector<Index>& users, bool filter) {
+    const size_t slice_begin = static_cast<size_t>(
+        std::lower_bound(pool_items.begin(), pool_items.end(), range.begin) -
+        pool_items.begin());
+    const size_t slice_end = static_cast<size_t>(
+        std::lower_bound(pool_items.begin() + slice_begin, pool_items.end(),
+                         range.end) -
+        pool_items.begin());
+    if (slice_begin == slice_end) return;  // nothing in this range
+    for (size_t begin = slice_begin; begin < slice_end;
+         begin += static_cast<size_t>(item_block)) {
+      const size_t end =
+          std::min(begin + static_cast<size_t>(item_block), slice_end);
+      chunk_local.clear();
+      for (size_t j = begin; j < end; ++j) {
+        chunk_local.push_back(pool_items[j] - range.begin);
+      }
+      chunk_scores.ResizeUninitialized(static_cast<Index>(users.size()),
+                                       static_cast<Index>(chunk_local.size()));
+      scorer.ScoreCandidates(users, chunk_local, MatrixView(&chunk_scores),
+                             arena);
+      ParallelFor(
+          pool, static_cast<Index>(idxs.size()),
+          [&](Index row_begin, Index row_end) {
+            for (Index r = row_begin; r < row_end; ++r) {
+              const size_t idx = idxs[static_cast<size_t>(r)];
+              const RecRequest& request = requests[idx];
+              const PreparedRequest& p = prepared[idx];
+              TopKHeap& heap = (*heaps)[idx];
+              const Real* row = chunk_scores.row(r);
+              for (size_t j = begin; j < end; ++j) {
+                const Index item = pool_items[j];
+                if (filter &&
+                    !std::binary_search(p.pool_sorted.begin(),
+                                        p.pool_sorted.end(), item)) {
+                  continue;
+                }
+                if (request.cold_only &&
+                    !is_cold[static_cast<size_t>(item)]) {
+                  continue;
+                }
+                if (Excluded(p, item)) continue;
+                heap.Push(item, row[j - begin]);
+              }
+            }
+          },
+          /*min_shard_size=*/8);
+    }
+  };
+
+  if (batch.use_union) {
+    stream_pool(batch.union_items, batch.explicit_idx, batch.union_users,
+                /*filter=*/true);
+  } else {
+    for (size_t g = 0; g < batch.groups.size(); ++g) {
+      stream_pool(prepared[batch.groups[g][0]].pool_sorted, batch.groups[g],
+                  batch.group_users[g], /*filter=*/false);
+    }
+  }
+}
+
+}  // namespace serving_internal
+
+std::shared_ptr<const ServingSharedState> ServingSharedState::FromDataset(
+    const Dataset& dataset) {
+  return FromDataset(dataset, dataset.num_items);
+}
+
+std::shared_ptr<const ServingSharedState> ServingSharedState::FromDataset(
+    const Dataset& dataset, Index num_items) {
   auto state = std::make_shared<ServingSharedState>();
   state->seen = dataset.TrainItemsByUser();
   state->is_cold = dataset.is_cold_item;
@@ -45,16 +281,9 @@ std::shared_ptr<const ServingSharedState> StateFor(const Dataset& dataset,
   return state;
 }
 
-}  // namespace
-
-std::shared_ptr<const ServingSharedState> ServingSharedState::FromDataset(
-    const Dataset& dataset) {
-  return StateFor(dataset, dataset.num_items);
-}
-
 ServingEngine::ServingEngine(const Recommender* model, const Dataset& dataset,
                              ServingEngineOptions options)
-    : ServingEngine(MintScorer(model), dataset, options) {}
+    : ServingEngine(serving_internal::MintScorer(model), dataset, options) {}
 
 ServingEngine::ServingEngine(std::unique_ptr<Scorer> scorer,
                              const Dataset& dataset,
@@ -66,7 +295,7 @@ ServingEngine::ServingEngine(std::unique_ptr<Scorer> scorer,
   FIRZEN_CHECK_GT(options_.item_block, 0);
   if (num_items_ == 0) num_items_ = scorer_->num_items();
   FIRZEN_CHECK_EQ(scorer_->num_items(), num_items_);
-  state_ = StateFor(dataset, num_items_);
+  state_ = ServingSharedState::FromDataset(dataset, num_items_);
   FIRZEN_CHECK_EQ(static_cast<Index>(state_->is_cold.size()), num_items_);
   if (options_.pool == nullptr) options_.pool = ThreadPool::Global();
 }
@@ -92,202 +321,26 @@ std::vector<RecResponse> ServingEngine::RecommendBatch(
   std::vector<RecResponse> responses(requests.size());
   if (requests.empty()) return responses;
 
-  // All mutable per-call state is local (or leased): `states`, the score
-  // panels, and the scoring arena. Concurrent RecommendBatch calls on this
-  // const engine therefore never share scratch; they interleave freely on
-  // the thread pool (per-call completion groups).
+  // All mutable per-call state is local (or leased): the prepared requests,
+  // heaps, score panels, and the scoring arena. Concurrent RecommendBatch
+  // calls on this const engine therefore never share scratch; they
+  // interleave freely on the thread pool (per-call completion groups).
   const ArenaPool::Lease arena = arenas_.Acquire();
-  const std::vector<std::vector<Index>>& seen = state_->seen;
-  const std::vector<bool>& is_cold = state_->is_cold;
+  const serving_internal::PreparedBatch batch =
+      serving_internal::PrepareBatch(requests, *state_, num_items_);
+  std::vector<TopKHeap> heaps;
+  heaps.reserve(requests.size());
+  for (const RecRequest& request : requests) heaps.emplace_back(request.k);
 
-  std::vector<RequestState> states;
-  // Reserve up front: states[i].exclude may point at states[i].custom_sorted,
-  // so the elements must never relocate.
-  states.reserve(requests.size());
-  for (const RecRequest& request : requests) {
-    FIRZEN_CHECK_GT(request.k, 0);
-    FIRZEN_CHECK_GE(request.user, 0);
-    states.emplace_back(request.k);
-    RequestState& state = states.back();
-    if (!request.candidates.empty()) {
-      for (Index item : request.candidates) {
-        FIRZEN_CHECK_GE(item, 0);
-        FIRZEN_CHECK_LT(item, num_items_);
-      }
-      // Deduplicate: each pool item is ranked once no matter how often the
-      // request lists it, and the sorted copy doubles as the membership
-      // filter for the union stream below.
-      state.pool_sorted = request.candidates;
-      std::sort(state.pool_sorted.begin(), state.pool_sorted.end());
-      state.pool_sorted.erase(
-          std::unique(state.pool_sorted.begin(), state.pool_sorted.end()),
-          state.pool_sorted.end());
-    }
-    switch (request.exclusion) {
-      case ExclusionPolicy::kTrainSeen:
-        if (request.user < static_cast<Index>(seen.size())) {
-          state.exclude = &seen[static_cast<size_t>(request.user)];
-        }
-        break;
-      case ExclusionPolicy::kCustom:
-        state.custom_sorted = request.exclude;
-        std::sort(state.custom_sorted.begin(), state.custom_sorted.end());
-        state.exclude = &state.custom_sorted;
-        break;
-      case ExclusionPolicy::kNone:
-        break;
-    }
-  }
-
-  // Requests over the full catalog share one fused score-and-rank stream;
-  // explicit candidate pools stream the union of all pools below.
-  std::vector<size_t> streamed;
-  for (size_t i = 0; i < requests.size(); ++i) {
-    if (requests[i].candidates.empty()) streamed.push_back(i);
-  }
-
-  if (!streamed.empty()) {
-    std::vector<Index> users;
-    users.reserve(streamed.size());
-    for (size_t i : streamed) users.push_back(requests[i].user);
-    Matrix panel;  // streamed.size() x item_block, reused per block
-    for (Index block_begin = 0; block_begin < num_items_;
-         block_begin += options_.item_block) {
-      const ItemBlock block{
-          block_begin,
-          std::min(block_begin + options_.item_block, num_items_)};
-      panel.ResizeUninitialized(static_cast<Index>(users.size()),
-                                block.size());
-      scorer_->ScoreBlock(users, block, MatrixView(&panel), arena.get());
-      // Requests are independent: each shard feeds disjoint heaps.
-      ParallelFor(
-          options_.pool, static_cast<Index>(streamed.size()),
-          [&](Index begin, Index end) {
-            for (Index r = begin; r < end; ++r) {
-              const RecRequest& request = requests[streamed[
-                  static_cast<size_t>(r)]];
-              RequestState& state = states[streamed[static_cast<size_t>(r)]];
-              const Real* row = panel.row(r);
-              for (Index item = block.begin; item < block.end; ++item) {
-                if (request.cold_only &&
-                    !is_cold[static_cast<size_t>(item)]) {
-                  continue;
-                }
-                if (Excluded(state, item)) continue;
-                state.heap.Push(item, row[item - block.begin]);
-              }
-            }
-          },
-          /*min_shard_size=*/8);
-    }
-  }
-
-  // Explicit candidate pools, possibly unequal across requests: stream the
-  // sorted union of all pools in bounded chunks and score each chunk once
-  // for the whole explicit-user batch — one batched gather/Gemm per chunk
-  // instead of one scoring call per request. Each request keeps only the
-  // chunk items inside its own pool (binary search over pool_sorted, only
-  // needed in union mode). Per-cell scores are independent of the
-  // batching, and the heap retains a unique top-k under a total order, so
-  // responses are bit-identical to scoring every pool alone at the same
-  // user-batch size. When the pools barely overlap the union costs
-  // O(requests * |union|) score cells against O(sum of pool sizes) for
-  // per-group scoring, so a waste bound gates it: past kUnionWasteFactor
-  // we fall back to grouping requests with identical pools (the TopKBatch
-  // shim's shape, which under the union is free anyway: union == pool).
-  std::vector<size_t> explicit_idx;
-  for (size_t i = 0; i < requests.size(); ++i) {
-    if (!requests[i].candidates.empty()) explicit_idx.push_back(i);
-  }
-  if (!explicit_idx.empty()) {
-    // Streams `pool_items` in bounded chunks for the requests in `idxs`,
-    // scoring each chunk once for all of them. `filter` = chunk items may
-    // be outside a request's own pool and must be membership-checked.
-    const auto stream_pool = [&](const std::vector<Index>& pool_items,
-                                 const std::vector<size_t>& idxs,
-                                 bool filter) {
-      std::vector<Index> users;
-      users.reserve(idxs.size());
-      for (size_t i : idxs) users.push_back(requests[i].user);
-      Matrix chunk_scores;
-      std::vector<Index> chunk;
-      for (size_t begin = 0; begin < pool_items.size();
-           begin += static_cast<size_t>(options_.item_block)) {
-        const size_t end =
-            std::min(begin + static_cast<size_t>(options_.item_block),
-                     pool_items.size());
-        chunk.assign(pool_items.begin() + begin, pool_items.begin() + end);
-        chunk_scores.ResizeUninitialized(static_cast<Index>(users.size()),
-                                         static_cast<Index>(chunk.size()));
-        scorer_->ScoreCandidates(users, chunk, MatrixView(&chunk_scores),
-                                 arena.get());
-        ParallelFor(
-            options_.pool, static_cast<Index>(idxs.size()),
-            [&](Index row_begin, Index row_end) {
-              for (Index r = row_begin; r < row_end; ++r) {
-                const size_t idx = idxs[static_cast<size_t>(r)];
-                const RecRequest& request = requests[idx];
-                RequestState& state = states[idx];
-                const Real* row = chunk_scores.row(r);
-                for (size_t j = 0; j < chunk.size(); ++j) {
-                  const Index item = chunk[j];
-                  if (filter &&
-                      !std::binary_search(state.pool_sorted.begin(),
-                                          state.pool_sorted.end(), item)) {
-                    continue;
-                  }
-                  if (request.cold_only &&
-                      !is_cold[static_cast<size_t>(item)]) {
-                    continue;
-                  }
-                  if (Excluded(state, item)) continue;
-                  state.heap.Push(item, row[j]);
-                }
-              }
-            },
-            /*min_shard_size=*/8);
-      }
-    };
-
-    std::vector<Index> union_items;
-    size_t total_entries = 0;
-    for (size_t i : explicit_idx) {
-      union_items.insert(union_items.end(), states[i].pool_sorted.begin(),
-                         states[i].pool_sorted.end());
-      total_entries += states[i].pool_sorted.size();
-    }
-    std::sort(union_items.begin(), union_items.end());
-    union_items.erase(std::unique(union_items.begin(), union_items.end()),
-                      union_items.end());
-
-    // Identical pools: union cost == grouped cost (ratio 1). Disjoint
-    // pools: union scores ~|requests|x more cells than asked for.
-    constexpr size_t kUnionWasteFactor = 4;
-    const bool use_union = union_items.size() * explicit_idx.size() <=
-                           kUnionWasteFactor * total_entries;
-    if (use_union) {
-      stream_pool(union_items, explicit_idx, /*filter=*/true);
-    } else {
-      // Consecutive requests with identical (deduplicated) pools score as
-      // one group; every chunk item is then in every grouped pool.
-      std::vector<size_t> group;
-      for (size_t g0 = 0; g0 < explicit_idx.size();) {
-        const std::vector<Index>& pool = states[explicit_idx[g0]].pool_sorted;
-        size_t g1 = g0 + 1;
-        while (g1 < explicit_idx.size() &&
-               states[explicit_idx[g1]].pool_sorted == pool) {
-          ++g1;
-        }
-        group.assign(explicit_idx.begin() + g0, explicit_idx.begin() + g1);
-        stream_pool(pool, group, /*filter=*/false);
-        g0 = g1;
-      }
-    }
-  }
+  // The whole catalog as one range: the single-engine path is exactly the
+  // one-shard case of the shared ranking core.
+  serving_internal::RankRequestsInRange(
+      *scorer_, {0, num_items_}, requests, batch, *state_,
+      options_.item_block, options_.pool, arena.get(), &heaps);
 
   for (size_t i = 0; i < requests.size(); ++i) {
     responses[i].user = requests[i].user;
-    const auto& top = states[i].heap.Sorted();
+    const auto& top = heaps[i].Sorted();
     responses[i].items.reserve(top.size());
     for (const ScoredItem& e : top) {
       responses[i].items.push_back({e.item, e.score});

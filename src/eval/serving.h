@@ -11,6 +11,12 @@
 // responses are bit-identical to a single-threaded run regardless of how
 // calls interleave. Do NOT mint one engine per thread — that only
 // duplicates gather caches and mint-time projections.
+//
+// For catalogs whose item table outgrows one engine's working set, see
+// ShardedServingEngine (src/eval/sharded_serving.h): the same
+// request/response contract over a partitioned catalog, with responses
+// bit-identical to this engine for any shard count. Both front ends drive
+// the shared core in src/eval/serving_internal.h.
 #ifndef FIRZEN_EVAL_SERVING_H_
 #define FIRZEN_EVAL_SERVING_H_
 
@@ -82,6 +88,13 @@ struct ServingSharedState {
   /// Builds the state once from a dataset.
   static std::shared_ptr<const ServingSharedState> FromDataset(
       const Dataset& dataset);
+
+  /// As above, but for datasets whose cold bitmap may be absent:
+  /// `num_items` sizes the all-warm fallback (the serving engines pass the
+  /// scorer's catalog size). The one construction path shared by
+  /// ServingEngine and ShardedServingEngine.
+  static std::shared_ptr<const ServingSharedState> FromDataset(
+      const Dataset& dataset, Index num_items);
 };
 
 /// Request/response serving front end. Mints one Scorer from the model at

@@ -1,0 +1,105 @@
+// Shared request-resolution and fused score-and-rank machinery behind
+// ServingEngine and ShardedServingEngine. Both front ends resolve requests
+// once (exclusion lists, deduplicated candidate pools — all in GLOBAL item
+// ids), then drive RankRequestsInRange over one or many item ranges: the
+// single engine passes its base scorer over the whole catalog, the sharded
+// engine passes one ItemRangeScorer view per shard. One implementation,
+// exercised by every serving path, is what keeps the shard-invariance
+// contract ("bit-identical responses for any shard count") enforceable —
+// the two engines cannot drift apart in exclusion, dedup, cold-shelf, or
+// candidate-pool semantics because they share this code.
+//
+// Internal header: not part of the public serving API; include only from
+// src/eval/*.cc and tests that need the raw machinery.
+#ifndef FIRZEN_EVAL_SERVING_INTERNAL_H_
+#define FIRZEN_EVAL_SERVING_INTERNAL_H_
+
+#include <vector>
+
+#include "src/eval/serving.h"
+#include "src/eval/topk.h"
+#include "src/models/scorer.h"
+#include "src/util/thread_pool.h"
+
+namespace firzen {
+namespace serving_internal {
+
+/// Null-checked Recommender::MakeScorer, shared by both engines' model
+/// constructors.
+std::unique_ptr<Scorer> MintScorer(const Recommender* model);
+
+/// Shard-independent resolved state for one RecRequest: the exclusion list
+/// to binary-search (sorted, global ids) and, for explicit pools, the
+/// deduplicated sorted candidates. Prepared once per batch and shared by
+/// every item range the request is ranked over.
+struct PreparedRequest {
+  const std::vector<Index>* exclude = nullptr;  // sorted, may be null
+  std::vector<Index> custom_sorted;             // backing store for kCustom
+  std::vector<Index> pool_sorted;  // sorted unique explicit pool (else empty)
+};
+
+/// Validates `requests` (k > 0, user >= 0, candidates within
+/// [0, num_items)) and resolves each against `state`: kTrainSeen binds the
+/// user's sorted train list, kCustom sorts the request's own exclude list,
+/// explicit candidate pools are sorted and deduplicated. The returned
+/// vector parallels `requests`; elements never relocate (exclude may point
+/// into the element's own custom_sorted).
+std::vector<PreparedRequest> PrepareRequests(
+    const std::vector<RecRequest>& requests, const ServingSharedState& state,
+    Index num_items);
+
+/// The whole batch resolved once: per-request state plus the batching plan
+/// every item range executes — which requests stream the full catalog
+/// (and their user batch), and how explicit pools are scored: one union
+/// stream over all explicit requests, or per-identical-pool groups when
+/// the union would waste more than kUnionWasteFactor cells (barely
+/// overlapping pools). The plan is derived ONLY from the full request
+/// batch, never from any item range, for two reasons: it is paid once for
+/// any number of shards, and the scoring user batches it fixes are what
+/// keep per-cell rounding identical across shard layouts (scores are only
+/// bit-stable for a fixed user batch — the Gemm dot/panel cutoff rounds
+/// per batch size).
+struct PreparedBatch {
+  std::vector<PreparedRequest> requests;  // parallels the RecRequest batch
+  std::vector<size_t> streamed;           // full-catalog request indices
+  std::vector<Index> streamed_users;
+  bool use_union = false;
+  std::vector<size_t> explicit_idx;  // all explicit-pool request indices
+  std::vector<Index> union_items;    // sorted unique union (union mode)
+  std::vector<Index> union_users;    // user batch for the union stream
+  std::vector<std::vector<size_t>> groups;       // grouped mode: indices
+  std::vector<std::vector<Index>> group_users;   // user batch per group
+};
+
+/// Builds the shard-invariant plan above.
+PreparedBatch PrepareBatch(const std::vector<RecRequest>& requests,
+                           const ServingSharedState& state, Index num_items);
+
+/// Scores the global item range [range.begin, range.end) for every request
+/// and pushes each eligible item into (*heaps)[i] keyed by GLOBAL item id.
+/// `scorer` is a view whose local item j is global item range.begin + j —
+/// the base scorer itself when the range spans the whole catalog, an
+/// ItemRangeScorer for a shard. Full-catalog requests share one fused
+/// ScoreBlock+heap stream over `item_block`-wide panels; explicit pools
+/// execute `batch`'s plan restricted to the range: the in-range slice of
+/// the union (or of each group's pool) streams in bounded chunks while the
+/// user batches stay exactly as planned, so per-cell scores — and
+/// therefore responses — cannot depend on the range partitioning. The
+/// heaps retain a unique top-k under RanksBefore, so ranking a catalog as
+/// one range or as many disjoint ranges retains exactly the same
+/// candidates at the same scores.
+///
+/// `arena` carries this call's scoring scratch and must not be shared with
+/// a concurrent call; `pool` drives the per-request heap-push loops
+/// (nullptr = inline). heaps->size() must equal requests.size().
+void RankRequestsInRange(const Scorer& scorer, ItemBlock range,
+                         const std::vector<RecRequest>& requests,
+                         const PreparedBatch& batch,
+                         const ServingSharedState& state, Index item_block,
+                         ThreadPool* pool, ScoringArena* arena,
+                         std::vector<TopKHeap>* heaps);
+
+}  // namespace serving_internal
+}  // namespace firzen
+
+#endif  // FIRZEN_EVAL_SERVING_INTERNAL_H_

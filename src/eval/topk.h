@@ -17,11 +17,25 @@ struct ScoredItem {
   Real score;
 };
 
+/// THE ranking total order: true when `a` ranks strictly before `b` —
+/// descending score, ties broken by ascending item id. Item ids are unique
+/// within a ranking, so this is a strict total order: any top-k selection
+/// under it is a unique set in a unique order, no matter how the candidates
+/// were partitioned or in which order they were offered. That property is
+/// what makes per-shard top-k lists mergeable bit-exactly (MergeTopK in
+/// src/eval/sharded_serving.h): every ranking path — TopKHeap, the sharded
+/// merge, brute-force references in tests — must compare through this one
+/// function. NaN never reaches it (TopKHeap drops NaN pushes; a NaN here
+/// would break the strict weak ordering).
+inline bool RanksBefore(const ScoredItem& a, const ScoredItem& b) {
+  return a.score != b.score ? a.score > b.score : a.item < b.item;
+}
+
 /// Reusable bounded top-k selector. Ordering is deterministic: higher score
-/// first, ties broken by lower item id — identical to the evaluator's
-/// historical partial_sort comparator. Intended as per-thread scratch in
-/// batched ranking loops: construct once, then Reset()/Push()/TakeSorted()
-/// per user.
+/// first, ties broken by lower item id (RanksBefore above) — identical to
+/// the evaluator's historical partial_sort comparator. Intended as
+/// per-thread scratch in batched ranking loops: construct once, then
+/// Reset()/Push()/TakeSorted() per user.
 class TopKHeap {
  public:
   explicit TopKHeap(Index k);
@@ -42,11 +56,10 @@ class TopKHeap {
   const std::vector<ScoredItem>& Sorted();
 
  private:
-  // True when a ranks strictly better than b (descending score, ascending
-  // item id on ties). Used as the min-heap comparator, so the weakest
-  // retained candidate sits at heap_.front().
+  // RanksBefore as the min-heap comparator, so the weakest retained
+  // candidate sits at heap_.front().
   static bool Better(const ScoredItem& a, const ScoredItem& b) {
-    return a.score != b.score ? a.score > b.score : a.item < b.item;
+    return RanksBefore(a, b);
   }
 
   Index k_;

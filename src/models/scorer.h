@@ -71,6 +71,9 @@ class ScoringArena {
   Matrix candidate_rows;            // gathered candidate rows
   Matrix full_rows;                 // cached full score rows (FullScoreAdapter)
   Matrix rel_logits;                // per-user relation logits (KGCN)
+  // Transient per-call id-translation buffer (ItemRangeScorer): valid only
+  // within one call, never cached across calls.
+  std::vector<Index> translated_ids;
 
  private:
   uint64_t owner_id_ = 0;  // 0 = unbound; scorer ids start at 1
@@ -209,6 +212,49 @@ class DotProductScorer : public Scorer {
   const Matrix& user_emb_;
   const Matrix& item_emb_;
   ThreadPool* pool_;
+};
+
+/// Item-range-restricted view of a base scorer: presents the contiguous
+/// global item range [item_begin, item_end) as a shard-local catalog of
+/// size item_end - item_begin (local item j = global item item_begin + j).
+/// This is the per-shard scoring handle behind ShardedServingEngine: one
+/// base scorer is minted once, then each catalog shard gets a zero-copy
+/// view over its slice, so sibling shards share the mint-time work (entity
+/// projections, embedding tables) and only translate coordinates.
+///
+/// Every call delegates to the base scorer, so per-item scores are
+/// bit-identical to scoring the same global items through the base directly
+/// — the property the sharded top-K merge relies on. The view is as
+/// thread-safe as its base: logically const, scratch in the caller's arena
+/// (arena caches key to the BASE scorer, so one arena may be reused across
+/// sibling views of the same base without invalidation). The base scorer
+/// must outlive the view.
+class ItemRangeScorer : public Scorer {
+ public:
+  /// Requires 0 <= item_begin <= item_end <= base->num_items().
+  ItemRangeScorer(const Scorer* base, Index item_begin, Index item_end);
+
+  using Scorer::ScoreBlock;
+  using Scorer::ScoreCandidates;
+
+  Index num_items() const override { return item_end_ - item_begin_; }
+  Index item_begin() const { return item_begin_; }
+  Index item_end() const { return item_end_; }
+
+  /// `block` is in LOCAL coordinates ([0, num_items())); delegates the
+  /// translated global range to the base scorer.
+  void ScoreBlock(const std::vector<Index>& users, ItemBlock block,
+                  MatrixView out, ScoringArena* arena) const override;
+
+  /// `candidates` are LOCAL ids; translated to global for the base.
+  void ScoreCandidates(const std::vector<Index>& users,
+                       const std::vector<Index>& candidates, MatrixView out,
+                       ScoringArena* arena) const override;
+
+ private:
+  const Scorer* base_;
+  Index item_begin_;
+  Index item_end_;
 };
 
 /// Produces one row of scores per requested user over the full catalog

@@ -4,12 +4,19 @@
 // across cold fractions.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 #include <tuple>
+#include <vector>
 
 #include "src/data/split.h"
 #include "src/eval/metrics.h"
+#include "src/eval/serving.h"
+#include "src/eval/sharded_serving.h"
+#include "src/eval/topk.h"
 #include "src/graph/knn_graph.h"
+#include "src/models/scorer.h"
 #include "src/tensor/csr.h"
 #include "src/tensor/gradcheck.h"
 #include "src/tensor/ops.h"
@@ -253,6 +260,151 @@ TEST_P(SplitSweepTest, StrictInvariantsHoldForAnyColdFraction) {
 
 INSTANTIATE_TEST_SUITE_P(Fractions, SplitSweepTest,
                          ::testing::Values(0.1, 0.2, 0.3, 0.5));
+
+// ---- Sharded top-K invariants over random shard layouts ----
+
+// Deterministic score formula shared by the engine's scorer and the
+// brute-force reference. Quantized to a coarse grid so score ties are
+// frequent (the adversarial case for shard-layout invariance) and salted
+// with NaN holes (dropped deterministically by TopKHeap).
+Real TrialScore(uint64_t trial_salt, Index user, Index item) {
+  const uint64_t h =
+      (static_cast<uint64_t>(user) * 2654435761u + trial_salt * 97u +
+       static_cast<uint64_t>(item) * 40503u);
+  if (h % 11 == 0) return std::nan("");
+  return static_cast<Real>(h % 13) - static_cast<Real>(item % 3);
+}
+
+class ShardedTopKPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Random shard boundaries (duplicates and end cuts included), random k,
+// random exclusion policies, random candidate pools: the merged sharded
+// top-K must equal a brute-force sort of the full score row under the
+// RanksBefore total order. 12 seeds x 10 trials = 120 randomized trials.
+TEST_P(ShardedTopKPropertyTest, MergedTopKEqualsBruteForceFullRowSort) {
+  Rng rng(GetParam() * 7919 + 1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Index num_items = 20 + rng.UniformInt(100);
+    const Index num_users = 3 + rng.UniformInt(8);
+    const uint64_t salt = GetParam() * 1000 + static_cast<uint64_t>(trial);
+
+    Dataset dataset;
+    dataset.num_users = num_users;
+    dataset.num_items = num_items;
+    dataset.is_cold_item.assign(static_cast<size_t>(num_items), false);
+    for (Index i = 0; i < num_items; ++i) {
+      if (rng.UniformInt(4) == 0) {
+        dataset.is_cold_item[static_cast<size_t>(i)] = true;
+      }
+    }
+    for (Index u = 0; u < num_users; ++u) {
+      for (int t = 0; t < 3; ++t) {
+        dataset.train.push_back({u, rng.UniformInt(num_items)});
+      }
+    }
+
+    // Random shard layout: 0-6 interior cuts, unsorted draws sorted here,
+    // duplicates kept (empty shards are legal).
+    ShardedServingOptions options;
+    const Index num_cuts = rng.UniformInt(7);
+    for (Index c = 0; c < num_cuts; ++c) {
+      options.boundaries.push_back(rng.UniformInt(num_items + 1));
+    }
+    std::sort(options.boundaries.begin(), options.boundaries.end());
+    options.item_block = 1 + rng.UniformInt(num_items + 8);
+
+    auto scorer = std::make_unique<FullScoreAdapter>(
+        [salt, num_items](const std::vector<Index>& users, Matrix* scores) {
+          scores->Resize(static_cast<Index>(users.size()), num_items);
+          for (size_t r = 0; r < users.size(); ++r) {
+            for (Index i = 0; i < num_items; ++i) {
+              (*scores)(static_cast<Index>(r), i) =
+                  TrialScore(salt, users[r], i);
+            }
+          }
+        },
+        num_items);
+    const ShardedServingEngine engine(std::move(scorer), dataset, options);
+
+    // One random request per user: random k, exclusion, pool, cold flag.
+    std::vector<RecRequest> requests;
+    for (Index u = 0; u < num_users; ++u) {
+      RecRequest request;
+      request.user = u;
+      request.k = 1 + rng.UniformInt(num_items + 3);
+      const Index mode = rng.UniformInt(3);
+      request.exclusion = mode == 0   ? ExclusionPolicy::kTrainSeen
+                          : mode == 1 ? ExclusionPolicy::kCustom
+                                      : ExclusionPolicy::kNone;
+      if (request.exclusion == ExclusionPolicy::kCustom) {
+        for (int j = 0; j < 6; ++j) {
+          request.exclude.push_back(rng.UniformInt(num_items));
+        }
+      }
+      if (rng.UniformInt(2) == 0) {
+        const Index pool_size = 1 + rng.UniformInt(num_items);
+        for (Index j = 0; j < pool_size; ++j) {
+          request.candidates.push_back(rng.UniformInt(num_items));
+        }
+      }
+      request.cold_only = rng.UniformInt(4) == 0;
+      requests.push_back(std::move(request));
+    }
+    const std::vector<RecResponse> responses = engine.RecommendBatch(requests);
+
+    // Brute force: score the full row from the same formula, filter
+    // eligibility, sort under RanksBefore, truncate to k.
+    const auto seen = dataset.TrainItemsByUser();
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const RecRequest& request = requests[i];
+      std::vector<Index> pool;
+      if (request.candidates.empty()) {
+        for (Index item = 0; item < num_items; ++item) pool.push_back(item);
+      } else {
+        pool = request.candidates;
+        std::sort(pool.begin(), pool.end());
+        pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+      }
+      std::vector<Index> exclude;
+      if (request.exclusion == ExclusionPolicy::kTrainSeen) {
+        exclude = seen[static_cast<size_t>(request.user)];
+      } else if (request.exclusion == ExclusionPolicy::kCustom) {
+        exclude = request.exclude;
+        std::sort(exclude.begin(), exclude.end());
+      }
+      std::vector<ScoredItem> expected;
+      for (Index item : pool) {
+        if (request.cold_only &&
+            !dataset.is_cold_item[static_cast<size_t>(item)]) {
+          continue;
+        }
+        if (std::binary_search(exclude.begin(), exclude.end(), item)) {
+          continue;
+        }
+        const Real score = TrialScore(salt, request.user, item);
+        if (std::isnan(score)) continue;
+        expected.push_back({item, score});
+      }
+      std::sort(expected.begin(), expected.end(), RanksBefore);
+      if (static_cast<Index>(expected.size()) > request.k) {
+        expected.resize(static_cast<size_t>(request.k));
+      }
+      ASSERT_EQ(responses[i].items.size(), expected.size())
+          << "seed=" << GetParam() << " trial=" << trial << " request=" << i;
+      for (size_t j = 0; j < expected.size(); ++j) {
+        ASSERT_EQ(responses[i].items[j].item, expected[j].item)
+            << "seed=" << GetParam() << " trial=" << trial << " request=" << i
+            << " rank=" << j;
+        ASSERT_EQ(responses[i].items[j].score, expected[j].score)
+            << "seed=" << GetParam() << " trial=" << trial << " request=" << i
+            << " rank=" << j;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedTopKPropertyTest,
+                         ::testing::Range<uint64_t>(0, 12));
 
 }  // namespace
 }  // namespace firzen

@@ -1,10 +1,11 @@
-// Concurrent-serving stress suite: one shared ServingEngine hammered by N
-// request threads with mixed full-catalog / candidate-pool / cold-only /
-// custom-exclusion traffic must answer every request bit-identically to a
-// single-threaded run — the contract that makes shared-scorer serving (and
-// the TSan pass wired into tools/run_checks.sh) meaningful. Also covers the
-// scorer-level contract directly: one Scorer, many threads, one
-// ScoringArena per thread.
+// Concurrent-serving stress suite: one shared ServingEngine (or
+// ShardedServingEngine — same contract) hammered by N request threads with
+// mixed full-catalog / candidate-pool / cold-only / custom-exclusion
+// traffic must answer every request bit-identically to a single-threaded
+// run — the contract that makes shared-scorer serving (and the TSan pass
+// wired into tools/run_checks.sh) meaningful. Also covers the scorer-level
+// contract directly: one Scorer, many threads, one ScoringArena per
+// thread.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "src/eval/serving.h"
+#include "src/eval/sharded_serving.h"
 #include "src/models/scorer.h"
 #include "src/models/serialize.h"
 #include "src/util/rng.h"
@@ -113,7 +115,8 @@ void ExpectSameResponse(const RecResponse& got, const RecResponse& want,
 // user-batch sizes may differ in the last ulp because the Gemm kernel's
 // small-batch dot path and panel-packed path round differently (the m <= 32
 // cutoff — see scorer_parity_test, which pins both sides per batch).
-void StressEngine(const ServingEngine& engine, int num_threads, int rounds) {
+template <typename Engine>
+void StressEngine(const Engine& engine, int num_threads, int rounds) {
   const std::vector<RecRequest> requests = MixedRequests();
   std::vector<RecResponse> reference;
   reference.reserve(requests.size());
@@ -202,6 +205,69 @@ TEST(ServingConcurrencyTest, SharedEngineFullScoreAdapterBitExact) {
       kItems);
   const ServingEngine engine(std::move(scorer), dataset);
   StressEngine(engine, /*num_threads=*/4, /*rounds=*/1);
+}
+
+// Sharded engine under concurrent traffic: N request threads hammer ONE
+// shared ShardedServingEngine; every answer must be bit-identical to the
+// single-thread single-shard reference. The sharded engine leases one
+// arena per shard per call and ranks shards in parallel on the global
+// pool, so this is the data-race canary for the per-shard-view /
+// shared-base-scorer contract (run under TSan by tools/run_checks.sh).
+TEST(ServingConcurrencyTest, SharedShardedEngineBitExactVsSingleShardRef) {
+  const Dataset dataset = StressDataset();
+  StaticRecommender model("stress", RandomEmb(kUsers, kDim, 21),
+                          RandomEmb(kItems, kDim, 22));
+  // Single-shard single-thread reference: the plain engine.
+  const ServingEngine reference(&model, dataset);
+  ShardedServingOptions options;
+  options.num_shards = 3;
+  const ShardedServingEngine engine(&model, dataset, options);
+
+  // Shard invariance first (single thread): sharded == single-shard.
+  const std::vector<RecRequest> requests = MixedRequests();
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ExpectSameResponse(engine.Recommend(requests[i]),
+                       reference.Recommend(requests[i]), i);
+  }
+  const auto sharded_batch = engine.RecommendBatch(requests);
+  const auto reference_batch = reference.RecommendBatch(requests);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ExpectSameResponse(sharded_batch[i], reference_batch[i], i);
+  }
+
+  // Then concurrency: StressEngine checks every threaded answer against
+  // the engine's own single-threaded responses, which the block above just
+  // proved equal to the single-shard reference.
+  StressEngine(engine, /*num_threads=*/6, /*rounds=*/2);
+}
+
+// The sharded engine places its parallelism adaptively: shards rank
+// concurrently (one private arena each) when there is at least one shard
+// per pool worker, else sequentially sharing one arena. Which branch the
+// previous test exercises depends on the host's core count — force BOTH
+// placements with explicit pools so each arena-leasing scheme gets its own
+// TSan stress regardless of where the suite runs.
+TEST(ServingConcurrencyTest, ShardedEngineBothParallelismPlacementsBitExact) {
+  const Dataset dataset = StressDataset();
+  StaticRecommender model("stress", RandomEmb(kUsers, kDim, 23),
+                          RandomEmb(kItems, kDim, 24));
+  const ServingEngine reference(&model, dataset);
+  const std::vector<RecRequest> requests = MixedRequests();
+  const std::vector<RecResponse> want = reference.RecommendBatch(requests);
+
+  ThreadPool wide_pool(8);   // 3 shards < 8 workers -> sequential placement
+  ThreadPool narrow_pool(1);  // 3 shards >= 1 worker -> parallel placement
+  for (ThreadPool* pool : {&wide_pool, &narrow_pool}) {
+    ShardedServingOptions options;
+    options.num_shards = 3;
+    options.pool = pool;
+    const ShardedServingEngine engine(&model, dataset, options);
+    const auto got = engine.RecommendBatch(requests);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      ExpectSameResponse(got[i], want[i], i);
+    }
+    StressEngine(engine, /*num_threads=*/4, /*rounds=*/1);
+  }
 }
 
 // Scorer-level contract: one shared scorer, one arena per thread, streamed

@@ -10,14 +10,19 @@
 //
 //   firzen_cli recommend --embeddings model.fzem --user ID [--k 10]
 //              [--exclude 3,17,42] [--users 1,2,3 [--serve-threads 4]]
+//              [--shards 4]
 //       Serve top-K recommendations from a serialized model through the
 //       block-streaming ServingEngine. --users serves several users over
 //       ONE shared engine; --serve-threads answers them from concurrent
 //       request threads (the engine is thread-safe — responses are
-//       identical for any thread count).
+//       identical for any thread count). --shards N partitions the item
+//       catalog across N sibling shard views (ShardedServingEngine) with a
+//       bit-exact top-K merge — responses are identical for any shard
+//       count.
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -27,6 +32,7 @@
 #include "src/data/split.h"
 #include "src/data/synthetic.h"
 #include "src/eval/serving.h"
+#include "src/eval/sharded_serving.h"
 #include "src/models/registry.h"
 #include "src/models/serialize.h"
 #include "src/util/logging.h"
@@ -241,7 +247,28 @@ int RunRecommend(const std::map<std::string, std::string>& flags) {
   empty.num_users = loaded.value()->user_embeddings().rows();
   empty.num_items = loaded.value()->ItemEmbeddings().rows();
   empty.is_cold_item.assign(static_cast<size_t>(empty.num_items), false);
-  const ServingEngine engine(loaded.value().get(), empty);
+
+  // --shards N partitions the catalog across N sibling shard views; the
+  // merged responses are bit-identical to the single-engine path, so the
+  // flag only changes how the work is laid out, never what is served.
+  int shards = 1;
+  try {
+    const std::string value = FlagOr(flags, "shards", "1");
+    size_t used = 0;
+    shards = std::stoi(value, &used);
+    if (used != value.size() || shards < 1) {
+      throw std::invalid_argument(value);
+    }
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "--shards expects a positive integer\n");
+    return 2;
+  }
+  // One shard IS the single-engine path (bit-identical by the shard
+  // invariance contract), so one engine type serves every --shards value.
+  ShardedServingOptions engine_options;
+  engine_options.num_shards = shards;
+  const ShardedServingEngine engine(loaded.value().get(), empty,
+                                    engine_options);
 
   RecRequest prototype;
   prototype.k = static_cast<Index>(std::stol(FlagOr(flags, "k", "10")));

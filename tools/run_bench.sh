@@ -2,9 +2,13 @@
 # Builds the Release benchmark binaries and writes the perf trajectory to
 # BENCH_kernels.json (google-benchmark JSON format): the kernel sweep from
 # bench_kernels plus the end-to-end serving cases from bench_serving —
-# fused ScoreBlock+TopK vs. materialize-then-rank, and BM_ServingConcurrent
+# fused ScoreBlock+TopK vs. materialize-then-rank, BM_ServingConcurrent
 # (1/2/4 request threads against ONE shared ServingEngine) charting the
-# shared-engine throughput scaling — appended into one file.
+# shared-engine throughput scaling, and BM_ServingSharded (1/2/4 catalog
+# shards x 1/4 request threads against ONE shared ShardedServingEngine,
+# parity-checked against the single engine at startup) charting what the
+# sharded merge costs and parallel shard ranking buys — appended into one
+# file.
 #
 # Usage:
 #   tools/run_bench.sh                    # full sweep, JSON + console
@@ -44,9 +48,10 @@ cmake --build "${BUILD_DIR}" -j --target bench_kernels --target bench_serving \
   "$@"
 
 # End-to-end serving, including the concurrent shared-engine scaling cases
-# (the BM_Serving filter matches BM_ServingConcurrent too): one repetition
-# is representative (the cases verify fused/materialized parity internally
-# before timing).
+# and the sharded-catalog cases (the BM_Serving filter matches
+# BM_ServingConcurrent and BM_ServingSharded too): one repetition is
+# representative (the cases verify fused/materialized and sharded/single
+# parity internally before timing).
 SERVING_OUT="${OUT%.json}_serving.tmp.json"
 "./${BUILD_DIR}/bench_serving" \
   --benchmark_filter=BM_Serving \

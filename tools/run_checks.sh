@@ -3,9 +3,12 @@
 #   1. configure + build the default tree and run the full ctest suite;
 #   2. rebuild with -DFIRZEN_SANITIZE=address and re-run ctest under ASan;
 #   3. rebuild with -DFIRZEN_SANITIZE=thread and run the serving suites
-#      under TSan — the concurrent-serving stress test hammering one shared
-#      ServingEngine from many threads is the data-race canary for the
-#      shared-scorer / per-thread-arena contract.
+#      under TSan — the concurrent-serving stress tests hammering one shared
+#      ServingEngine (and one shared ShardedServingEngine, whose shards rank
+#      in parallel per call) from many threads are the data-race canary for
+#      the shared-scorer / per-thread-arena / per-shard-view contract. The
+#      -R filter below matches serving_test, serving_concurrency_test,
+#      sharded_serving_test, and scorer_parity_test.
 #
 # Usage:
 #   tools/run_checks.sh             # all three passes
@@ -39,7 +42,11 @@ run_pass() {
   done
   cmake -B "${build_dir}" -S . ${cmake_args[@]+"${cmake_args[@]}"} >/dev/null
   cmake --build "${build_dir}" -j
-  (cd "${build_dir}" && ctest --output-on-failure -j \
+  # -j needs an explicit value: a valueless ctest -j greedily consumes the
+  # next argument on this toolchain (so `-j -R filter` silently dropped the
+  # filter and the TSan pass ran the full suite), and trailing valueless -j
+  # only means "default parallelism" on ctest >= 3.29.
+  (cd "${build_dir}" && ctest --output-on-failure -j "$(nproc)" \
     ${ctest_extra[@]+"${ctest_extra[@]}"} \
     ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"})
 }
