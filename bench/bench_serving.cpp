@@ -3,17 +3,24 @@
 // path (full users x catalog score matrix, then per-user heaps). The fused
 // path's peak transient is user_batch * item_block, independent of catalog
 // size — the label records both footprints. Results are verified
-// bit-identical at startup before timing.
+// bit-identical at startup before timing. BM_ServingAdmission charts what
+// the admission front end buys: 8 concurrent single-request threads served
+// unbatched vs coalesced into fused user batches (one catalog stream per
+// batch instead of one per request), with p50/p95/p99 per-request latency
+// counters alongside the throughput.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/data/dataset.h"
+#include "src/eval/admission.h"
 #include "src/eval/serving.h"
 #include "src/eval/sharded_serving.h"
 #include "src/eval/topk.h"
@@ -316,6 +323,120 @@ BENCHMARK(BM_ServingSharded)
     ->Args({131072, 64, 4})
     ->Threads(1)
     ->Threads(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Admission batching under concurrent single-request traffic: 8 request
+// threads each fire one-user queries at ONE shared engine. admission=0 is
+// the unbatched shared-engine baseline (every request pays its own full
+// catalog stream); admission=1 attaches an AdmissionController, so
+// concurrent requests coalesce into fused user batches — one catalog
+// stream, one batched Gemm per panel, per batch. The parity gate at setup
+// asserts fused responses are bit-identical to serving each request alone
+// (the coalescing contract; scores are batch-size-invariant). Besides
+// throughput, the run reports p50/p95/p99 per-request latency and — for
+// admission=1 — the realized requests-per-fused-batch factor.
+void BM_ServingAdmission(benchmark::State& state) {
+  const Index num_items = state.range(0);
+  const bool admission = state.range(1) != 0;
+  constexpr int kThreads = 8;
+  constexpr int kReqsPerThread = 2;  // single-user requests per iteration
+  constexpr Index kTop = 20;
+  static ServingWorld* world = nullptr;
+  static Index world_items = -1;
+  if (world_items != num_items) {
+    delete world;
+    world = MakeWorld(4096, num_items, 64, /*batch=*/64);
+    world_items = num_items;
+  }
+  ServingEngine engine(&world->model, world->dataset);
+  AdmissionOptions admission_options;  // max_batch 64, max_wait_us 200
+  const AdmissionController controller(&engine, admission_options);
+  if (admission) {
+    engine.AttachAdmission(&controller);
+    // Parity gate: a fused batch must reproduce each request's stand-alone
+    // answer bit-for-bit, or the "speedup" would be meaningless.
+    std::vector<RecRequest> probe;
+    for (Index u = 0; u < kThreads; ++u) {
+      RecRequest request;
+      request.user = u;
+      request.k = kTop;
+      probe.push_back(std::move(request));
+    }
+    const auto fused = controller.RecommendBatch(probe);
+    for (size_t i = 0; i < probe.size(); ++i) {
+      const RecResponse alone = engine.RecommendBatchDirect({probe[i]})[0];
+      if (fused[i].items.size() != alone.items.size()) std::abort();
+      for (size_t j = 0; j < alone.items.size(); ++j) {
+        if (fused[i].items[j].item != alone.items[j].item ||
+            fused[i].items[j].score != alone.items[j].score) {
+          std::fprintf(stderr, "admission parity failure at request %zu\n", i);
+          std::abort();
+        }
+      }
+    }
+  }
+
+  std::mutex latency_mu;
+  std::vector<double> latencies_us;  // across all iterations and threads
+  const uint64_t fused_before = controller.fused_batches();
+  const uint64_t admitted_before = controller.admitted_requests();
+  Index user_seed = 0;
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      const Index base = user_seed + t * 131;
+      threads.emplace_back([&, base] {
+        std::vector<double> local;
+        local.reserve(kReqsPerThread);
+        for (int r = 0; r < kReqsPerThread; ++r) {
+          RecRequest request;
+          request.user = (base + r * 17) %
+                         static_cast<Index>(world->dataset.num_users);
+          request.k = kTop;
+          const auto t0 = std::chrono::steady_clock::now();
+          const RecResponse response = engine.Recommend(request);
+          const auto t1 = std::chrono::steady_clock::now();
+          benchmark::DoNotOptimize(response.items.data());
+          local.push_back(
+              std::chrono::duration<double, std::micro>(t1 - t0).count());
+        }
+        std::lock_guard<std::mutex> lock(latency_mu);
+        latencies_us.insert(latencies_us.end(), local.begin(), local.end());
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    user_seed += kThreads * 131;
+  }
+  state.SetItemsProcessed(state.iterations() * kThreads * kReqsPerThread *
+                          num_items);
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const auto percentile = [&](double q) {
+    if (latencies_us.empty()) return 0.0;
+    const size_t idx = std::min(
+        latencies_us.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(latencies_us.size())));
+    return latencies_us[idx];
+  };
+  state.counters["p50_us"] = percentile(0.50);
+  state.counters["p95_us"] = percentile(0.95);
+  state.counters["p99_us"] = percentile(0.99);
+  if (admission) {
+    const uint64_t fused = controller.fused_batches() - fused_before;
+    const uint64_t admitted = controller.admitted_requests() - admitted_before;
+    state.counters["reqs_per_fused_batch"] =
+        fused == 0 ? 0.0
+                   : static_cast<double>(admitted) / static_cast<double>(fused);
+  }
+  state.SetLabel(FootprintLabel(kThreads * kReqsPerThread,
+                                ServingEngineOptions{}.item_block, num_items) +
+                 (admission ? " admission=on" : " admission=off"));
+}
+BENCHMARK(BM_ServingAdmission)
+    ->Args({131072, 0})
+    ->Args({131072, 1})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

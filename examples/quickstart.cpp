@@ -11,6 +11,7 @@
 
 #include "src/core/firzen_model.h"
 #include "src/data/synthetic.h"
+#include "src/eval/admission.h"
 #include "src/eval/serving.h"
 #include "src/models/registry.h"
 #include "src/util/logging.h"
@@ -67,7 +68,7 @@ int main() {
   //    The engine is thread-safe — ONE shared instance answers concurrent
   //    request threads (per-thread scoring scratch lives in pooled arenas),
   //    which is the production pattern: never mint one engine per thread.
-  const ServingEngine engine(&model, dataset);
+  ServingEngine engine(&model, dataset);
   RecRequest request;
   request.user = 0;
   request.k = 5;
@@ -78,8 +79,15 @@ int main() {
   }
   std::printf("\n");
 
-  // Concurrent request threads against the same engine: answers are
-  // bit-identical to serial calls no matter how the threads interleave.
+  // Concurrent request threads against the same engine, coalesced by an
+  // admission controller: concurrent singles fuse into one batched
+  // scoring pass (one catalog stream instead of one per request). The
+  // answers are bit-identical to serial, un-fused calls no matter how the
+  // threads interleave or which requests share a fused batch — scores are
+  // batch-size-invariant. Drop the AttachAdmission line to serve the same
+  // traffic unbatched.
+  const AdmissionController admission(&engine);
+  engine.AttachAdmission(&admission);
   std::vector<RecResponse> concurrent(4);
   std::vector<std::thread> servers;
   for (Index u = 0; u < 4; ++u) {
@@ -91,6 +99,7 @@ int main() {
     });
   }
   for (std::thread& t : servers) t.join();
+  engine.AttachAdmission(nullptr);
   for (const RecResponse& res : concurrent) {
     std::printf("user %lld top-3 (served concurrently): ",
                 static_cast<long long>(res.user));
@@ -99,5 +108,8 @@ int main() {
     }
     std::printf("\n");
   }
+  std::printf("admission coalesced %llu requests into %llu fused batches\n",
+              static_cast<unsigned long long>(admission.admitted_requests()),
+              static_cast<unsigned long long>(admission.fused_batches()));
   return 0;
 }

@@ -1,0 +1,196 @@
+#include "src/eval/admission.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "src/eval/sharded_serving.h"
+#include "src/util/check.h"
+
+namespace firzen {
+
+AdmissionController::AdmissionController(const ServingEngine* engine,
+                                         AdmissionOptions options)
+    : options_(options) {
+  FIRZEN_CHECK(engine != nullptr);
+  FIRZEN_CHECK_GT(options_.max_batch, 0);
+  FIRZEN_CHECK_GE(options_.max_wait_us, 0);
+  backend_ = [engine](const std::vector<RecRequest>& requests) {
+    return engine->RecommendBatchDirect(requests);
+  };
+}
+
+AdmissionController::AdmissionController(const ShardedServingEngine* engine,
+                                         AdmissionOptions options)
+    : options_(options) {
+  FIRZEN_CHECK(engine != nullptr);
+  FIRZEN_CHECK_GT(options_.max_batch, 0);
+  FIRZEN_CHECK_GE(options_.max_wait_us, 0);
+  backend_ = [engine](const std::vector<RecRequest>& requests) {
+    return engine->RecommendBatchDirect(requests);
+  };
+}
+
+AdmissionController::AdmissionController(Backend backend,
+                                         AdmissionOptions options)
+    : backend_(std::move(backend)), options_(options) {
+  FIRZEN_CHECK(backend_ != nullptr);
+  FIRZEN_CHECK_GT(options_.max_batch, 0);
+  FIRZEN_CHECK_GE(options_.max_wait_us, 0);
+}
+
+RecResponse AdmissionController::Recommend(const RecRequest& request) const {
+  return RecommendBatch({request})[0];
+}
+
+std::vector<RecResponse> AdmissionController::RecommendBatch(
+    const std::vector<RecRequest>& requests) const {
+  std::vector<RecResponse> responses(requests.size());
+  if (requests.empty()) return responses;
+  admitted_.fetch_add(requests.size(), std::memory_order_relaxed);
+
+  // Tickets live on this stack frame; the vector never reallocates, and we
+  // do not return until every ticket is done, so queued pointers into it
+  // are valid for exactly as long as the queue can hold them.
+  std::vector<Ticket> tickets(requests.size());
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto now = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < requests.size(); ++i) {
+    tickets[i].request = &requests[i];
+    tickets[i].enqueued = now;
+    queue_.push_back(&tickets[i]);
+  }
+  // A collecting leader may be blocked waiting for its batch to fill.
+  if (leader_active_) queue_cv_.notify_one();
+
+  const auto all_done = [&] {
+    for (const Ticket& t : tickets) {
+      if (t.state != Ticket::State::kDone) return false;
+    }
+    return true;
+  };
+  const auto any_queued = [&] {
+    for (const Ticket& t : tickets) {
+      if (t.state == Ticket::State::kQueued) return true;
+    }
+    return false;
+  };
+  while (!all_done()) {
+    if (!leader_active_ && any_queued()) {
+      // No dispatcher and our work is still queued: serve a batch
+      // ourselves. It drains FIFO, so it may consist of other callers'
+      // tickets (and ours may be served by another leader meanwhile) —
+      // the loop simply continues until everything we enqueued is done.
+      try {
+        ServeOneBatch(&lock);
+      } catch (...) {
+        // A throwing custom backend (the engines' direct paths never
+        // throw). Unwind safety: queued Ticket pointers die with this
+        // frame, so pull ours out of the shared queue, wait out any of
+        // ours another dispatcher has claimed, then surface the error.
+        queue_.erase(
+            std::remove_if(queue_.begin(), queue_.end(),
+                           [&](const Ticket* t) {
+                             for (const Ticket& own : tickets) {
+                               if (t == &own) return true;
+                             }
+                             return false;
+                           }),
+            queue_.end());
+        const auto none_claimed = [&] {
+          for (const Ticket& t : tickets) {
+            if (t.state == Ticket::State::kClaimed) return false;
+          }
+          return true;
+        };
+        while (!none_claimed()) done_cv_.wait(lock);
+        throw;
+      }
+    } else {
+      done_cv_.wait(lock);
+    }
+  }
+  for (const Ticket& t : tickets) {
+    if (t.failed) {
+      // Our ticket rode a fused pass whose backend threw on another
+      // caller's thread (which rethrew the original exception there).
+      throw std::runtime_error(
+          "AdmissionController: the backend failed for this request's "
+          "fused batch");
+    }
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    responses[i] = std::move(tickets[i].response);
+  }
+  return responses;
+}
+
+void AdmissionController::ServeOneBatch(
+    std::unique_lock<std::mutex>* lock) const {
+  leader_active_ = true;
+  // Hold the batch open for co-riders until it is full or the OLDEST queued
+  // ticket has waited its bound (so no request's added latency exceeds
+  // max_wait_us regardless of how leadership changes hands).
+  const size_t max_batch = static_cast<size_t>(options_.max_batch);
+  if (options_.max_wait_us > 0 && queue_.size() < max_batch &&
+      !queue_.empty()) {
+    const auto deadline =
+        queue_.front()->enqueued +
+        std::chrono::microseconds(options_.max_wait_us);
+    queue_cv_.wait_until(*lock, deadline,
+                         [&] { return queue_.size() >= max_batch; });
+  }
+
+  // Allocate everything the pass needs BEFORE touching shared state: a
+  // bad_alloc past this block would otherwise wedge the controller (stuck
+  // leadership, or claimed tickets no one will ever complete).
+  const size_t take = std::min(queue_.size(), max_batch);
+  std::vector<Ticket*> claimed;
+  std::vector<RecRequest> batch;
+  try {
+    claimed.assign(queue_.begin(), queue_.begin() + static_cast<long>(take));
+    batch.reserve(take);
+    for (const Ticket* t : claimed) batch.push_back(*t->request);
+  } catch (...) {
+    leader_active_ = false;
+    done_cv_.notify_all();  // a waiting caller can take over leadership
+    throw;
+  }
+  // Point of no return: only non-throwing operations between here and the
+  // guarded backend call. Resign leadership before executing: the next
+  // arrival (or a waiting caller with still-queued tickets, woken below)
+  // becomes the next dispatcher and collects the next batch while this
+  // one scores.
+  queue_.erase(queue_.begin(), queue_.begin() + static_cast<long>(take));
+  for (Ticket* t : claimed) t->state = Ticket::State::kClaimed;
+  leader_active_ = false;
+  if (!queue_.empty()) done_cv_.notify_all();
+  fused_.fetch_add(1, std::memory_order_relaxed);
+  lock->unlock();
+  std::vector<RecResponse> results;
+  try {
+    results = backend_(batch);
+  } catch (...) {
+    // Mark every rider of this pass failed and wake them (their
+    // RecommendBatch surfaces the failure as std::runtime_error), then
+    // rethrow the original exception on this, the dispatching, caller —
+    // with the lock re-held, as our caller's unwind path expects.
+    lock->lock();
+    for (Ticket* t : claimed) {
+      t->failed = true;
+      t->state = Ticket::State::kDone;
+    }
+    done_cv_.notify_all();
+    throw;
+  }
+  lock->lock();
+  FIRZEN_CHECK_EQ(static_cast<Index>(results.size()),
+                  static_cast<Index>(claimed.size()));
+  for (size_t i = 0; i < claimed.size(); ++i) {
+    claimed[i]->response = std::move(results[i]);
+    claimed[i]->state = Ticket::State::kDone;
+  }
+  done_cv_.notify_all();
+}
+
+}  // namespace firzen

@@ -1,0 +1,153 @@
+// Admission-batching front end: coalesces concurrent Recommend calls into
+// fused user batches before they reach a serving engine. N in-flight
+// single-user requests normally pay N full streaming passes over the item
+// catalog; admitted through this controller they ride ONE fused
+// score-and-rank pass (one catalog stream, one batched Gemm per panel), the
+// classic cross-request micro-batching win for read-path inference over
+// frozen state.
+//
+// Protocol (leader-follower, no dedicated dispatcher thread): a caller
+// enqueues its requests as tickets and blocks. The first caller with queued
+// work becomes the dispatcher ("leader"): it waits until the queue holds
+// max_batch users or the oldest ticket has waited max_wait_us, drains up to
+// max_batch tickets, runs ONE fused pass through the engine's direct path
+// (serving_internal::RankRequestsInRange under the hood), writes each
+// response back through its ticket, and wakes the owners. Arrivals during
+// an execution accumulate into the next batch, so admission pipelines:
+// one batch scores while the next one fills.
+//
+// Determinism contract: coalescing is observably side-effect-free.
+// Per-item scores are bit-identical for ANY user-batch size (the Gemm
+// A * B^T kernel accumulates the same exactly-rounded chain no matter how
+// many rows share the batch — see src/tensor/matrix.h), and requests ride
+// private top-K heaps, so a response is bit-identical whether its request
+// was served alone, fused with any co-riders, or routed through any shard
+// layout. tests/serving_admission_test.cc pins this; the BM_ServingAdmission
+// parity gate re-asserts it at benchmark startup.
+//
+// Thread safety: Recommend/RecommendBatch are const and safe from any
+// number of threads — that is the point. Attach/detach and destruction are
+// setup/teardown operations: they must not race with in-flight requests
+// (quiesce callers first), and a controller must be destroyed before the
+// engine it fronts.
+#ifndef FIRZEN_EVAL_ADMISSION_H_
+#define FIRZEN_EVAL_ADMISSION_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "src/eval/serving.h"
+
+namespace firzen {
+
+class ShardedServingEngine;
+
+struct AdmissionOptions {
+  /// Most users one fused pass serves; the dispatcher drains the queue in
+  /// chunks of at most this many tickets. 1 disables coalescing (every
+  /// request runs alone — useful as an A/B baseline).
+  Index max_batch = 64;
+  /// Longest the dispatcher holds an incomplete batch open for co-riders,
+  /// measured from the oldest queued ticket's enqueue time. 0 = never wait:
+  /// drain whatever is queued immediately (coalescing then comes only from
+  /// requests arriving while a previous batch executes). The
+  /// latency/throughput knob: a request's added latency is bounded by
+  /// max_wait_us plus one fused pass.
+  int64_t max_wait_us = 200;
+};
+
+/// Coalescing front end over a ServingEngine or ShardedServingEngine (or
+/// any batch-serving backend). Construct it over the engine, then attach it
+/// with engine.AttachAdmission(&controller) so the engine's own
+/// Recommend/RecommendBatch route through it — or call the controller
+/// directly. The engine-pointer constructors do NOT attach; attachment is
+/// explicit so sibling engines can share one controller.
+class AdmissionController {
+ public:
+  /// Executes one fused request batch; must be safe to call concurrently
+  /// (both engines' direct paths are).
+  using Backend =
+      std::function<std::vector<RecResponse>(const std::vector<RecRequest>&)>;
+
+  /// Fronts `engine` through its admission-bypassing direct path. The
+  /// engine must outlive the controller.
+  explicit AdmissionController(const ServingEngine* engine,
+                               AdmissionOptions options = {});
+  explicit AdmissionController(const ShardedServingEngine* engine,
+                               AdmissionOptions options = {});
+  /// Fronts an arbitrary backend (tests, RPC fan-out, ...).
+  explicit AdmissionController(Backend backend, AdmissionOptions options = {});
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// All callers must have returned before destruction.
+  ~AdmissionController() = default;
+
+  /// Enqueues the request and blocks until its fused batch has been served.
+  /// The response is bit-identical to the engine serving the request alone.
+  RecResponse Recommend(const RecRequest& request) const;
+
+  /// Enqueues every request (they may be split across fused batches and
+  /// coalesced with other callers' tickets) and blocks until all are
+  /// served. Response order matches request order.
+  ///
+  /// Failure semantics (only reachable with a throwing custom Backend —
+  /// the engines' direct paths abort on broken invariants instead): if a
+  /// fused pass throws, the dispatching caller rethrows the backend's
+  /// exception and every other caller with a ticket in that pass throws
+  /// std::runtime_error; the queue stays consistent and unrelated batches
+  /// are unaffected.
+  std::vector<RecResponse> RecommendBatch(
+      const std::vector<RecRequest>& requests) const;
+
+  const AdmissionOptions& options() const { return options_; }
+
+  /// Requests admitted so far (monotonic; for tests and benchmarks).
+  uint64_t admitted_requests() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  /// Fused passes executed so far. admitted_requests() / fused_batches()
+  /// is the realized coalescing factor.
+  uint64_t fused_batches() const {
+    return fused_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Ticket {
+    const RecRequest* request = nullptr;
+    RecResponse response;
+    enum class State { kQueued, kClaimed, kDone } state = State::kQueued;
+    bool failed = false;  // the ticket's fused pass threw
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// Claims up to max_batch queued tickets and serves them in one fused
+  /// backend pass. Called with `lock` held; temporarily releases it around
+  /// the backend call.
+  void ServeOneBatch(std::unique_lock<std::mutex>* lock) const;
+
+  Backend backend_;
+  AdmissionOptions options_;
+
+  mutable std::mutex mu_;
+  // Signals the collecting leader that the queue grew (its batch may now be
+  // full). Followers and leaders-to-be wait on done_cv_: it fires when a
+  // batch completes AND when leadership frees up with tickets still queued.
+  mutable std::condition_variable queue_cv_;
+  mutable std::condition_variable done_cv_;
+  mutable std::vector<Ticket*> queue_;  // FIFO; tickets live on caller stacks
+  mutable bool leader_active_ = false;
+
+  mutable std::atomic<uint64_t> admitted_{0};
+  mutable std::atomic<uint64_t> fused_{0};
+};
+
+}  // namespace firzen
+
+#endif  // FIRZEN_EVAL_ADMISSION_H_

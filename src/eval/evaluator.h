@@ -46,7 +46,10 @@ struct EvalResult {
 };
 
 /// Evaluates `scorer` against `split` under the given setting. Results are
-/// identical for any user_batch / item_block / pool configuration.
+/// bit-identical for any user_batch / item_block / pool / num_shards
+/// configuration: per-item scores are batch-size-invariant (the Gemm
+/// A * B^T contract, src/tensor/matrix.h), so even the ragged final user
+/// batch cannot shift a metric by an ulp.
 EvalResult EvaluateRanking(const Dataset& dataset,
                            const std::vector<Interaction>& split,
                            EvalSetting setting, const Scorer& scorer,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/eval/admission.h"
 #include "src/eval/serving_internal.h"
 #include "src/eval/topk.h"
 #include "src/util/check.h"
@@ -177,12 +178,17 @@ void RankRequestsInRange(const Scorer& scorer, ItemBlock range,
               const Real* row = panel.row(r);
               for (Index local = block.begin; local < block.end; ++local) {
                 const Index item = range.begin + local;
+                const Real score = row[local - block.begin];
+                // Threshold first: once the heap is warm, almost every
+                // item fails this one comparison, skipping the exclusion
+                // search and cold lookup. Bit-neutral (see MightAccept).
+                if (!heap.MightAccept(item, score)) continue;
                 if (request.cold_only &&
                     !is_cold[static_cast<size_t>(item)]) {
                   continue;
                 }
                 if (Excluded(p, item)) continue;
-                heap.Push(item, row[local - block.begin]);
+                heap.Push(item, score);
               }
             }
           },
@@ -234,6 +240,9 @@ void RankRequestsInRange(const Scorer& scorer, ItemBlock range,
               const Real* row = chunk_scores.row(r);
               for (size_t j = begin; j < end; ++j) {
                 const Index item = pool_items[j];
+                const Real score = row[j - begin];
+                // Threshold first, as in the streamed loop above.
+                if (!heap.MightAccept(item, score)) continue;
                 if (filter &&
                     !std::binary_search(p.pool_sorted.begin(),
                                         p.pool_sorted.end(), item)) {
@@ -244,7 +253,7 @@ void RankRequestsInRange(const Scorer& scorer, ItemBlock range,
                   continue;
                 }
                 if (Excluded(p, item)) continue;
-                heap.Push(item, row[j - begin]);
+                heap.Push(item, score);
               }
             }
           },
@@ -318,6 +327,12 @@ RecResponse ServingEngine::Recommend(const RecRequest& request) const {
 
 std::vector<RecResponse> ServingEngine::RecommendBatch(
     const std::vector<RecRequest>& requests) const {
+  if (admission_ != nullptr) return admission_->RecommendBatch(requests);
+  return RecommendBatchDirect(requests);
+}
+
+std::vector<RecResponse> ServingEngine::RecommendBatchDirect(
+    const std::vector<RecRequest>& requests) const {
   std::vector<RecResponse> responses(requests.size());
   if (requests.empty()) return responses;
 
@@ -347,34 +362,6 @@ std::vector<RecResponse> ServingEngine::RecommendBatch(
     }
   }
   return responses;
-}
-
-ServingIndex::ServingIndex(const Recommender* model, const Dataset& dataset)
-    : engine_(model, dataset) {}
-
-std::vector<Recommendation> ServingIndex::TopK(
-    Index user, Index k, const std::vector<Index>& candidates) const {
-  return TopKBatch({user}, k, candidates)[0];
-}
-
-std::vector<std::vector<Recommendation>> ServingIndex::TopKBatch(
-    const std::vector<Index>& users, Index k,
-    const std::vector<Index>& candidates) const {
-  std::vector<RecRequest> requests;
-  requests.reserve(users.size());
-  for (Index user : users) {
-    RecRequest request;
-    request.user = user;
-    request.k = k;
-    request.candidates = candidates;
-    requests.push_back(std::move(request));
-  }
-  const std::vector<RecResponse> responses = engine_.RecommendBatch(requests);
-  std::vector<std::vector<Recommendation>> results(users.size());
-  for (size_t i = 0; i < responses.size(); ++i) {
-    results[i] = responses[i].items;
-  }
-  return results;
 }
 
 }  // namespace firzen

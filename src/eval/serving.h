@@ -16,7 +16,12 @@
 // ShardedServingEngine (src/eval/sharded_serving.h): the same
 // request/response contract over a partitioned catalog, with responses
 // bit-identical to this engine for any shard count. Both front ends drive
-// the shared core in src/eval/serving_internal.h.
+// the shared core in src/eval/serving_internal.h. Under heavy concurrent
+// single-request traffic, front either engine with an AdmissionController
+// (src/eval/admission.h): attached, it coalesces concurrent Recommend
+// calls into fused user batches — one catalog stream per batch instead of
+// one per request — with responses bit-identical to serving each request
+// alone (scores are batch-size-invariant; see src/tensor/matrix.h).
 #ifndef FIRZEN_EVAL_SERVING_H_
 #define FIRZEN_EVAL_SERVING_H_
 
@@ -27,6 +32,8 @@
 #include "src/models/recommender.h"
 
 namespace firzen {
+
+class AdmissionController;
 
 /// One recommendation with its model score.
 struct Recommendation {
@@ -121,15 +128,35 @@ class ServingEngine {
                 std::shared_ptr<const ServingSharedState> state,
                 ServingEngineOptions options = {});
 
+  /// Routed through the attached AdmissionController when one is attached
+  /// (coalescing this call with concurrent callers'), else served directly.
+  /// Responses are identical either way.
   RecResponse Recommend(const RecRequest& request) const;
 
   /// Answers every request, preserving order. Requests over the full
   /// catalog share one fused score-and-rank stream; requests with explicit
   /// (possibly unequal) candidate pools are batched by streaming the sorted
   /// union of their pools in bounded chunks — one batched scoring call per
-  /// chunk instead of one per request.
+  /// chunk instead of one per request. Routed through the attached
+  /// AdmissionController when one is attached.
   std::vector<RecResponse> RecommendBatch(
       const std::vector<RecRequest>& requests) const;
+
+  /// The execution path itself: serves the batch on the calling thread,
+  /// bypassing any attached admission controller. This is what the
+  /// controller's dispatcher invokes (routing it back through admission
+  /// would deadlock); also useful as an A/B baseline. Thread-safe.
+  std::vector<RecResponse> RecommendBatchDirect(
+      const std::vector<RecRequest>& requests) const;
+
+  /// Routes subsequent Recommend/RecommendBatch calls through `controller`
+  /// (nullptr to detach). The controller must front THIS engine (or a
+  /// bit-identical sibling) and must outlive the attachment. Setup-time
+  /// operation: must not race with in-flight requests.
+  void AttachAdmission(const AdmissionController* controller) {
+    admission_ = controller;
+  }
+  const AdmissionController* admission() const { return admission_; }
 
   Index num_items() const { return num_items_; }
 
@@ -147,30 +174,8 @@ class ServingEngine {
   // Recycles per-call scoring scratch across requests; mutex-guarded, so
   // concurrent calls on this const engine each lease a private arena.
   mutable ArenaPool arenas_;
-};
-
-/// Deprecated serving front end, kept as a thin shim over ServingEngine so
-/// existing call sites keep working. Prefer ServingEngine + RecRequest.
-class ServingIndex {
- public:
-  /// The model must outlive the index. Exclusions default to each user's
-  /// training interactions from `dataset`.
-  ServingIndex(const Recommender* model, const Dataset& dataset);
-
-  /// Top-k items for one user, best first. `candidates` empty = all items.
-  /// Items the user already interacted with (train split) are excluded.
-  /// Returns fewer than k items (possibly none) when the candidate pool is
-  /// exhausted.
-  std::vector<Recommendation> TopK(
-      Index user, Index k, const std::vector<Index>& candidates = {}) const;
-
-  /// Batched variant, one result list per user, preserving order.
-  std::vector<std::vector<Recommendation>> TopKBatch(
-      const std::vector<Index>& users, Index k,
-      const std::vector<Index>& candidates = {}) const;
-
- private:
-  ServingEngine engine_;
+  // Optional admission-batching front end; see AttachAdmission.
+  const AdmissionController* admission_ = nullptr;
 };
 
 }  // namespace firzen

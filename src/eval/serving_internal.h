@@ -54,11 +54,12 @@ std::vector<PreparedRequest> PrepareRequests(
 /// stream over all explicit requests, or per-identical-pool groups when
 /// the union would waste more than kUnionWasteFactor cells (barely
 /// overlapping pools). The plan is derived ONLY from the full request
-/// batch, never from any item range, for two reasons: it is paid once for
-/// any number of shards, and the scoring user batches it fixes are what
-/// keep per-cell rounding identical across shard layouts (scores are only
-/// bit-stable for a fixed user batch — the Gemm dot/panel cutoff rounds
-/// per batch size).
+/// batch, never from any item range: it is paid once for any number of
+/// shards, and a range-independent plan keeps the per-shard work streams
+/// structurally identical. (Scores themselves are batch-size-invariant —
+/// the Gemm A * B^T contract in src/tensor/matrix.h — so shard layout
+/// could not bend a bit even if the user batches differed; the fixed plan
+/// is a cost/clarity invariant.)
 struct PreparedBatch {
   std::vector<PreparedRequest> requests;  // parallels the RecRequest batch
   std::vector<size_t> streamed;           // full-catalog request indices

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/eval/admission.h"
 #include "src/eval/serving_internal.h"
 #include "src/util/check.h"
 #include "src/util/thread_pool.h"
@@ -103,6 +104,12 @@ RecResponse ShardedServingEngine::Recommend(const RecRequest& request) const {
 }
 
 std::vector<RecResponse> ShardedServingEngine::RecommendBatch(
+    const std::vector<RecRequest>& requests) const {
+  if (admission_ != nullptr) return admission_->RecommendBatch(requests);
+  return RecommendBatchDirect(requests);
+}
+
+std::vector<RecResponse> ShardedServingEngine::RecommendBatchDirect(
     const std::vector<RecRequest>& requests) const {
   std::vector<RecResponse> responses(requests.size());
   if (requests.empty()) return responses;

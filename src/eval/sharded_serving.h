@@ -110,14 +110,31 @@ class ShardedServingEngine {
                        std::shared_ptr<const ServingSharedState> state,
                        ShardedServingOptions options = {});
 
+  /// Routed through the attached AdmissionController when one is attached
+  /// (coalescing this call with concurrent callers'), else served directly.
   RecResponse Recommend(const RecRequest& request) const;
 
   /// Answers every request, preserving order: requests are resolved once,
   /// every shard ranks its item slice in parallel (per-shard scorer view,
   /// per-shard leased arena, per-shard bounded heaps), and the per-shard
-  /// top-k lists merge under RanksBefore into each response.
+  /// top-k lists merge under RanksBefore into each response. Routed
+  /// through the attached AdmissionController when one is attached.
   std::vector<RecResponse> RecommendBatch(
       const std::vector<RecRequest>& requests) const;
+
+  /// The execution path itself: serves the batch on the calling thread,
+  /// bypassing any attached admission controller (what the controller's
+  /// dispatcher invokes). Thread-safe.
+  std::vector<RecResponse> RecommendBatchDirect(
+      const std::vector<RecRequest>& requests) const;
+
+  /// Routes subsequent Recommend/RecommendBatch calls through `controller`
+  /// (nullptr to detach). Setup-time operation: must not race with
+  /// in-flight requests; the controller must outlive the attachment.
+  void AttachAdmission(const AdmissionController* controller) {
+    admission_ = controller;
+  }
+  const AdmissionController* admission() const { return admission_; }
 
   Index num_items() const { return num_items_; }
   Index num_shards() const { return static_cast<Index>(ranges_.size()); }
@@ -144,6 +161,8 @@ class ShardedServingEngine {
   // Recycles per-call scoring scratch; mutex-guarded, so concurrent calls
   // on this const engine each lease private per-shard arenas.
   mutable ArenaPool arenas_;
+  // Optional admission-batching front end; see AttachAdmission.
+  const AdmissionController* admission_ = nullptr;
 };
 
 }  // namespace firzen

@@ -50,6 +50,19 @@ class TopKHeap {
   /// score); letting them in would break Better's strict weak ordering.
   void Push(Index item, Real score);
 
+  /// True when Push(item, score) would change the heap — i.e. the heap is
+  /// not yet full, or the candidate beats the current k-th best under
+  /// RanksBefore. Cheap (one comparison, no reheap): ranking loops test it
+  /// BEFORE paying per-item eligibility checks (exclusion binary searches,
+  /// cold-bitmap loads), since once the heap is warm almost every streamed
+  /// item fails it. Filtering this way is bit-neutral: a candidate that
+  /// fails would have left the heap unchanged anyway. NaN fails against a
+  /// full heap and is dropped by Push itself otherwise.
+  bool MightAccept(Index item, Real score) const {
+    return static_cast<Index>(heap_.size()) < k_ ||
+           RanksBefore({item, score}, heap_.front());
+  }
+
   /// Sorts the retained candidates best-first in place and returns them.
   /// Invalidates the heap ordering: call Reset() before the next Push
   /// sequence. The buffer (and its capacity) stays owned by this object.

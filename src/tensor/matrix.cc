@@ -102,9 +102,28 @@ namespace {
 constexpr Index kMr = 4;
 constexpr Index kNc = 512;
 
+// Exactly-rounded multiply-add, the one accumulation primitive every
+// A * B^T kernel builds its per-element p-chain from. On hardware with a
+// fused-multiply-add unit std::fma is a single instruction AND a single
+// IEEE rounding, so two differently-compiled loops (the small-batch dot
+// path's p-reduction vs the panel kernel's j-vectorized update) are
+// guaranteed to produce bit-identical chains — which is what makes scores
+// independent of the user-batch size. Without hardware FMA, std::fma is a
+// slow libm call and plain `acc + a * b` contraction is at the compiler's
+// whim per loop shape, so the BT dispatcher below then routes EVERY batch
+// size through the one panel kernel instead (slower at small m, but the
+// invariance contract survives).
+#if defined(__FMA__) || defined(__ARM_FEATURE_FMA)
+#define FIRZEN_HAS_HW_FMA 1
+inline Real MulAdd(Real a, Real b, Real acc) { return std::fma(a, b, acc); }
+#else
+inline Real MulAdd(Real a, Real b, Real acc) { return acc + a * b; }
+#endif
+
 // scratch[r][0:jw] += A[i+r, p] * B[p, jb:jb+jw] for r < kMr, streaming p.
-// Accumulation per output element stays in p order, which keeps results
-// bit-identical for any row sharding.
+// Accumulation per output element is a p-ordered MulAdd chain, which keeps
+// results bit-identical for any row sharding (and, with hardware FMA, for
+// any other kernel accumulating the same chain).
 inline void MicroKernel4(Index k, Index jw, const Real* a, Index lda,
                          const Real* b, Index ldb, Real* scratch) {
   Real* s0 = scratch;
@@ -119,15 +138,15 @@ inline void MicroKernel4(Index k, Index jw, const Real* a, Index lda,
     const Real a3 = a[3 * lda + p];
     for (Index j = 0; j < jw; ++j) {
       const Real bv = brow[j];
-      s0[j] += a0 * bv;
-      s1[j] += a1 * bv;
-      s2[j] += a2 * bv;
-      s3[j] += a3 * bv;
+      s0[j] = MulAdd(a0, bv, s0[j]);
+      s1[j] = MulAdd(a1, bv, s1[j]);
+      s2[j] = MulAdd(a2, bv, s2[j]);
+      s3[j] = MulAdd(a3, bv, s3[j]);
     }
   }
 }
 
-// Edge tile with fewer than kMr rows. Same p-ordered accumulation per
+// Edge tile with fewer than kMr rows. Same p-ordered MulAdd chain per
 // element as the full tile, so edge rows match bit-for-bit.
 inline void MicroKernelEdge(Index mr, Index k, Index jw, const Real* a,
                             Index lda, const Real* b, Index ldb,
@@ -137,7 +156,7 @@ inline void MicroKernelEdge(Index mr, Index k, Index jw, const Real* a,
     for (Index r = 0; r < mr; ++r) {
       const Real av = a[r * lda + p];
       Real* srow = scratch + r * kNc;
-      for (Index j = 0; j < jw; ++j) srow[j] += av * brow[j];
+      for (Index j = 0; j < jw; ++j) srow[j] = MulAdd(av, brow[j], srow[j]);
     }
   }
 }
@@ -176,25 +195,48 @@ void GemmRowShard(Index row_begin, Index row_end, Index k, Index n,
   }
 }
 
-// One shard of rows [row_begin, row_end) of C = alpha * A * B^T + beta * C,
-// with A row-major (lda elements per row) and B given untransposed as n
-// row-major rows of width k. Instead of materializing all of B^T — an
-// O(k * n) transient that rivals the compute at catalog scale — each kNc
-// column panel of B^T (k x jw, at most k * kNc elements) is packed into
-// shard-local scratch and consumed by the same micro-kernels as the
-// untransposed path. Pack and compute deliberately live in ONE function:
-// splitting them across a call boundary costs gcc its loop fusion here
-// (~1.35x measured on the 512x64x8192 scoring shape). Redundant packing
-// across shards is bounded by the kBTMinShardRows floor in the dispatcher.
-// Accumulation stays p-ordered per output element, so results are
-// bit-identical to the materialize-then-multiply approach.
-void GemmRowShardBT(Index row_begin, Index row_end, Index k, Index n,
-                    Real alpha, const Real* a, Index lda, const Real* b,
-                    Real beta, Real* c, Index ldc) {
+// One shard of C = alpha * A * B^T + beta * C covering rows
+// [row_begin, row_end) and columns [col_begin, col_end), with A row-major
+// (lda elements per row) and B given untransposed as row-major rows of
+// width k. col_begin must lie on the global kNc panel grid (callers shard
+// either whole rows or whole panels), so a given output column is always
+// packed at the same offset of an identically-shaped panel no matter how
+// the work was split. Instead of materializing all of B^T — an O(k * n)
+// transient that rivals the compute at catalog scale — each kNc column
+// panel of B^T (k x jw, at most k * kNc elements) is packed into
+// shard-local scratch and consumed by the micro-kernel. Pack and compute
+// deliberately live in ONE function: splitting them across a call boundary
+// costs gcc its loop fusion here (~1.35x measured on the 512x64x8192
+// scoring shape).
+//
+// THE batch-size-invariance kernel: every row tile — including the ragged
+// tail, padded below with zero rows — goes through the one MicroKernel4
+// call site, so each output cell is the same p-ordered MulAdd chain over
+// its own A row and packed B column regardless of m, tile position, or
+// shard layout. noinline keeps one machine-code copy of the kernel for
+// both dispatch modes below, so even without hardware FMA (where the chain
+// is plain contractible `+  *` and therefore compiler-shaped) the two
+// modes cannot diverge.
+__attribute__((noinline)) void GemmPanelShardBT(
+    Index row_begin, Index row_end, Index col_begin, Index col_end, Index k,
+    Real alpha, const Real* a, Index lda, const Real* b, Real beta, Real* c,
+    Index ldc) {
   Real scratch[kMr * kNc];
   std::vector<Real> panel(static_cast<size_t>(k) * kNc);
-  for (Index jb = 0; jb < n; jb += kNc) {
-    const Index jw = std::min<Index>(kNc, n - jb);
+  // Pad the ragged row tile (if any) to kMr rows once per shard: zero rows
+  // contribute exact zeros to their scratch rows, which are never stored.
+  const Index ragged = (row_end - row_begin) % kMr;
+  const Index ragged_begin = row_end - ragged;
+  std::vector<Real> edge;
+  if (ragged != 0) {
+    edge.assign(static_cast<size_t>(kMr) * k, 0.0);
+    for (Index r = 0; r < ragged; ++r) {
+      const Real* src = a + (ragged_begin + r) * lda;
+      std::copy(src, src + k, edge.begin() + static_cast<size_t>(r) * k);
+    }
+  }
+  for (Index jb = col_begin; jb < col_end; jb += kNc) {
+    const Index jw = std::min<Index>(kNc, col_end - jb);
     for (Index j = 0; j < jw; ++j) {
       const Real* brow = b + (jb + j) * k;
       for (Index p = 0; p < k; ++p) {
@@ -204,14 +246,14 @@ void GemmRowShardBT(Index row_begin, Index row_end, Index k, Index n,
     const Real* bp = panel.data();
     for (Index i = row_begin; i < row_end; i += kMr) {
       const Index mr = std::min<Index>(kMr, row_end - i);
-      for (Index r = 0; r < mr; ++r) {
+      for (Index r = 0; r < kMr; ++r) {
         Real* srow = scratch + r * kNc;
         for (Index j = 0; j < jw; ++j) srow[j] = 0.0;
       }
       if (mr == kMr) {
         MicroKernel4(k, jw, a + i * lda, lda, bp, jw, scratch);
       } else {
-        MicroKernelEdge(mr, k, jw, a + i * lda, lda, bp, jw, scratch);
+        MicroKernel4(k, jw, edge.data(), k, bp, jw, scratch);
       }
       for (Index r = 0; r < mr; ++r) {
         const Real* srow = scratch + r * kNc;
@@ -220,7 +262,7 @@ void GemmRowShardBT(Index row_begin, Index row_end, Index k, Index n,
           for (Index j = 0; j < jw; ++j) crow[j] = alpha * srow[j];
         } else {
           for (Index j = 0; j < jw; ++j) {
-            crow[j] = beta * crow[j] + alpha * srow[j];
+            crow[j] = MulAdd(beta, crow[j], alpha * srow[j]);
           }
         }
       }
@@ -228,54 +270,150 @@ void GemmRowShardBT(Index row_begin, Index row_end, Index k, Index n,
   }
 }
 
-// Every shard re-packs the B^T panels it consumes, so shards must be tall
-// enough to amortize that: at >= 64 rows per shard the packing is <= ~1.6%
-// of the shard's multiply-adds for any shape.
+// Every row shard re-packs the B^T panels it consumes, so shards must be
+// tall enough to amortize that: at >= 64 rows per shard the packing is
+// <= ~1.6% of the shard's multiply-adds for any shape.
 constexpr Index kBTMinShardRows = 64;
 
-// Batch sizes up to this take the zero-copy dot-product path for A * B^T;
-// larger batches go through the panel-packed blocked kernel.
-constexpr Index kDotPathMaxRows = 32;
+#ifdef FIRZEN_HAS_HW_FMA
+// Batches up to this many rows skip panel packing entirely and run the
+// tiled dot path below; past it the packing amortizes and the panel
+// kernel wins. Purely a perf threshold — both sides accumulate the
+// identical exactly-rounded chain.
+constexpr Index kDotLanesMaxRows = 8;
+
+// One shard of the zero-pack dot path: rows [0, m) x columns
+// [col_begin, col_end) of C = alpha * A * B^T + beta * C, with R x C_
+// accumulator tiles — R*C_ independent exactly-rounded chains in flight to
+// hide fma latency, and each loaded B value reused across R rows. Row
+// remainders drop to 1 x C_ tiles, column remainders to single chains;
+// every variant computes each cell as the same p-ordered MulAdd chain, so
+// the tile shape (like everything else in the BT dispatch) is purely a
+// perf choice and cannot move a bit.
+template <int R, int C_>
+void GemmDotTileShardBT(Index m, Index k, Index col_begin, Index col_end,
+                        Real alpha, const Real* a, Index lda, const Real* b,
+                        Real beta, Real* c, Index ldc) {
+  const auto store = [&](Index i, Index j, Real acc) {
+    Real* cell = c + i * ldc + j;
+    *cell = beta == 0.0 ? alpha * acc : MulAdd(beta, *cell, alpha * acc);
+  };
+  Index j = col_begin;
+  for (; j + C_ <= col_end; j += C_) {
+    const Real* brow[C_];
+    for (int t = 0; t < C_; ++t) brow[t] = b + (j + t) * k;
+    Index i = 0;
+    for (; i + R <= m; i += R) {
+      Real acc[R][C_] = {};
+      for (Index p = 0; p < k; ++p) {
+        Real bv[C_];
+        for (int t = 0; t < C_; ++t) bv[t] = brow[t][p];
+        for (int r = 0; r < R; ++r) {
+          const Real av = a[(i + r) * lda + p];
+          for (int t = 0; t < C_; ++t) {
+            acc[r][t] = MulAdd(av, bv[t], acc[r][t]);
+          }
+        }
+      }
+      for (int r = 0; r < R; ++r) {
+        for (int t = 0; t < C_; ++t) store(i + r, j + t, acc[r][t]);
+      }
+    }
+    for (; i < m; ++i) {  // ragged rows: 1 x C_ tiles
+      const Real* arow = a + i * lda;
+      Real acc[C_] = {};
+      for (Index p = 0; p < k; ++p) {
+        const Real av = arow[p];
+        for (int t = 0; t < C_; ++t) {
+          acc[t] = MulAdd(av, brow[t][p], acc[t]);
+        }
+      }
+      for (int t = 0; t < C_; ++t) store(i, j + t, acc[t]);
+    }
+  }
+  for (; j < col_end; ++j) {  // ragged columns: single chains
+    const Real* brow = b + j * k;
+    for (Index i = 0; i < m; ++i) {
+      const Real* arow = a + i * lda;
+      Real acc = 0.0;
+      for (Index p = 0; p < k; ++p) acc = MulAdd(arow[p], brow[p], acc);
+      store(i, j, acc);
+    }
+  }
+}
+#endif
 
 // A (m x k, lda elements per row) times the transpose of n row-major rows of
 // width k at `b`, written through (ldc-strided) C. Shared by Gemm's trans_b
 // path (full matrices) and GemmBT (views over row slices).
+//
+// BATCH-SIZE INVARIANCE: c(i, j) is bit-identical for any m — a user's
+// scores do not depend on how many other users share the batch, which is
+// what lets the admission front end fuse concurrent requests with no
+// observable effect. Above the cutoff, rows shard over the panel kernel;
+// at or below it, either the zero-pack dot path runs the very same
+// per-element MulAdd chain (exactly-rounded hardware FMA, so the two
+// differently-shaped loops cannot round apart), or — without hardware FMA
+// — the panel kernel itself runs column-sharded. Either way the cutoff
+// picks a parallelization strategy, never a numerical path.
 void GemmDispatchBT(Index m, Index k, Index n, Real alpha, const Real* a,
                     Index lda, const Real* b, Real beta, Real* c, Index ldc,
                     ThreadPool* pool) {
   if (pool == nullptr) pool = ThreadPool::Global();
-  if (m <= kDotPathMaxRows) {
-    // Small-m fast path (single-user / small-batch scoring): dot products
-    // with j outer stream B exactly once while the whole A panel stays
-    // cache-resident. Columns shard across the pool; each dot is a p-ordered
-    // sum, so results stay bit-identical for any pool size.
-    const Index min_cols =
-        std::max<Index>(1, 65536 / std::max<Index>(1, m * k));
-    ParallelFor(
-        pool, n,
-        [&](Index col_begin, Index col_end) {
-          for (Index j = col_begin; j < col_end; ++j) {
-            const Real* brow = b + j * k;
-            for (Index i = 0; i < m; ++i) {
-              const Real* arow = a + i * lda;
-              Real acc = 0.0;
-              for (Index p = 0; p < k; ++p) acc += arow[p] * brow[p];
-              Real* cell = c + i * ldc + j;
-              *cell = beta == 0.0 ? alpha * acc : beta * *cell + alpha * acc;
+  if (m <= kGemmBTColumnShardMaxRows) {
+#ifdef FIRZEN_HAS_HW_FMA
+    if (m <= kDotLanesMaxRows) {
+      // Tiny batches (single-user requests): zero-pack dot products with j
+      // outer stream B exactly once while the whole A panel stays
+      // cache-resident. Columns shard across the pool; the accumulator
+      // tile adapts to the batch (wide for one row, square once there are
+      // rows to reuse B values across) without moving a bit — every cell
+      // is the one p-ordered MulAdd chain.
+      const Index min_cols =
+          std::max<Index>(1, 65536 / std::max<Index>(1, m * k));
+      ParallelFor(
+          pool, n,
+          [&](Index col_begin, Index col_end) {
+            if (m >= 4) {
+              GemmDotTileShardBT<4, 4>(m, k, col_begin, col_end, alpha, a,
+                                       lda, b, beta, c, ldc);
+            } else {
+              GemmDotTileShardBT<1, 8>(m, k, col_begin, col_end, alpha, a,
+                                       lda, b, beta, c, ldc);
             }
-          }
+          },
+          min_cols);
+      return;
+    }
+#endif
+    // Mid-size batches (and, without hardware FMA, every small batch —
+    // two differently-shaped loops cannot be pinned to one rounding
+    // there): run the one panel kernel, sharding whole kNc column panels
+    // across the pool since there are too few rows to shard. Panel
+    // boundaries stay on the global grid, which keeps the packed panel
+    // shapes — and therefore per-cell rounding — identical to the
+    // row-sharded mode.
+    const Index num_panels = (n + kNc - 1) / kNc;
+    const Index min_panels = std::max<Index>(
+        1, 65536 / std::max<Index>(1, m * k * kNc));
+    ParallelFor(
+        pool, num_panels,
+        [&](Index panel_begin, Index panel_end) {
+          GemmPanelShardBT(0, m, panel_begin * kNc,
+                           std::min(panel_end * kNc, n), k, alpha, a, lda, b,
+                           beta, c, ldc);
         },
-        min_cols);
+        min_panels);
     return;
   }
-  // Larger batches: row shards run the fused pack-and-multiply kernel. The
-  // row floor keeps the per-shard panel packing amortized (see
-  // kBTMinShardRows); peak scratch is one k x kNc panel per worker instead
-  // of the O(k * n) full transpose.
+  // Larger batches: row shards, each streaming every panel. The row floor
+  // keeps the per-shard panel packing amortized (see kBTMinShardRows);
+  // peak scratch is one k x kNc panel per worker instead of the O(k * n)
+  // full transpose.
   ParallelFor(
       pool, m,
       [&](Index begin, Index end) {
-        GemmRowShardBT(begin, end, k, n, alpha, a, lda, b, beta, c, ldc);
+        GemmPanelShardBT(begin, end, 0, n, k, alpha, a, lda, b, beta, c, ldc);
       },
       kBTMinShardRows);
 }
@@ -299,10 +437,11 @@ void Gemm(bool trans_a, bool trans_b, Real alpha, const Matrix& a,
   }
   if (m == 0 || n == 0) return;
 
-  // A * B^T never materializes B^T: GemmDispatchBT takes the zero-copy dot
-  // path for small m and packs bounded kNc-column panels of B^T otherwise.
-  // Only A is packed when transposed (rare; turns strided loads into
-  // streaming ones at an O(m*k) cost against the kernel's O(mnk)).
+  // A * B^T never materializes B^T: GemmDispatchBT packs bounded
+  // kNc-column panels of B^T inside the one batch-size-invariant kernel
+  // (column-sharded at small m, row-sharded otherwise). Only A is packed
+  // when transposed (rare; turns strided loads into streaming ones at an
+  // O(m*k) cost against the kernel's O(mnk)).
   if (trans_b) {
     const Matrix* ap = &a;
     Matrix a_packed;

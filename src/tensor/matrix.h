@@ -133,15 +133,28 @@ class MatrixView {
   Index stride_ = 0;
 };
 
+/// Batch-size cutoff for the A * B^T dispatch (Gemm's trans_b path and
+/// GemmBT): at or below this many A rows the kernel shards whole B^T column
+/// panels across the pool (few user rows, vast catalogs — row sharding has
+/// nothing to split), above it it shards rows. BOTH sides run the one
+/// panel-packed micro-kernel, so the cutoff is purely a parallelization
+/// choice: every output cell is a fixed p-ordered accumulation determined
+/// only by its own A row and B row, and scores are bit-identical no matter
+/// how many other rows share the batch. Exported so tests can pin
+/// bit-equality astride the cutoff (tests/scorer_parity_test.cc,
+/// tests/kernel_parity_test.cc).
+inline constexpr Index kGemmBTColumnShardMaxRows = 32;
+
 /// C = alpha * op(A) * op(B) + beta * C, where op is optional transpose.
 /// Shapes are checked. C must already have the correct shape when beta != 0;
 /// otherwise it is resized (uninitialized, then fully overwritten). Rows of C
 /// are sharded across `pool` (nullptr = ThreadPool::Global()); results do not
-/// depend on the pool size. The trans_b path never materializes B^T: small
-/// row counts take a zero-copy dot-product path and larger ones pack B^T
-/// one bounded kNc-column panel at a time inside each row shard, so peak
+/// depend on the pool size. The trans_b path never materializes B^T: every
+/// row shard packs B^T one bounded kNc-column panel at a time, so peak
 /// scratch is O(k * kNc) per worker instead of O(k * n), with shard height
-/// floored so the re-pack stays amortized.
+/// floored so the re-pack stays amortized; at or below
+/// kGemmBTColumnShardMaxRows rows the same kernel shards column panels
+/// instead (see above), keeping results bit-identical for any batch size.
 void Gemm(bool trans_a, bool trans_b, Real alpha, const Matrix& a,
           const Matrix& b, Real beta, Matrix* c, ThreadPool* pool = nullptr);
 
@@ -150,9 +163,10 @@ void Gemm(bool trans_a, bool trans_b, Real alpha, const Matrix& a,
 /// b_rows + j * k). This is the block-scoring kernel: a row range (or a
 /// gathered candidate pack) of an item-embedding table scores against a user
 /// batch with zero copies of the table. out must be a.rows() x n. Every
-/// output element is a straight p-ordered sum, so results are bit-identical
-/// to the full-matrix Gemm(trans_b) path for any block partitioning and any
-/// pool size.
+/// output element is a straight p-ordered sum through the one panel
+/// micro-kernel, so results are bit-identical to the full-matrix
+/// Gemm(trans_b) path for any block partitioning, any pool size, and any
+/// user-batch size (the admission front end's coalescing contract).
 void GemmBT(const Matrix& a, const Real* b_rows, Index n, MatrixView out,
             ThreadPool* pool = nullptr);
 

@@ -127,6 +127,50 @@ TEST(KernelParityTest, GemmAlphaBetaAccumulateMatchesNaive) {
   }
 }
 
+// Batch-size invariance at the tensor layer: C(i, j) of A * B^T must not
+// depend on how many rows A has. Every m below is sliced from the same
+// 130-row A, so row r of every result must match row r of the 130-row
+// reference bit-for-bit — across the lane-dot path (m <= 8), the
+// column-sharded panel path (m <= 32), the row-sharded panel path, ragged
+// row tiles (m % 4 != 0), and both pool sizes. This is the kernel half of
+// the admission-batching determinism contract (the serving half lives in
+// scorer_parity_test and serving_admission_test).
+TEST(KernelParityTest, GemmTransBIsBatchSizeInvariant) {
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  const Index k = 37;   // odd: exercises vector tails in every path
+  const Index n = 1300; // crosses two 512-column panels plus a ragged one
+  const Matrix a_full = RandomMatrix(130, k, 91);
+  const Matrix b = RandomMatrix(n, k, 92);
+  Matrix want;
+  Gemm(false, true, 1.0, a_full, b, 0.0, &want, &pool1);
+
+  for (const Index m : {Index{1}, Index{3}, Index{4}, Index{8}, Index{9},
+                        kGemmBTColumnShardMaxRows,
+                        kGemmBTColumnShardMaxRows + 1, Index{64}, Index{129}}) {
+    Matrix a(m, k);
+    for (Index i = 0; i < m; ++i) {
+      for (Index p = 0; p < k; ++p) a(i, p) = a_full(i, p);
+    }
+    for (ThreadPool* pool : {&pool1, &pool4}) {
+      Matrix got;
+      Gemm(false, true, 1.0, a, b, 0.0, &got, pool);
+      for (Index i = 0; i < m; ++i) {
+        for (Index j = 0; j < n; ++j) {
+          ASSERT_EQ(got(i, j), want(i, j))
+              << "m=" << m << " pool=" << pool->num_threads();
+        }
+      }
+      // The zero-copy scoring entry point must hold to the same contract.
+      Matrix via_bt(m, n);
+      GemmBT(a, b.row(0), n, MatrixView(&via_bt), pool);
+      for (Index i = 0; i < via_bt.size(); ++i) {
+        ASSERT_EQ(via_bt.data()[i], got.data()[i]) << "m=" << m;
+      }
+    }
+  }
+}
+
 TEST(KernelParityTest, GemmBTBlockSlicesMatchFullTransB) {
   ThreadPool pool1(1);
   ThreadPool pool4(4);

@@ -1,9 +1,17 @@
 // ScoreBlock parity suite: for every registered model, block-streamed
 // scores must be bit-identical to the legacy full-matrix Score() for any
 // block partitioning {1, 7, 64, num_items}, any candidate gather, and user
-// batches on both sides of the Gemm dot-path/panel-path boundary. This is
-// the contract that lets the evaluator and the serving engine stream
+// batches on both sides of the Gemm small-batch/panel-path boundary. This
+// is the contract that lets the evaluator and the serving engine stream
 // bounded panels without ever materializing the catalog-wide matrix.
+//
+// The suite also pins BATCH-SIZE INVARIANCE: a user's scores are
+// bit-identical whether they are computed in a batch of 1, of
+// kGemmBTColumnShardMaxRows, of kGemmBTColumnShardMaxRows + 1, or of 256 —
+// for every registered model. This retired the historical "scores across
+// different user-batch sizes may differ in the last ulp" caveat and is
+// what makes admission batching (src/eval/admission.h) observably
+// side-effect-free.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -12,6 +20,7 @@
 
 #include "src/data/synthetic.h"
 #include "src/models/registry.h"
+#include "src/tensor/matrix.h"
 #include "src/util/logging.h"
 
 namespace firzen {
@@ -43,8 +52,8 @@ TEST_P(ScorerParityTest, BlockStreamMatchesLegacyScoreBitExact) {
   ASSERT_NE(model, nullptr) << GetParam().name;
   model->Fit(dataset, ParityTrainOptions());
 
-  // 40 users crosses the small-batch dot-product path (m <= 32) into the
-  // panel-packed blocked kernel; 5 users stays on the dot path.
+  // 40 users crosses the small-batch dispatch (m <= 32) into the
+  // row-sharded panel kernel; 5 users stays on the small-batch side.
   for (const size_t batch_users : {size_t{5}, size_t{40}}) {
     std::vector<Index> users;
     for (size_t u = 0; u < batch_users; ++u) {
@@ -97,6 +106,69 @@ TEST_P(ScorerParityTest, BlockStreamMatchesLegacyScoreBitExact) {
         ASSERT_EQ(gathered(static_cast<Index>(r), static_cast<Index>(j)),
                   full(static_cast<Index>(r), candidates[j]))
             << GetParam().name << " candidate " << candidates[j];
+      }
+    }
+  }
+}
+
+// Batch-size invariance: scoring the same user in batches of different
+// sizes — spanning the Gemm lane-dot / column-panel / row-panel dispatch
+// boundaries — must agree bit-for-bit row by row. The 256-user batch is
+// the reference; every smaller batch is a prefix of the same user list,
+// so row r always names the same user.
+TEST_P(ScorerParityTest, ScoresAreBatchSizeInvariantBitExact) {
+  SetLogLevel(LogLevel::kError);
+  const Dataset& dataset = ParityDataset();
+  auto model = CreateModel(GetParam().name);
+  ASSERT_NE(model, nullptr) << GetParam().name;
+  model->Fit(dataset, ParityTrainOptions());
+  const auto scorer = model->MakeScorer();
+
+  std::vector<Index> all_users;
+  for (size_t u = 0; u < 256; ++u) {
+    all_users.push_back(static_cast<Index>(
+        (u * 7) % static_cast<size_t>(dataset.num_users)));
+  }
+  const ItemBlock catalog{0, dataset.num_items};
+  Matrix want(256, dataset.num_items);
+  {
+    ScoringArena arena;
+    scorer->ScoreBlock(all_users, catalog, MatrixView(&want), &arena);
+  }
+
+  // Candidate gathers must be batch-size-invariant too (the explicit-pool
+  // serving path).
+  std::vector<Index> candidates;
+  for (Index i = 0; i < dataset.num_items; i += 11) candidates.push_back(i);
+  Matrix want_candidates(256, static_cast<Index>(candidates.size()));
+  {
+    ScoringArena arena;
+    scorer->ScoreCandidates(all_users, candidates,
+                            MatrixView(&want_candidates), &arena);
+  }
+
+  for (const Index batch : {Index{1}, kGemmBTColumnShardMaxRows,
+                            kGemmBTColumnShardMaxRows + 1, Index{256}}) {
+    const std::vector<Index> users(all_users.begin(),
+                                   all_users.begin() + batch);
+    ScoringArena arena;
+    Matrix got(batch, dataset.num_items);
+    scorer->ScoreBlock(users, catalog, MatrixView(&got), &arena);
+    for (Index r = 0; r < batch; ++r) {
+      for (Index i = 0; i < dataset.num_items; ++i) {
+        ASSERT_EQ(got(r, i), want(r, i))
+            << GetParam().name << " batch=" << batch << " row=" << r
+            << " item=" << i;
+      }
+    }
+    Matrix got_candidates(batch, static_cast<Index>(candidates.size()));
+    scorer->ScoreCandidates(users, candidates, MatrixView(&got_candidates),
+                            &arena);
+    for (Index r = 0; r < batch; ++r) {
+      for (Index j = 0; j < got_candidates.cols(); ++j) {
+        ASSERT_EQ(got_candidates(r, j), want_candidates(r, j))
+            << GetParam().name << " batch=" << batch << " row=" << r
+            << " candidate=" << j;
       }
     }
   }

@@ -1,0 +1,333 @@
+// AdmissionController suite: coalescing concurrent Recommend calls into
+// fused user batches must be observably side-effect-free — every response
+// bit-identical to the engine serving that request alone — because scores
+// are batch-size-invariant (src/tensor/matrix.h) and requests ride private
+// heaps. Also pins the dispatcher mechanics (size bound, wait bound,
+// leader hand-off, stats) and the engine AttachAdmission routing. The
+// multi-threaded stresses here run under the -DFIRZEN_SANITIZE=thread pass
+// of tools/run_checks.sh (the -R filter matches this binary), making the
+// ticket queue and leader-follower hand-off data-race canaries.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/eval/admission.h"
+#include "src/eval/serving.h"
+#include "src/eval/sharded_serving.h"
+#include "src/models/serialize.h"
+#include "src/util/rng.h"
+
+namespace firzen {
+namespace {
+
+constexpr Index kUsers = 48;
+constexpr Index kItems = 2500;
+constexpr Index kDim = 16;
+
+Matrix RandomEmb(Index rows, Index cols, uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  m.FillNormal(&rng, 1.0);
+  return m;
+}
+
+class AdmissionFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_.num_users = kUsers;
+    dataset_.num_items = kItems;
+    dataset_.is_cold_item.assign(static_cast<size_t>(kItems), false);
+    for (Index i = 0; i < kItems; i += 7) {
+      dataset_.is_cold_item[static_cast<size_t>(i)] = true;
+    }
+    Rng rng(11);
+    for (Index u = 0; u < kUsers; ++u) {
+      for (int t = 0; t < 12; ++t) {
+        dataset_.train.push_back({u, rng.UniformInt(kItems)});
+      }
+    }
+    model_ = std::make_unique<StaticRecommender>(
+        "admission", RandomEmb(kUsers, kDim, 1), RandomEmb(kItems, kDim, 2));
+  }
+
+  // A mixed-traffic request list: full-catalog, explicit pools (equal,
+  // unequal, duplicated entries), custom exclusions, the cold shelf, and
+  // varying k — every batching mode the fused pass can take.
+  std::vector<RecRequest> MixedRequests() const {
+    std::vector<RecRequest> requests;
+    Rng rng(23);
+    for (Index u = 0; u < 20; ++u) {
+      RecRequest request;
+      request.user = u % kUsers;
+      request.k = 5 + (u % 3) * 10;
+      switch (u % 5) {
+        case 0:
+          break;  // full catalog
+        case 1:
+          for (int j = 0; j < 40; ++j) {
+            request.candidates.push_back(rng.UniformInt(kItems));
+          }
+          break;
+        case 2:
+          request.candidates = {5, 9, 9, 123, 777, 5};  // dups
+          break;
+        case 3:
+          request.exclusion = ExclusionPolicy::kCustom;
+          request.exclude = {1, 2, 3, 2};
+          break;
+        case 4:
+          request.cold_only = true;
+          break;
+      }
+      requests.push_back(std::move(request));
+    }
+    return requests;
+  }
+
+  static void ExpectSameResponse(const RecResponse& got,
+                                 const RecResponse& want, size_t tag) {
+    ASSERT_EQ(got.user, want.user) << tag;
+    ASSERT_EQ(got.items.size(), want.items.size()) << tag;
+    for (size_t j = 0; j < want.items.size(); ++j) {
+      ASSERT_EQ(got.items[j].item, want.items[j].item) << tag << " rank " << j;
+      ASSERT_EQ(got.items[j].score, want.items[j].score)
+          << tag << " rank " << j;
+    }
+  }
+
+  Dataset dataset_;
+  std::unique_ptr<StaticRecommender> model_;
+};
+
+// The coalescing contract itself: a request fused with arbitrary co-riders
+// answers bit-identically to the same request served alone.
+TEST_F(AdmissionFixture, FusedBatchesMatchServingAloneBitExact) {
+  const ServingEngine engine(model_.get(), dataset_);
+  AdmissionOptions options;
+  options.max_batch = 8;  // force splitting across several fused passes
+  options.max_wait_us = 0;
+  const AdmissionController admission(&engine, options);
+
+  const std::vector<RecRequest> requests = MixedRequests();
+  const auto fused = admission.RecommendBatch(requests);
+  ASSERT_EQ(fused.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const RecResponse alone = engine.RecommendBatchDirect({requests[i]})[0];
+    ExpectSameResponse(fused[i], alone, i);
+  }
+  EXPECT_EQ(admission.admitted_requests(), requests.size());
+}
+
+// Single-caller dispatch is deterministic: a 10-request batch under a
+// 4-user size bound drains FIFO into fused passes of 4, 4, 2.
+TEST_F(AdmissionFixture, SizeBoundSplitsDeterministically) {
+  const ServingEngine engine(model_.get(), dataset_);
+  AdmissionOptions options;
+  options.max_batch = 4;
+  options.max_wait_us = 0;
+  const AdmissionController admission(&engine, options);
+
+  std::vector<RecRequest> requests(10);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    requests[i].user = static_cast<Index>(i) % kUsers;
+    requests[i].k = 7;
+  }
+  const auto responses = admission.RecommendBatch(requests);
+  ASSERT_EQ(responses.size(), 10u);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(responses[i].user, requests[i].user) << i;
+  }
+  EXPECT_EQ(admission.admitted_requests(), 10u);
+  EXPECT_EQ(admission.fused_batches(), 3u);
+}
+
+// max_batch = 1 is the A/B baseline: every request runs alone.
+TEST_F(AdmissionFixture, MaxBatchOneServesEveryRequestAlone) {
+  const ServingEngine engine(model_.get(), dataset_);
+  AdmissionOptions options;
+  options.max_batch = 1;
+  options.max_wait_us = 0;
+  const AdmissionController admission(&engine, options);
+  std::vector<RecRequest> requests(5);
+  for (size_t i = 0; i < requests.size(); ++i) requests[i].user = 3;
+  admission.RecommendBatch(requests);
+  EXPECT_EQ(admission.fused_batches(), 5u);
+}
+
+// The wait bound must release an unfilled batch: a lone request returns
+// (correctly) even though no co-rider ever arrives.
+TEST_F(AdmissionFixture, WaitBoundReleasesLoneRequest) {
+  const ServingEngine engine(model_.get(), dataset_);
+  AdmissionOptions options;
+  options.max_batch = 64;
+  options.max_wait_us = 10000;  // 10ms: long enough to prove we waited out
+  const AdmissionController admission(&engine, options);
+  RecRequest request;
+  request.user = 1;
+  request.k = 9;
+  const RecResponse got = admission.Recommend(request);
+  const RecResponse want = engine.RecommendBatchDirect({request})[0];
+  ExpectSameResponse(got, want, 0);
+  EXPECT_EQ(admission.fused_batches(), 1u);
+}
+
+// Engine routing: once attached, the engine's own entry points go through
+// the controller; detaching restores the direct path.
+TEST_F(AdmissionFixture, EngineRoutesThroughAttachedController) {
+  ServingEngine engine(model_.get(), dataset_);
+  AdmissionOptions options;
+  options.max_wait_us = 0;
+  const AdmissionController admission(&engine, options);
+  EXPECT_EQ(engine.admission(), nullptr);
+  engine.AttachAdmission(&admission);
+  EXPECT_EQ(engine.admission(), &admission);
+
+  RecRequest request;
+  request.user = 2;
+  request.k = 4;
+  const RecResponse via_engine = engine.Recommend(request);
+  EXPECT_EQ(admission.admitted_requests(), 1u);
+  const auto batch = engine.RecommendBatch({request, request});
+  EXPECT_EQ(admission.admitted_requests(), 3u);
+  ExpectSameResponse(batch[0], via_engine, 0);
+
+  engine.AttachAdmission(nullptr);
+  engine.Recommend(request);
+  EXPECT_EQ(admission.admitted_requests(), 3u);  // direct path again
+}
+
+// The sharded front end admits identically: fused responses match the
+// sharded engine's own direct answers (which in turn match the single
+// engine by the shard-invariance contract).
+TEST_F(AdmissionFixture, ShardedEngineAdmissionParity) {
+  ShardedServingOptions sharded_options;
+  sharded_options.num_shards = 3;
+  ShardedServingEngine engine(model_.get(), dataset_, sharded_options);
+  AdmissionOptions options;
+  options.max_batch = 6;
+  options.max_wait_us = 0;
+  const AdmissionController admission(&engine, options);
+  engine.AttachAdmission(&admission);
+
+  const std::vector<RecRequest> requests = MixedRequests();
+  const auto fused = engine.RecommendBatch(requests);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const RecResponse alone = engine.RecommendBatchDirect({requests[i]})[0];
+    ExpectSameResponse(fused[i], alone, i);
+  }
+}
+
+// A throwing custom backend (the engines' direct paths never throw) must
+// not strand tickets or poison the queue: the dispatching caller sees the
+// backend's exception and the controller keeps serving afterwards.
+TEST_F(AdmissionFixture, ThrowingBackendSurfacesAndRecovers) {
+  const ServingEngine engine(model_.get(), dataset_);
+  int calls = 0;
+  AdmissionOptions options;
+  options.max_wait_us = 0;
+  const AdmissionController admission(
+      [&](const std::vector<RecRequest>& requests) {
+        if (calls++ == 0) throw std::runtime_error("backend down");
+        return engine.RecommendBatchDirect(requests);
+      },
+      options);
+  RecRequest request;
+  request.user = 1;
+  request.k = 3;
+  EXPECT_THROW(admission.Recommend(request), std::runtime_error);
+  // The queue is consistent after the failure: the next request serves.
+  const RecResponse got = admission.Recommend(request);
+  const RecResponse want = engine.RecommendBatchDirect({request})[0];
+  ExpectSameResponse(got, want, 0);
+  EXPECT_EQ(admission.fused_batches(), 2u);
+}
+
+TEST_F(AdmissionFixture, EmptyBatchIsANoOp) {
+  const ServingEngine engine(model_.get(), dataset_);
+  const AdmissionController admission(&engine);
+  EXPECT_TRUE(admission.RecommendBatch({}).empty());
+  EXPECT_EQ(admission.admitted_requests(), 0u);
+  EXPECT_EQ(admission.fused_batches(), 0u);
+}
+
+// The concurrency stress (TSan canary): many threads hammer one attached
+// engine with single requests and small batches; every answer must match
+// the direct single-request reference bit-exactly, no matter how tickets
+// interleaved into fused batches, and the controller must actually have
+// coalesced or split work (dispatch bookkeeping stays consistent).
+TEST_F(AdmissionFixture, ConcurrentCallersGetBitExactAnswers) {
+  ServingEngine engine(model_.get(), dataset_);
+  AdmissionOptions options;
+  options.max_batch = 16;
+  options.max_wait_us = 300;
+  const AdmissionController admission(&engine, options);
+  engine.AttachAdmission(&admission);
+
+  const std::vector<RecRequest> requests = MixedRequests();
+  std::vector<RecResponse> reference;
+  reference.reserve(requests.size());
+  for (const RecRequest& request : requests) {
+    reference.push_back(engine.RecommendBatchDirect({request})[0]);
+  }
+
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        // Walk the request list from a thread-specific offset: singles...
+        for (size_t s = 0; s < requests.size(); ++s) {
+          const size_t i = (s + static_cast<size_t>(t) * 3) % requests.size();
+          const RecResponse got = engine.Recommend(requests[i]);
+          const RecResponse& want = reference[i];
+          if (got.user != want.user || got.items.size() != want.items.size()) {
+            ++mismatches;
+            continue;
+          }
+          for (size_t j = 0; j < want.items.size(); ++j) {
+            if (got.items[j].item != want.items[j].item ||
+                got.items[j].score != want.items[j].score) {
+              ++mismatches;
+              break;
+            }
+          }
+        }
+        // ... then a whole batch through the same admission queue.
+        const auto batch = engine.RecommendBatch(requests);
+        for (size_t i = 0; i < requests.size(); ++i) {
+          if (batch[i].items.size() != reference[i].items.size()) {
+            ++mismatches;
+            continue;
+          }
+          for (size_t j = 0; j < reference[i].items.size(); ++j) {
+            if (batch[i].items[j].item != reference[i].items[j].item ||
+                batch[i].items[j].score != reference[i].items[j].score) {
+              ++mismatches;
+              break;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const uint64_t expected_requests =
+      static_cast<uint64_t>(kThreads) * kRounds * 2 * requests.size();
+  EXPECT_EQ(admission.admitted_requests(), expected_requests);
+  EXPECT_GE(admission.fused_batches(), 1u);
+  // Every admitted ticket was served by exactly one fused pass, and no
+  // pass exceeded the size bound.
+  EXPECT_LE(admission.fused_batches(), expected_requests);
+}
+
+}  // namespace
+}  // namespace firzen

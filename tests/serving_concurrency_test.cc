@@ -108,13 +108,11 @@ void ExpectSameResponse(const RecResponse& got, const RecResponse& want,
 // Hammers `engine` from `num_threads` threads (single Recommend calls plus
 // whole-batch RecommendBatch calls, each thread walking the request list
 // from a different offset) and checks every answer bit-exactly against the
-// single-threaded reference OF THE SAME CALL SHAPE. Singles compare against
-// single-thread singles and the batch against a single-thread batch:
-// serving is bit-deterministic for a fixed request batch (any thread
-// interleaving, pool size, or item_block), while scores across different
-// user-batch sizes may differ in the last ulp because the Gemm kernel's
-// small-batch dot path and panel-packed path round differently (the m <= 32
-// cutoff — see scorer_parity_test, which pins both sides per batch).
+// single-threaded reference: serving is bit-deterministic for any thread
+// interleaving, pool size, item_block — and, since the Gemm kernel became
+// batch-size-invariant (scorer_parity_test pins it per model), for any
+// request-batch shape, so the single-request and whole-batch references
+// must themselves agree bit-for-bit (asserted below before the stress).
 template <typename Engine>
 void StressEngine(const Engine& engine, int num_threads, int rounds) {
   const std::vector<RecRequest> requests = MixedRequests();
@@ -125,6 +123,12 @@ void StressEngine(const Engine& engine, int num_threads, int rounds) {
   }
   const std::vector<RecResponse> batch_reference =
       engine.RecommendBatch(requests);
+  // Cross-shape determinism: a request answers identically alone or fused
+  // into the whole batch (the admission front end's coalescing contract).
+  ASSERT_EQ(batch_reference.size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    ExpectSameResponse(batch_reference[i], reference[i], i);
+  }
 
   std::atomic<int> mismatches{0};
   std::vector<std::thread> threads;

@@ -1,8 +1,7 @@
 // Serving and serialization tests: embedding save/load round trips, the
-// StaticRecommender scoring contract, ServingEngine request/response
+// StaticRecommender scoring contract, and ServingEngine request/response
 // semantics (exclusion policies, candidate pools, cold shelf, fused-stream
-// parity with the materialized legacy path), and the deprecated
-// ServingIndex shim.
+// parity with the materialized legacy path).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -102,6 +101,18 @@ TEST(SerializeTest, SaveRejectsEmptyOrMismatchedEmbeddings) {
           .ok());
 }
 
+// Top-k items for one user through the engine, best first — the shape of
+// the retired ServingIndex::TopK entry point, which these regression tests
+// predate. Train-seen exclusion (the engine default) applies.
+std::vector<Recommendation> TopK(const ServingEngine& engine, Index user,
+                                 Index k, std::vector<Index> candidates = {}) {
+  RecRequest request;
+  request.user = user;
+  request.k = k;
+  request.candidates = std::move(candidates);
+  return engine.Recommend(request).items;
+}
+
 class ServingFixture : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -126,8 +137,8 @@ class ServingFixture : public ::testing::Test {
 };
 
 TEST_F(ServingFixture, ExcludesTrainItems) {
-  ServingIndex index(model_.get(), dataset_);
-  const auto recs = index.TopK(0, 6);
+  ServingEngine engine(model_.get(), dataset_);
+  const auto recs = TopK(engine, 0, 6);
   // User 0 interacted with items 0 and 1 -> never recommended.
   for (const Recommendation& rec : recs) {
     EXPECT_NE(rec.item, 0);
@@ -137,8 +148,8 @@ TEST_F(ServingFixture, ExcludesTrainItems) {
 }
 
 TEST_F(ServingFixture, ReturnsBestFirst) {
-  ServingIndex index(model_.get(), dataset_);
-  const auto recs = index.TopK(2, 3);
+  ServingEngine engine(model_.get(), dataset_);
+  const auto recs = TopK(engine, 2, 3);
   ASSERT_EQ(recs.size(), 3u);
   EXPECT_GE(recs[0].score, recs[1].score);
   EXPECT_GE(recs[1].score, recs[2].score);
@@ -147,9 +158,8 @@ TEST_F(ServingFixture, ReturnsBestFirst) {
 }
 
 TEST_F(ServingFixture, CandidateRestrictionHonored) {
-  ServingIndex index(model_.get(), dataset_);
-  const std::vector<Index> shelf{3, 5};
-  const auto recs = index.TopK(1, 10, shelf);
+  ServingEngine engine(model_.get(), dataset_);
+  const auto recs = TopK(engine, 1, 10, {3, 5});
   ASSERT_EQ(recs.size(), 2u);
   for (const Recommendation& rec : recs) {
     EXPECT_TRUE(rec.item == 3 || rec.item == 5);
@@ -157,14 +167,19 @@ TEST_F(ServingFixture, CandidateRestrictionHonored) {
 }
 
 TEST_F(ServingFixture, BatchMatchesSingle) {
-  ServingIndex index(model_.get(), dataset_);
-  const auto batch = index.TopKBatch({0, 1, 2}, 3);
+  ServingEngine engine(model_.get(), dataset_);
+  std::vector<RecRequest> requests(3);
+  for (Index u = 0; u < 3; ++u) {
+    requests[static_cast<size_t>(u)].user = u;
+    requests[static_cast<size_t>(u)].k = 3;
+  }
+  const auto batch = engine.RecommendBatch(requests);
   ASSERT_EQ(batch.size(), 3u);
   for (Index u = 0; u < 3; ++u) {
-    const auto single = index.TopK(u, 3);
-    ASSERT_EQ(batch[static_cast<size_t>(u)].size(), single.size());
+    const auto single = TopK(engine, u, 3);
+    ASSERT_EQ(batch[static_cast<size_t>(u)].items.size(), single.size());
     for (size_t k = 0; k < single.size(); ++k) {
-      EXPECT_EQ(batch[static_cast<size_t>(u)][k].item, single[k].item);
+      EXPECT_EQ(batch[static_cast<size_t>(u)].items[k].item, single[k].item);
     }
   }
 }
@@ -173,21 +188,21 @@ TEST_F(ServingFixture, BatchMatchesSingle) {
 // read past the retained heap entries. ---
 
 TEST_F(ServingFixture, KLargerThanCandidatePoolReturnsShortList) {
-  ServingIndex index(model_.get(), dataset_);
-  const auto recs = index.TopK(2, 100, {3, 5});
+  ServingEngine engine(model_.get(), dataset_);
+  const auto recs = TopK(engine, 2, 100, {3, 5});
   ASSERT_EQ(recs.size(), 2u);
   EXPECT_GE(recs[0].score, recs[1].score);
 }
 
 TEST_F(ServingFixture, UserWhoSawEveryCandidateGetsEmptyList) {
   // User 0 trained on items 0 and 1; restrict the pool to exactly those.
-  ServingIndex index(model_.get(), dataset_);
-  EXPECT_TRUE(index.TopK(0, 3, {0, 1}).empty());
+  ServingEngine engine(model_.get(), dataset_);
+  EXPECT_TRUE(TopK(engine, 0, 3, {0, 1}).empty());
 }
 
 TEST_F(ServingFixture, KLargerThanUnseenCatalogReturnsAllUnseen) {
-  ServingIndex index(model_.get(), dataset_);
-  const auto recs = index.TopK(0, 1000);
+  ServingEngine engine(model_.get(), dataset_);
+  const auto recs = TopK(engine, 0, 1000);
   EXPECT_EQ(recs.size(), 4u);  // 6 items minus the 2 train-seen
 }
 
@@ -474,8 +489,8 @@ TEST(ServingIntegrationTest, ColdShelfRecommendationsWork) {
   model->Fit(dataset, options);
   model->PrepareColdInference(dataset);
 
-  ServingIndex index(model.get(), dataset);
-  const auto recs = index.TopK(0, 5, dataset.ColdItems());
+  ServingEngine engine(model.get(), dataset);
+  const auto recs = TopK(engine, 0, 5, dataset.ColdItems());
   ASSERT_EQ(recs.size(), 5u);
   for (const Recommendation& rec : recs) {
     EXPECT_TRUE(dataset.is_cold_item[static_cast<size_t>(rec.item)]);

@@ -281,11 +281,11 @@ TEST(ShardedServingTest, DotProductResponsesInvariantAcrossShardCounts) {
     EXPECT_EQ(engine.num_shards(), std::min<Index>(shards, kItems));
     ExpectBitIdentical(engine.RecommendBatch(requests), want,
                        "shards=" + std::to_string(shards) + " batch");
-    // Single-request path merges identically. Compare against the
-    // single-request reference OF THE SAME CALL SHAPE: scores across
-    // different user-batch sizes may differ in the last ulp (the Gemm
-    // batch-position rounding caveat — see docs/serving.md), so the
-    // shard-invariance contract is per fixed request batch.
+    // Single-request path merges identically. (Scores are bit-identical
+    // across user-batch sizes too — the Gemm batch-size-invariance
+    // contract, pinned by scorer_parity_test — so comparing singles
+    // against the batch reference would also hold; same-shape comparison
+    // kept for symmetry.)
     for (size_t i = 0; i < requests.size(); i += 7) {
       const RecResponse single = engine.Recommend(requests[i]);
       ExpectBitIdentical({single}, {reference.Recommend(requests[i])},
@@ -398,11 +398,12 @@ TEST(ShardedServingTest, NaNScoresNeverSurviveTheMergeForAnyShardCount) {
 
 // Regression: the explicit-pool scoring USER batch must come from the FULL
 // pools, not from what intersects each shard. 40 explicit requests put the
-// single engine's union batch on the Gemm panel path (m > 32); 36 of the
-// pools live entirely in the first half of the catalog, so a shard that
-// naively batched only in-range requests would score the second half with
-// 4 users (m <= 32, dot path) and could differ in the last ulp. Responses
-// must stay bit-identical anyway.
+// single engine's union batch on the Gemm row-sharded panel path (m > 32);
+// 36 of the pools live entirely in the first half of the catalog, so a
+// shard that naively batched only in-range requests would score the second
+// half with 4 users (m <= 32). The batch-size-invariant kernel means that
+// can no longer bend a bit, but the planned user batch is still the
+// contract RankRequestsInRange documents — keep it pinned.
 TEST(ShardedServingTest, ShardLocalPoolsNeverShrinkTheScoringUserBatch) {
   const Dataset dataset = ShardDataset();
   // Wide embeddings: long dot products are where the Gemm paths' rounding

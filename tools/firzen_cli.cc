@@ -10,7 +10,7 @@
 //
 //   firzen_cli recommend --embeddings model.fzem --user ID [--k 10]
 //              [--exclude 3,17,42] [--users 1,2,3 [--serve-threads 4]]
-//              [--shards 4]
+//              [--shards 4] [--admission-batch 64 [--admission-wait-us 200]]
 //       Serve top-K recommendations from a serialized model through the
 //       block-streaming ServingEngine. --users serves several users over
 //       ONE shared engine; --serve-threads answers them from concurrent
@@ -18,7 +18,11 @@
 //       identical for any thread count). --shards N partitions the item
 //       catalog across N sibling shard views (ShardedServingEngine) with a
 //       bit-exact top-K merge — responses are identical for any shard
-//       count.
+//       count. --admission-batch N (with N > 1) attaches an
+//       AdmissionController: concurrent requests coalesce into fused user
+//       batches of up to N, each request waiting at most
+//       --admission-wait-us microseconds for co-riders — responses are
+//       bit-identical with admission on or off, for any batch/wait bound.
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -31,6 +35,7 @@
 #include "src/data/io.h"
 #include "src/data/split.h"
 #include "src/data/synthetic.h"
+#include "src/eval/admission.h"
 #include "src/eval/serving.h"
 #include "src/eval/sharded_serving.h"
 #include "src/models/registry.h"
@@ -210,6 +215,28 @@ int RunTrain(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// Parses an integer flag with a lower bound into *out (left at its default
+// when the flag is absent); returns false (and reports) on bad values.
+bool ParseIntFlag(const std::map<std::string, std::string>& flags,
+                  const std::string& name, long long min_value,
+                  long long* out) {
+  const auto it = flags.find(name);
+  if (it == flags.end()) return true;
+  try {
+    size_t used = 0;
+    const long long parsed = std::stoll(it->second, &used);
+    if (used != it->second.size() || parsed < min_value) {
+      throw std::invalid_argument(it->second);
+    }
+    *out = parsed;
+    return true;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "--%s expects an integer >= %lld, got '%s'\n",
+                 name.c_str(), min_value, it->second.c_str());
+    return false;
+  }
+}
+
 // Parses "3,17,42" into ids; returns false (and reports) on bad tokens.
 bool ParseIdList(const std::string& flag_name, const std::string& value,
                  std::vector<Index>* out) {
@@ -251,27 +278,38 @@ int RunRecommend(const std::map<std::string, std::string>& flags) {
   // --shards N partitions the catalog across N sibling shard views; the
   // merged responses are bit-identical to the single-engine path, so the
   // flag only changes how the work is laid out, never what is served.
-  int shards = 1;
-  try {
-    const std::string value = FlagOr(flags, "shards", "1");
-    size_t used = 0;
-    shards = std::stoi(value, &used);
-    if (used != value.size() || shards < 1) {
-      throw std::invalid_argument(value);
-    }
-  } catch (const std::exception&) {
-    std::fprintf(stderr, "--shards expects a positive integer\n");
-    return 2;
-  }
+  long long shards = 1;
+  if (!ParseIntFlag(flags, "shards", 1, &shards)) return 2;
   // One shard IS the single-engine path (bit-identical by the shard
   // invariance contract), so one engine type serves every --shards value.
   ShardedServingOptions engine_options;
-  engine_options.num_shards = shards;
-  const ShardedServingEngine engine(loaded.value().get(), empty,
-                                    engine_options);
+  engine_options.num_shards = static_cast<Index>(shards);
+  ShardedServingEngine engine(loaded.value().get(), empty, engine_options);
+
+  // --admission-batch N > 1 fronts the engine with an AdmissionController:
+  // concurrent requests coalesce into fused user batches (one catalog
+  // stream per batch). Bit-identical output with admission on or off, for
+  // any batch size or wait bound — the flags are pure perf knobs.
+  long long admission_batch = 0;
+  long long admission_wait_us = 200;
+  if (!ParseIntFlag(flags, "admission-batch", 0, &admission_batch) ||
+      !ParseIntFlag(flags, "admission-wait-us", 0, &admission_wait_us)) {
+    return 2;
+  }
+  std::unique_ptr<AdmissionController> admission;  // detached after serving
+  if (admission_batch > 1) {
+    AdmissionOptions admission_options;
+    admission_options.max_batch = static_cast<Index>(admission_batch);
+    admission_options.max_wait_us = admission_wait_us;
+    admission =
+        std::make_unique<AdmissionController>(&engine, admission_options);
+    engine.AttachAdmission(admission.get());
+  }
 
   RecRequest prototype;
-  prototype.k = static_cast<Index>(std::stol(FlagOr(flags, "k", "10")));
+  long long k = 10;
+  if (!ParseIntFlag(flags, "k", 1, &k)) return 2;
+  prototype.k = static_cast<Index>(k);
   // A serialized model carries no training interactions, so exclusions are
   // whatever the caller passes explicitly.
   const std::string exclude = FlagOr(flags, "exclude", "");
@@ -285,8 +323,9 @@ int RunRecommend(const std::map<std::string, std::string>& flags) {
   if (!users_flag.empty()) {
     if (!ParseIdList("--users", users_flag, &users)) return 2;
   } else {
-    users.push_back(
-        static_cast<Index>(std::stoll(FlagOr(flags, "user", "0"))));
+    long long user = 0;
+    if (!ParseIntFlag(flags, "user", 0, &user)) return 2;
+    users.push_back(static_cast<Index>(user));
   }
   std::vector<RecRequest> requests;
   for (Index user : users) {
@@ -297,20 +336,12 @@ int RunRecommend(const std::map<std::string, std::string>& flags) {
 
   // One shared engine answers every request. With --serve-threads N the
   // requests fan out over N concurrent threads — the engine's thread-safety
-  // contract guarantees responses identical to the serial path.
+  // contract guarantees responses identical to the serial path (and with
+  // admission attached, the concurrent singles coalesce into fused
+  // batches, still bit-identically).
   std::vector<RecResponse> responses(requests.size());
-  int serve_threads = 1;
-  try {
-    const std::string value = FlagOr(flags, "serve-threads", "1");
-    size_t used = 0;
-    serve_threads = std::stoi(value, &used);
-    if (used != value.size() || serve_threads < 1) {
-      throw std::invalid_argument(value);
-    }
-  } catch (const std::exception&) {
-    std::fprintf(stderr, "--serve-threads expects a positive integer\n");
-    return 2;
-  }
+  long long serve_threads = 1;
+  if (!ParseIntFlag(flags, "serve-threads", 1, &serve_threads)) return 2;
   if (serve_threads > 1 && requests.size() > 1) {
     std::vector<std::thread> threads;
     const size_t n = static_cast<size_t>(serve_threads);
@@ -325,6 +356,9 @@ int RunRecommend(const std::map<std::string, std::string>& flags) {
   } else {
     responses = engine.RecommendBatch(requests);
   }
+  // All requests answered: detach before the controller (destroyed first,
+  // being declared later) leaves the engine with a dangling pointer.
+  if (admission != nullptr) engine.AttachAdmission(nullptr);
 
   const bool tag_user = requests.size() > 1;
   for (const RecResponse& response : responses) {

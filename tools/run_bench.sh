@@ -4,11 +4,16 @@
 # bench_kernels plus the end-to-end serving cases from bench_serving —
 # fused ScoreBlock+TopK vs. materialize-then-rank, BM_ServingConcurrent
 # (1/2/4 request threads against ONE shared ServingEngine) charting the
-# shared-engine throughput scaling, and BM_ServingSharded (1/2/4 catalog
+# shared-engine throughput scaling, BM_ServingSharded (1/2/4 catalog
 # shards x 1/4 request threads against ONE shared ShardedServingEngine,
 # parity-checked against the single engine at startup) charting what the
-# sharded merge costs and parallel shard ranking buys — appended into one
-# file.
+# sharded merge costs and parallel shard ranking buys, and
+# BM_ServingAdmission (8 concurrent single-request threads, admission
+# coalescing off/on, parity-gated, with p50/p95/p99 per-request latency
+# counters) charting the admission-batching win — appended into one file.
+# The JSON context block records FIRZEN_NUM_THREADS, the git commit, and
+# the build type, so entries stay attributable when BENCH_kernels.json
+# accumulates runs from different hosts and revisions.
 #
 # Usage:
 #   tools/run_bench.sh                    # full sweep, JSON + console
@@ -47,29 +52,57 @@ cmake --build "${BUILD_DIR}" -j --target bench_kernels --target bench_serving \
   --benchmark_out_format=json \
   "$@"
 
-# End-to-end serving, including the concurrent shared-engine scaling cases
-# and the sharded-catalog cases (the BM_Serving filter matches
-# BM_ServingConcurrent and BM_ServingSharded too): one repetition is
-# representative (the cases verify fused/materialized and sharded/single
-# parity internally before timing).
+# End-to-end serving, including the concurrent shared-engine scaling cases,
+# the sharded-catalog cases, and the admission cases (the BM_Serving filter
+# matches BM_ServingConcurrent, BM_ServingSharded, and BM_ServingAdmission
+# too): one repetition is representative (the cases verify
+# fused/materialized, sharded/single, and admission/alone parity internally
+# before timing).
 SERVING_OUT="${OUT%.json}_serving.tmp.json"
+# An interrupted run must not leave merge intermediates next to the real
+# JSON (set -e skips the happy-path rm below on any failure).
+trap 'rm -f "${SERVING_OUT}" "${OUT}.merged"' EXIT
 "./${BUILD_DIR}/bench_serving" \
   --benchmark_filter=BM_Serving \
   --benchmark_min_time="${MIN_TIME}" \
   --benchmark_out="${SERVING_OUT}" \
   --benchmark_out_format=json
 
+# Provenance for cross-host/cross-revision comparisons: the pool size the
+# kernels actually ran with, the code revision, and the build type.
+FIRZEN_THREADS_VALUE=${FIRZEN_NUM_THREADS:-auto}
+GIT_COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+# Dirty = modified tracked files OR untracked sources (CMake GLOBs compile
+# untracked .cc files into the benchmarks, so they count).
+if [[ -n "$(git status --porcelain 2>/dev/null)" ]]; then
+  GIT_COMMIT="${GIT_COMMIT}-dirty"
+fi
+BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+  "${BUILD_DIR}/CMakeCache.txt" 2>/dev/null)
+BUILD_TYPE=${BUILD_TYPE:-unknown}
+
 # Append the serving benchmarks into the kernel JSON so one file carries the
-# whole trajectory. Without jq the serving rows are kept in a side file
-# instead of losing the whole run.
+# whole trajectory, and stamp the provenance fields into the context block.
+# Without jq the serving rows are kept in a side file instead of losing the
+# whole run (and the context stays unstamped).
 if command -v jq >/dev/null; then
-  jq -s '.[0].benchmarks += .[1].benchmarks | .[0]' \
+  jq -s \
+    --arg threads "${FIRZEN_THREADS_VALUE}" \
+    --arg commit "${GIT_COMMIT}" \
+    --arg build "${BUILD_TYPE}" \
+    '.[0].benchmarks += .[1].benchmarks
+     | .[0].context += {firzen_num_threads: $threads,
+                        git_commit: $commit,
+                        build_type: $build}
+     | .[0]' \
     "${OUT}" "${SERVING_OUT}" > "${OUT}.merged" \
     && mv "${OUT}.merged" "${OUT}"
   rm -f "${SERVING_OUT}"
 else
   mv "${SERVING_OUT}" "${OUT%.json}_serving.json"
-  echo "jq not found: serving results left in ${OUT%.json}_serving.json" >&2
+  echo "jq not found: serving results left in ${OUT%.json}_serving.json," \
+    "context not stamped" >&2
 fi
 
-echo "wrote ${OUT} (threads label = FIRZEN_NUM_THREADS at run time)"
+echo "wrote ${OUT} (context: threads=${FIRZEN_THREADS_VALUE}" \
+  "commit=${GIT_COMMIT} build=${BUILD_TYPE})"

@@ -6,9 +6,12 @@
 #      under TSan — the concurrent-serving stress tests hammering one shared
 #      ServingEngine (and one shared ShardedServingEngine, whose shards rank
 #      in parallel per call) from many threads are the data-race canary for
-#      the shared-scorer / per-thread-arena / per-shard-view contract. The
-#      -R filter below matches serving_test, serving_concurrency_test,
-#      sharded_serving_test, and scorer_parity_test.
+#      the shared-scorer / per-thread-arena / per-shard-view contract, and
+#      the admission stress exercises the AdmissionController ticket queue
+#      and leader-follower dispatcher hand-off under contention. The
+#      -R filter below matches serving_test, serving_admission_test,
+#      serving_concurrency_test, sharded_serving_test, and
+#      scorer_parity_test.
 #
 # Usage:
 #   tools/run_checks.sh             # all three passes
