@@ -11,7 +11,9 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -437,6 +439,174 @@ void BM_ServingAdmission(benchmark::State& state) {
 BENCHMARK(BM_ServingAdmission)
     ->Args({131072, 0})
     ->Args({131072, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Open-loop saturation sweep: Poisson arrivals fired at a configured
+// offered rate REGARDLESS of whether the server keeps up (open-loop — the
+// arrival process never backs off, unlike the closed-loop benchmarks above
+// where the next request waits for the previous answer, which silently
+// caps offered load at capacity and hides overload behavior). The engine
+// sits behind an AdmissionController with a bounded ticket queue
+// (max_queue_depth, shed with hysteresis), so driving the offered rate
+// past saturation must show BOUNDED served p99 with a NONZERO shed rate
+// instead of a collapsing queue. The benchmark arg is the offered rate as
+// a percent of the measured closed-loop capacity — {70, 150, 300} bracket
+// saturation portably across machines. Counters recorded into
+// BENCH_kernels.json: offered_rps, goodput_rps (served requests per
+// second of open-loop wall time), shed_rate (shed / offered), and
+// p50_ms/p99_ms of SERVED request latency measured from the scheduled
+// arrival time (so queueing delay from falling behind schedule counts).
+void BM_ServingSaturation(benchmark::State& state) {
+  const Index offered_pct = state.range(0);
+  constexpr Index kItems = 16384;  // small catalog: fast passes, high rps
+  constexpr Index kTop = 10;
+  constexpr int kWorkers = 16;     // arrival threads (open-loop firing)
+  constexpr int kArrivals = 480;   // Poisson arrivals per iteration
+  static ServingWorld* world = nullptr;
+  static double capacity_rps = 0.0;
+  if (world == nullptr) {
+    world = MakeWorld(4096, kItems, 64, /*batch=*/64);
+    // Closed-loop capacity probe: 8 threads hammer the coalesced engine
+    // back-to-back; the sustained rate anchors the offered-rate sweep.
+    ServingEngine engine(&world->model, world->dataset);
+    const AdmissionController controller(&engine);
+    engine.AttachAdmission(&controller);
+    constexpr int kProbeThreads = 8;
+    constexpr int kProbeReqs = 40;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> probes;
+    probes.reserve(kProbeThreads);
+    for (int t = 0; t < kProbeThreads; ++t) {
+      probes.emplace_back([&, t] {
+        for (int r = 0; r < kProbeReqs; ++r) {
+          RecRequest request;
+          request.user = static_cast<Index>((t * kProbeReqs + r) %
+                                            world->dataset.num_users);
+          request.k = kTop;
+          const RecResponse response = engine.Recommend(request);
+          benchmark::DoNotOptimize(response.items.data());
+        }
+      });
+    }
+    for (std::thread& thread : probes) thread.join();
+    const double probe_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    capacity_rps = kProbeThreads * kProbeReqs / probe_s;
+  }
+
+  ServingEngine engine(&world->model, world->dataset);
+  AdmissionOptions admission_options;
+  admission_options.max_batch = 64;
+  admission_options.max_wait_us = 200;
+  // The backstop must sit BELOW the arrival concurrency: queue depth can
+  // never exceed the number of blocked callers, so a watermark above
+  // kWorkers would never trip and overload would show up as unbounded
+  // worker lag instead of explicit shedding.
+  admission_options.max_queue_depth = 8;
+  admission_options.resume_queue_depth = 4;
+  const AdmissionController controller(&engine, admission_options);
+  engine.AttachAdmission(&controller);
+
+  const double offered_rps =
+      capacity_rps * static_cast<double>(offered_pct) / 100.0;
+  std::vector<double> served_latencies_us;
+  uint64_t served = 0;
+  uint64_t shed = 0;
+  double open_loop_s = 0.0;
+  Rng rng(17 + static_cast<uint64_t>(offered_pct));
+  for (auto _ : state) {
+    // Pre-draw the Poisson schedule (exponential inter-arrival gaps at the
+    // offered rate) so no RNG work rides the timed path.
+    std::vector<double> schedule_us(kArrivals);
+    double clock_us = 0.0;
+    for (int i = 0; i < kArrivals; ++i) {
+      const double u = static_cast<double>(rng.Uniform());
+      clock_us += -std::log(1.0 - u) / offered_rps * 1e6;
+      schedule_us[i] = clock_us;
+    }
+    std::mutex lat_mu;
+    std::vector<double> local_latencies;
+    std::atomic<uint64_t> local_served{0};
+    std::atomic<uint64_t> local_shed{0};
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> workers;
+    workers.reserve(kWorkers);
+    for (int w = 0; w < kWorkers; ++w) {
+      workers.emplace_back([&, w] {
+        std::vector<double> mine;
+        // Worker w fires arrivals w, w + kWorkers, ... at their scheduled
+        // times; it does NOT wait for the previous answer before the next
+        // arrival is due (open-loop within the worker stride).
+        for (int i = w; i < kArrivals; i += kWorkers) {
+          const auto due =
+              start + std::chrono::microseconds(
+                          static_cast<int64_t>(schedule_us[i]));
+          std::this_thread::sleep_until(due);
+          RecRequest request;
+          request.user =
+              static_cast<Index>((i * 31) % world->dataset.num_users);
+          request.k = kTop;
+          const RecResponse response = engine.Recommend(request);
+          const auto end = std::chrono::steady_clock::now();
+          if (response.status == RecStatus::kOk) {
+            local_served.fetch_add(1, std::memory_order_relaxed);
+            // Latency from the SCHEDULED arrival, not the actual send: a
+            // worker running late is queueing delay the client would see.
+            mine.push_back(
+                std::chrono::duration<double, std::micro>(end - due).count());
+          } else {
+            local_shed.fetch_add(1, std::memory_order_relaxed);
+          }
+          benchmark::DoNotOptimize(response.items.data());
+        }
+        std::lock_guard<std::mutex> lock(lat_mu);
+        local_latencies.insert(local_latencies.end(), mine.begin(),
+                               mine.end());
+      });
+    }
+    for (std::thread& thread : workers) thread.join();
+    open_loop_s +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    served += local_served.load();
+    shed += local_shed.load();
+    served_latencies_us.insert(served_latencies_us.end(),
+                               local_latencies.begin(),
+                               local_latencies.end());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(served) * kItems);
+
+  std::sort(served_latencies_us.begin(), served_latencies_us.end());
+  const auto percentile = [&](double q) {
+    if (served_latencies_us.empty()) return 0.0;
+    const size_t idx = std::min(
+        served_latencies_us.size() - 1,
+        static_cast<size_t>(q *
+                            static_cast<double>(served_latencies_us.size())));
+    return served_latencies_us[idx];
+  };
+  const double offered = static_cast<double>(served + shed);
+  state.counters["offered_rps"] = offered_rps;
+  state.counters["goodput_rps"] =
+      open_loop_s > 0.0 ? static_cast<double>(served) / open_loop_s : 0.0;
+  state.counters["shed_rate"] =
+      offered > 0.0 ? static_cast<double>(shed) / offered : 0.0;
+  state.counters["p50_ms"] = percentile(0.50) / 1000.0;
+  state.counters["p99_ms"] = percentile(0.99) / 1000.0;
+  char label[128];
+  std::snprintf(label, sizeof(label),
+                "offered=%lld%%cap capacity=%.0frps queue_depth=%lld",
+                static_cast<long long>(offered_pct), capacity_rps,
+                static_cast<long long>(admission_options.max_queue_depth));
+  state.SetLabel(label);
+}
+BENCHMARK(BM_ServingSaturation)
+    ->Arg(70)
+    ->Arg(150)
+    ->Arg(300)
+    ->Iterations(3)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

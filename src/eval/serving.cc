@@ -274,6 +274,20 @@ void RankRequestsInRange(const Scorer& scorer, ItemBlock range,
 
 }  // namespace serving_internal
 
+const char* RecStatusName(RecStatus status) {
+  switch (status) {
+    case RecStatus::kOk:
+      return "OK";
+    case RecStatus::kShed:
+      return "SHED";
+    case RecStatus::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case RecStatus::kBackendError:
+      return "BACKEND_ERROR";
+  }
+  return "UNKNOWN";
+}
+
 std::shared_ptr<const ServingSharedState> ServingSharedState::FromDataset(
     const Dataset& dataset) {
   return FromDataset(dataset, dataset.num_items);

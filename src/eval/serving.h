@@ -41,6 +41,28 @@ struct Recommendation {
   Real score;
 };
 
+/// Outcome of one RecRequest. The engines' direct paths always serve
+/// (kOk); the non-kOk codes are produced by the overload-protection
+/// policies of an attached AdmissionController (src/eval/admission.h) and
+/// by backend failures during a fused pass. A response with a non-kOk
+/// status carries no items.
+enum class RecStatus {
+  kOk = 0,
+  /// Rejected at admission: the ticket queue was over its shedding
+  /// watermark (AdmissionOptions::max_queue_depth). Retry later or
+  /// elsewhere; the request was never scored.
+  kShed,
+  /// The request's deadline_us budget expired before a fused pass could
+  /// serve it (or was zero at enqueue). Never scored late.
+  kDeadlineExceeded,
+  /// The fused pass this request rode threw; every coalesced ticket of
+  /// that pass is rejected with this status (no torn results).
+  kBackendError,
+};
+
+/// Stable human-readable name ("OK", "SHED", ...) for logs and CLIs.
+const char* RecStatusName(RecStatus status);
+
 /// Which items are withheld from a request's results.
 enum class ExclusionPolicy {
   kTrainSeen,  // the user's training interactions (default)
@@ -62,13 +84,32 @@ struct RecRequest {
   std::vector<Index> exclude;
   /// Restrict results to the strict cold-start shelf ("new arrivals").
   bool cold_only = false;
+  /// Optional latency budget in microseconds, measured from admission
+  /// enqueue. Negative = no deadline. Only an AdmissionController enforces
+  /// it: a ticket whose budget expires before its fused pass starts is
+  /// rejected with RecStatus::kDeadlineExceeded instead of scored late
+  /// (0 = already expired at enqueue, rejected immediately). The engines'
+  /// direct paths ignore it.
+  int64_t deadline_us = -1;
+  /// Fair-share tenant id (>= 0) under DrainPolicy::kFairShare: the
+  /// admission drain interleaves per-tenant queues by weight so one hot
+  /// tenant cannot starve the rest. Ignored by other policies and by the
+  /// direct paths.
+  Index tenant = 0;
 };
 
 /// Ranked answer to one RecRequest, best first. May hold fewer than k items
 /// when the pool is smaller than k or exclusions consume it — never an
 /// error. Items whose model score is NaN are never returned.
+///
+/// Check `status` first: a request rejected by admission overload
+/// protection (shed, deadline exceeded) or failed by its fused pass
+/// carries a non-kOk status and no items. Served (kOk) responses are
+/// bit-identical to serving the request alone, whatever admission policy
+/// or shard layout routed them.
 struct RecResponse {
   Index user = 0;
+  RecStatus status = RecStatus::kOk;
   std::vector<Recommendation> items;
 };
 

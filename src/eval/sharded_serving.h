@@ -112,6 +112,9 @@ class ShardedServingEngine {
 
   /// Routed through the attached AdmissionController when one is attached
   /// (coalescing this call with concurrent callers'), else served directly.
+  /// Through admission, the response's RecStatus may be non-kOk (shed,
+  /// deadline-exceeded, backend failure — see src/eval/admission.h); the
+  /// direct path always serves with kOk.
   RecResponse Recommend(const RecRequest& request) const;
 
   /// Answers every request, preserving order: requests are resolved once,

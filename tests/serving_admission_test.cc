@@ -1,24 +1,34 @@
 // AdmissionController suite: coalescing concurrent Recommend calls into
-// fused user batches must be observably side-effect-free — every response
-// bit-identical to the engine serving that request alone — because scores
-// are batch-size-invariant (src/tensor/matrix.h) and requests ride private
-// heaps. Also pins the dispatcher mechanics (size bound, wait bound,
-// leader hand-off, stats) and the engine AttachAdmission routing. The
-// multi-threaded stresses here run under the -DFIRZEN_SANITIZE=thread pass
-// of tools/run_checks.sh (the -R filter matches this binary), making the
-// ticket queue and leader-follower hand-off data-race canaries.
+// fused user batches must be observably side-effect-free — every SERVED
+// response bit-identical to the engine serving that request alone — because
+// scores are batch-size-invariant (src/tensor/matrix.h) and requests ride
+// private heaps. Also pins the dispatcher mechanics (size bound, wait
+// bound, leader hand-off, stats), the engine AttachAdmission routing, and
+// the overload-protection policies: deadline-aware drains (EDF order,
+// expired tickets rejected with kDeadlineExceeded instead of scored late),
+// bounded-queue load shedding with hysteresis (kShed, distinct start/stop
+// watermarks), per-tenant weighted fair share, and structured failure
+// fan-out (a throwing fused pass rejects every coalesced ticket with
+// kBackendError — covered by a fault-injection scorer that throws on the
+// Nth ScoreBlock call). The multi-threaded stresses here run under the
+// -DFIRZEN_SANITIZE=thread pass of tools/run_checks.sh (the -R filter
+// matches this binary), making the ticket queue, the policy selection, and
+// the leader-follower hand-off data-race canaries.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/eval/admission.h"
 #include "src/eval/serving.h"
 #include "src/eval/sharded_serving.h"
+#include "src/models/scorer.h"
 #include "src/models/serialize.h"
 #include "src/util/rng.h"
 
@@ -35,6 +45,47 @@ Matrix RandomEmb(Index rows, Index cols, uint64_t seed) {
   m.FillNormal(&rng, 1.0);
   return m;
 }
+
+// Scorer that throws on the Nth ScoreBlock call (1-based) and scores
+// normally otherwise — the fault model for "a backend died mid-pass".
+// Thread-safe: the call counter is atomic, everything else delegates to a
+// shared DotProductScorer.
+class FaultInjectionScorer : public Scorer {
+ public:
+  FaultInjectionScorer(Matrix user_emb, Matrix item_emb, int throw_on_call)
+      : user_emb_(std::move(user_emb)),
+        item_emb_(std::move(item_emb)),
+        inner_(user_emb_, item_emb_),
+        throw_on_(throw_on_call) {}
+
+  using Scorer::ScoreBlock;
+  using Scorer::ScoreCandidates;
+
+  Index num_items() const override { return inner_.num_items(); }
+
+  void ScoreBlock(const std::vector<Index>& users, ItemBlock block,
+                  MatrixView out, ScoringArena* arena) const override {
+    if (calls_.fetch_add(1) + 1 == throw_on_) {
+      throw std::runtime_error("injected scorer fault");
+    }
+    inner_.ScoreBlock(users, block, out, arena);
+  }
+
+  void ScoreCandidates(const std::vector<Index>& users,
+                       const std::vector<Index>& candidates, MatrixView out,
+                       ScoringArena* arena) const override {
+    inner_.ScoreCandidates(users, candidates, out, arena);
+  }
+
+  int score_block_calls() const { return calls_.load(); }
+
+ private:
+  Matrix user_emb_;
+  Matrix item_emb_;
+  DotProductScorer inner_;
+  int throw_on_;
+  mutable std::atomic<int> calls_{0};
+};
 
 class AdmissionFixture : public ::testing::Test {
  protected:
@@ -91,6 +142,7 @@ class AdmissionFixture : public ::testing::Test {
 
   static void ExpectSameResponse(const RecResponse& got,
                                  const RecResponse& want, size_t tag) {
+    ASSERT_EQ(got.status, RecStatus::kOk) << tag;
     ASSERT_EQ(got.user, want.user) << tag;
     ASSERT_EQ(got.items.size(), want.items.size()) << tag;
     for (size_t j = 0; j < want.items.size(); ++j) {
@@ -123,6 +175,56 @@ TEST_F(AdmissionFixture, FusedBatchesMatchServingAloneBitExact) {
   EXPECT_EQ(admission.admitted_requests(), requests.size());
 }
 
+// The coalescing contract holds under EVERY drain policy, over both the
+// plain and the sharded engine: drain order changes when a request is
+// served, never what its served response holds.
+TEST_F(AdmissionFixture, AllPoliciesPreserveCoalescingOnBothEngines) {
+  const ServingEngine plain(model_.get(), dataset_);
+  ShardedServingOptions sharded_options;
+  sharded_options.num_shards = 3;
+  const ShardedServingEngine sharded(model_.get(), dataset_, sharded_options);
+
+  // Mixed traffic with the new ticket metadata on top: generous deadlines
+  // (far too long to expire) and a tenant spread, so the deadline and
+  // fair-share selection paths actually reorder the drains.
+  std::vector<RecRequest> requests = MixedRequests();
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (i % 2 == 0) {
+      requests[i].deadline_us = 30'000'000 + static_cast<int64_t>(i) * 1000;
+    }
+    requests[i].tenant = static_cast<Index>(i % 3);
+  }
+
+  std::vector<RecResponse> want_plain;
+  for (const RecRequest& request : requests) {
+    want_plain.push_back(plain.RecommendBatchDirect({request})[0]);
+  }
+
+  for (const DrainPolicy policy :
+       {DrainPolicy::kFifo, DrainPolicy::kDeadline, DrainPolicy::kFairShare}) {
+    AdmissionOptions options;
+    options.max_batch = 8;
+    options.max_wait_us = 0;
+    options.drain_policy = policy;
+    options.tenant_weights = {2, 1, 3};
+    const AdmissionController plain_admission(&plain, options);
+    const AdmissionController sharded_admission(&sharded, options);
+
+    const auto via_plain = plain_admission.RecommendBatch(requests);
+    const auto via_sharded = sharded_admission.RecommendBatch(requests);
+    ASSERT_EQ(via_plain.size(), requests.size());
+    ASSERT_EQ(via_sharded.size(), requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      ExpectSameResponse(via_plain[i], want_plain[i], i);
+      // The sharded engine is bit-identical to the plain one by the shard
+      // invariance contract, so one reference pins both.
+      ExpectSameResponse(via_sharded[i], want_plain[i], 1000 + i);
+    }
+    EXPECT_EQ(plain_admission.shed_requests(), 0u);
+    EXPECT_EQ(plain_admission.deadline_rejections(), 0u);
+  }
+}
+
 // Single-caller dispatch is deterministic: a 10-request batch under a
 // 4-user size bound drains FIFO into fused passes of 4, 4, 2.
 TEST_F(AdmissionFixture, SizeBoundSplitsDeterministically) {
@@ -141,6 +243,7 @@ TEST_F(AdmissionFixture, SizeBoundSplitsDeterministically) {
   ASSERT_EQ(responses.size(), 10u);
   for (size_t i = 0; i < requests.size(); ++i) {
     EXPECT_EQ(responses[i].user, requests[i].user) << i;
+    EXPECT_EQ(responses[i].status, RecStatus::kOk) << i;
   }
   EXPECT_EQ(admission.admitted_requests(), 10u);
   EXPECT_EQ(admission.fused_batches(), 3u);
@@ -157,6 +260,26 @@ TEST_F(AdmissionFixture, MaxBatchOneServesEveryRequestAlone) {
   for (size_t i = 0; i < requests.size(); ++i) requests[i].user = 3;
   admission.RecommendBatch(requests);
   EXPECT_EQ(admission.fused_batches(), 5u);
+}
+
+// max_batch larger than the queue depth at drain time takes what is there:
+// one fused pass, not an error and not a stall.
+TEST_F(AdmissionFixture, MaxBatchLargerThanQueueDrainsWhatIsQueued) {
+  const ServingEngine engine(model_.get(), dataset_);
+  AdmissionOptions options;
+  options.max_batch = 64;
+  options.max_wait_us = 0;  // immediate drain
+  const AdmissionController admission(&engine, options);
+  std::vector<RecRequest> requests(5);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    requests[i].user = static_cast<Index>(i);
+  }
+  const auto responses = admission.RecommendBatch(requests);
+  for (size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(responses[i].status, RecStatus::kOk) << i;
+  }
+  EXPECT_EQ(admission.fused_batches(), 1u);
+  EXPECT_EQ(admission.admitted_requests(), 5u);
 }
 
 // The wait bound must release an unfilled batch: a lone request returns
@@ -222,10 +345,256 @@ TEST_F(AdmissionFixture, ShardedEngineAdmissionParity) {
   }
 }
 
-// A throwing custom backend (the engines' direct paths never throw) must
-// not strand tickets or poison the queue: the dispatching caller sees the
-// backend's exception and the controller keeps serving afterwards.
-TEST_F(AdmissionFixture, ThrowingBackendSurfacesAndRecovers) {
+// ---------------------------------------------------------------------------
+// Deadlines
+// ---------------------------------------------------------------------------
+
+// A zero budget is already expired at enqueue: rejected immediately with
+// kDeadlineExceeded, never queued, never scored.
+TEST_F(AdmissionFixture, ZeroDeadlineRejectsAtEnqueue) {
+  const ServingEngine engine(model_.get(), dataset_);
+  AdmissionOptions options;
+  options.max_wait_us = 0;
+  const AdmissionController admission(&engine, options);
+  RecRequest request;
+  request.user = 7;
+  request.k = 5;
+  request.deadline_us = 0;
+  const RecResponse got = admission.Recommend(request);
+  EXPECT_EQ(got.status, RecStatus::kDeadlineExceeded);
+  EXPECT_EQ(got.user, 7);
+  EXPECT_TRUE(got.items.empty());
+  EXPECT_EQ(admission.admitted_requests(), 0u);
+  EXPECT_EQ(admission.fused_batches(), 0u);
+  EXPECT_EQ(admission.deadline_rejections(), 1u);
+}
+
+// A ticket whose budget expires while the leader holds the batch open is
+// rejected at drain time instead of scored late — and the collect wait is
+// capped at the nearest deadline, so the rejection is prompt. A co-rider
+// without a deadline still gets served, bit-exactly.
+TEST_F(AdmissionFixture, ExpiredWhileQueuedIsRejectedNotScoredLate) {
+  const ServingEngine engine(model_.get(), dataset_);
+  AdmissionOptions options;
+  options.max_batch = 64;
+  options.max_wait_us = 500000;  // 500ms hold: way past the 2ms deadline
+  const AdmissionController admission(&engine, options);
+
+  std::vector<RecRequest> requests(2);
+  requests[0].user = 1;
+  requests[0].k = 5;
+  requests[0].deadline_us = 2000;  // expires during the collect hold
+  requests[1].user = 2;
+  requests[1].k = 5;  // no deadline
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto responses = admission.RecommendBatch(requests);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+  EXPECT_EQ(responses[0].status, RecStatus::kDeadlineExceeded);
+  EXPECT_TRUE(responses[0].items.empty());
+  const RecResponse want = engine.RecommendBatchDirect({requests[1]})[0];
+  ExpectSameResponse(responses[1], want, 1);
+  EXPECT_EQ(admission.deadline_rejections(), 1u);
+  // The deadline capped the hold: we did NOT sit out the full 500ms wait
+  // bound (generous margin for slow CI).
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            400);
+}
+
+// DrainPolicy::kDeadline drains earliest-deadline-first: the batch whose
+// oldest deadline is nearest goes first; deadline-less tickets rank last,
+// in arrival order.
+TEST_F(AdmissionFixture, DeadlinePolicyDrainsEarliestDeadlineFirst) {
+  const ServingEngine engine(model_.get(), dataset_);
+  std::vector<std::vector<Index>> drained;  // users per fused pass
+  AdmissionOptions options;
+  options.max_batch = 2;
+  options.max_wait_us = 0;
+  options.drain_policy = DrainPolicy::kDeadline;
+  const AdmissionController admission(
+      [&](const std::vector<RecRequest>& requests) {
+        std::vector<Index> users;
+        for (const RecRequest& r : requests) users.push_back(r.user);
+        drained.push_back(std::move(users));
+        return engine.RecommendBatchDirect(requests);
+      },
+      options);
+
+  // Arrival order 0..3; deadlines (none, 100ms, 50ms, none). EDF batches
+  // of 2: [2, 1] then [0, 3]. Budgets are far too long to expire.
+  std::vector<RecRequest> requests(4);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    requests[i].user = static_cast<Index>(i);
+    requests[i].k = 3;
+  }
+  requests[1].deadline_us = 100000;
+  requests[2].deadline_us = 50000;
+  const auto responses = admission.RecommendBatch(requests);
+  for (size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(responses[i].status, RecStatus::kOk) << i;
+  }
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0], (std::vector<Index>{2, 1}));
+  EXPECT_EQ(drained[1], (std::vector<Index>{0, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// Load shedding with hysteresis
+// ---------------------------------------------------------------------------
+
+// Deterministic single-caller shedding: a 10-request batch against a
+// 4-deep queue admits the first 4 tickets, crosses the high watermark, and
+// sheds the other 6 immediately — then the next call finds the queue
+// drained below the resume watermark, un-sheds, and admits again. Both
+// hysteresis crossings (start at max, stop at resume) in one sequence.
+TEST_F(AdmissionFixture, ShedHysteresisCrossesBothWatermarks) {
+  const ServingEngine engine(model_.get(), dataset_);
+  AdmissionOptions options;
+  options.max_batch = 64;
+  options.max_wait_us = 0;
+  options.max_queue_depth = 4;
+  options.resume_queue_depth = 2;
+  const AdmissionController admission(&engine, options);
+
+  std::vector<RecRequest> requests(10);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    requests[i].user = static_cast<Index>(i) % kUsers;
+    requests[i].k = 5;
+  }
+  const auto responses = admission.RecommendBatch(requests);
+  for (size_t i = 0; i < 4; ++i) {
+    const RecResponse alone = engine.RecommendBatchDirect({requests[i]})[0];
+    ExpectSameResponse(responses[i], alone, i);
+  }
+  for (size_t i = 4; i < 10; ++i) {
+    EXPECT_EQ(responses[i].status, RecStatus::kShed) << i;
+    EXPECT_EQ(responses[i].user, requests[i].user) << i;
+    EXPECT_TRUE(responses[i].items.empty()) << i;
+  }
+  EXPECT_EQ(admission.admitted_requests(), 4u);
+  EXPECT_EQ(admission.shed_requests(), 6u);
+
+  // The queue has fully drained (0 <= resume watermark 2): shedding stops
+  // and the same traffic admits 4 again before re-crossing the high
+  // watermark.
+  const auto second = admission.RecommendBatch(requests);
+  size_t ok = 0;
+  size_t shed = 0;
+  for (const RecResponse& response : second) {
+    if (response.status == RecStatus::kOk) {
+      ++ok;
+    } else {
+      ASSERT_EQ(response.status, RecStatus::kShed);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok, 4u);
+  EXPECT_EQ(shed, 6u);
+  EXPECT_EQ(admission.admitted_requests(), 8u);
+  EXPECT_EQ(admission.shed_requests(), 12u);
+}
+
+// Without a queue bound (the default), nothing is ever shed — the legacy
+// unbounded behavior is preserved exactly.
+TEST_F(AdmissionFixture, UnboundedQueueNeverSheds) {
+  const ServingEngine engine(model_.get(), dataset_);
+  AdmissionOptions options;
+  options.max_batch = 2;
+  options.max_wait_us = 0;
+  const AdmissionController admission(&engine, options);
+  std::vector<RecRequest> requests(30);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    requests[i].user = static_cast<Index>(i) % kUsers;
+  }
+  const auto responses = admission.RecommendBatch(requests);
+  for (const RecResponse& response : responses) {
+    EXPECT_EQ(response.status, RecStatus::kOk);
+  }
+  EXPECT_EQ(admission.shed_requests(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-tenant weighted fair share
+// ---------------------------------------------------------------------------
+
+// Deficit-style weighted round-robin: with weights {2, 1} and a hot tenant
+// 0 that enqueued first, every fused pass still carries tenant 1 traffic —
+// 2:1 interleave, never starvation.
+TEST_F(AdmissionFixture, FairSharePolicyInterleavesTenantsByWeight) {
+  const ServingEngine engine(model_.get(), dataset_);
+  std::vector<std::vector<Index>> drained;  // users per fused pass
+  AdmissionOptions options;
+  options.max_batch = 3;
+  options.max_wait_us = 0;
+  options.drain_policy = DrainPolicy::kFairShare;
+  options.tenant_weights = {2, 1};
+  const AdmissionController admission(
+      [&](const std::vector<RecRequest>& requests) {
+        std::vector<Index> users;
+        for (const RecRequest& r : requests) users.push_back(r.user);
+        drained.push_back(std::move(users));
+        return engine.RecommendBatchDirect(requests);
+      },
+      options);
+
+  // Hot tenant 0 floods first (users 0..5), tenant 1 queues behind
+  // (users 40..42). FIFO would serve tenant 1 only in the last pass;
+  // fair share interleaves every pass.
+  std::vector<RecRequest> requests;
+  for (Index u = 0; u < 6; ++u) {
+    RecRequest request;
+    request.user = u;
+    request.tenant = 0;
+    requests.push_back(std::move(request));
+  }
+  for (Index u = 40; u < 43; ++u) {
+    RecRequest request;
+    request.user = u;
+    request.tenant = 1;
+    requests.push_back(std::move(request));
+  }
+  const auto responses = admission.RecommendBatch(requests);
+  for (size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(responses[i].status, RecStatus::kOk) << i;
+  }
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[0], (std::vector<Index>{0, 1, 40}));
+  EXPECT_EQ(drained[1], (std::vector<Index>{2, 3, 41}));
+  EXPECT_EQ(drained[2], (std::vector<Index>{4, 5, 42}));
+}
+
+// Unknown tenants (and ids past the weight vector) weigh 1 instead of
+// crashing or starving.
+TEST_F(AdmissionFixture, FairShareDefaultsUnknownTenantsToWeightOne) {
+  const ServingEngine engine(model_.get(), dataset_);
+  AdmissionOptions options;
+  options.max_batch = 2;
+  options.max_wait_us = 0;
+  options.drain_policy = DrainPolicy::kFairShare;
+  options.tenant_weights = {3};  // tenant 7 below is past the end
+  const AdmissionController admission(&engine, options);
+  std::vector<RecRequest> requests(4);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    requests[i].user = static_cast<Index>(i);
+    requests[i].tenant = (i % 2 == 0) ? 0 : 7;
+  }
+  const auto responses = admission.RecommendBatch(requests);
+  for (size_t i = 0; i < responses.size(); ++i) {
+    const RecResponse alone = engine.RecommendBatchDirect({requests[i]})[0];
+    ExpectSameResponse(responses[i], alone, i);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structured failure fan-out
+// ---------------------------------------------------------------------------
+
+// A throwing backend must not strand tickets, poison the queue, or tear
+// results: every ticket of the failed pass completes with kBackendError
+// and the controller keeps serving afterwards.
+TEST_F(AdmissionFixture, ThrowingBackendFailsTicketsWithStatusAndRecovers) {
   const ServingEngine engine(model_.get(), dataset_);
   int calls = 0;
   AdmissionOptions options;
@@ -239,12 +608,127 @@ TEST_F(AdmissionFixture, ThrowingBackendSurfacesAndRecovers) {
   RecRequest request;
   request.user = 1;
   request.k = 3;
-  EXPECT_THROW(admission.Recommend(request), std::runtime_error);
+  const RecResponse failed = admission.Recommend(request);
+  EXPECT_EQ(failed.status, RecStatus::kBackendError);
+  EXPECT_EQ(failed.user, 1);
+  EXPECT_TRUE(failed.items.empty());
+  EXPECT_EQ(admission.backend_failures(), 1u);
   // The queue is consistent after the failure: the next request serves.
   const RecResponse got = admission.Recommend(request);
   const RecResponse want = engine.RecommendBatchDirect({request})[0];
   ExpectSameResponse(got, want, 0);
   EXPECT_EQ(admission.fused_batches(), 2u);
+}
+
+// The regression the fault-injection scorer pins: a backend exception in
+// the MIDDLE of a fused pass (the Nth ScoreBlock call, here the second
+// pass's catalog stream) rejects EVERY coalesced ticket of that pass with
+// a per-ticket kBackendError — followers neither hang nor see a torn
+// result — while earlier and later passes serve normally.
+TEST_F(AdmissionFixture, FaultInjectionScorerFailsWholeFusedPass) {
+  // 2500 items under the default 8192 item_block = exactly one ScoreBlock
+  // call per full-catalog fused pass, so pass #2 is call #2.
+  auto scorer = std::make_unique<FaultInjectionScorer>(
+      RandomEmb(kUsers, kDim, 1), RandomEmb(kItems, kDim, 2),
+      /*throw_on_call=*/2);
+  const FaultInjectionScorer* fault = scorer.get();
+  const ServingEngine engine(std::move(scorer), dataset_);
+  AdmissionOptions options;
+  options.max_batch = 4;
+  options.max_wait_us = 0;
+  const AdmissionController admission(&engine, options);
+
+  // 8 full-catalog requests split 4/4: pass 1 serves, pass 2 throws.
+  std::vector<RecRequest> requests(8);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    requests[i].user = static_cast<Index>(i);
+    requests[i].k = 5;
+  }
+  const auto responses = admission.RecommendBatch(requests);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(responses[i].status, RecStatus::kOk) << i;
+    EXPECT_FALSE(responses[i].items.empty()) << i;
+  }
+  for (size_t i = 4; i < 8; ++i) {
+    EXPECT_EQ(responses[i].status, RecStatus::kBackendError) << i;
+    EXPECT_EQ(responses[i].user, requests[i].user) << i;
+    EXPECT_TRUE(responses[i].items.empty()) << i;
+  }
+  EXPECT_EQ(admission.backend_failures(), 1u);
+  EXPECT_EQ(fault->score_block_calls(), 2);
+
+  // The fault was one-shot: the controller (and engine) serve again, and
+  // the served answer matches the healthy reference model bit-exactly.
+  const StaticRecommender reference("ref", RandomEmb(kUsers, kDim, 1),
+                                    RandomEmb(kItems, kDim, 2));
+  const ServingEngine reference_engine(&reference, dataset_);
+  const RecResponse again = admission.Recommend(requests[0]);
+  const RecResponse want =
+      reference_engine.RecommendBatchDirect({requests[0]})[0];
+  ExpectSameResponse(again, want, 0);
+}
+
+// Followers blocked on a fused pass that fails must be woken with a
+// status, not stranded: concurrent callers all resolve, each either served
+// bit-exactly or explicitly failed.
+TEST_F(AdmissionFixture, ConcurrentFollowersResolveOnBackendFailure) {
+  const ServingEngine engine(model_.get(), dataset_);
+  std::atomic<int> calls{0};
+  AdmissionOptions options;
+  options.max_batch = 16;
+  options.max_wait_us = 2000;  // hold batches open so callers coalesce
+  const AdmissionController admission(
+      [&](const std::vector<RecRequest>& requests) {
+        if (calls.fetch_add(1) % 3 == 1) {  // fail every third pass
+          throw std::runtime_error("flaky backend");
+        }
+        return engine.RecommendBatchDirect(requests);
+      },
+      options);
+
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 10;
+  std::atomic<int> bad{0};
+  std::atomic<int> served{0};
+  std::atomic<int> failed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        RecRequest request;
+        request.user = static_cast<Index>((t * kRounds + round) % kUsers);
+        request.k = 5;
+        const RecResponse got = admission.Recommend(request);
+        if (got.status == RecStatus::kOk) {
+          ++served;
+          const RecResponse want =
+              engine.RecommendBatchDirect({request})[0];
+          if (got.items.size() != want.items.size()) {
+            ++bad;
+            continue;
+          }
+          for (size_t j = 0; j < want.items.size(); ++j) {
+            if (got.items[j].item != want.items[j].item ||
+                got.items[j].score != want.items[j].score) {
+              ++bad;
+              break;
+            }
+          }
+        } else if (got.status == RecStatus::kBackendError) {
+          ++failed;
+          if (!got.items.empty()) ++bad;  // torn result
+        } else {
+          ++bad;  // no shedding/deadlines configured
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(served.load() + failed.load(), kThreads * kRounds);
+  EXPECT_EQ(static_cast<uint64_t>(served.load() + failed.load()),
+            admission.admitted_requests());
 }
 
 TEST_F(AdmissionFixture, EmptyBatchIsANoOp) {
@@ -327,6 +811,94 @@ TEST_F(AdmissionFixture, ConcurrentCallersGetBitExactAnswers) {
   // Every admitted ticket was served by exactly one fused pass, and no
   // pass exceeded the size bound.
   EXPECT_LE(admission.fused_batches(), expected_requests);
+}
+
+// Overload-protection concurrency stress (TSan canary for the policy
+// paths): multi-tenant traffic with deadlines against a bounded queue
+// under the fair-share drain. Every request must resolve to exactly one
+// of {served bit-exactly, kShed, kDeadlineExceeded} — no hangs, no torn
+// results, and the counters must account for every outcome.
+TEST_F(AdmissionFixture, ConcurrentMultiTenantOverloadStress) {
+  ServingEngine engine(model_.get(), dataset_);
+  AdmissionOptions options;
+  options.max_batch = 8;
+  options.max_wait_us = 200;
+  options.drain_policy = DrainPolicy::kFairShare;
+  options.tenant_weights = {1, 2, 1};
+  options.max_queue_depth = 6;  // small: force real shedding under load
+  options.resume_queue_depth = 2;
+  const AdmissionController admission(&engine, options);
+  engine.AttachAdmission(&admission);
+
+  const std::vector<RecRequest> base = MixedRequests();
+  std::vector<RecResponse> reference;
+  reference.reserve(base.size());
+  for (const RecRequest& request : base) {
+    reference.push_back(engine.RecommendBatchDirect({request})[0]);
+  }
+
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 6;
+  std::atomic<int> bad{0};
+  std::atomic<int> ok{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> expired{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t i = 0; i < base.size(); ++i) {
+          RecRequest request = base[i];
+          request.tenant = static_cast<Index>(t % 3);
+          // A third of the traffic carries a real (but generous) budget;
+          // under contention some of it will expire in the queue.
+          if (i % 3 == 0) request.deadline_us = 50000;
+          const RecResponse got = engine.Recommend(request);
+          switch (got.status) {
+            case RecStatus::kOk: {
+              ++ok;
+              const RecResponse& want = reference[i];
+              if (got.user != want.user ||
+                  got.items.size() != want.items.size()) {
+                ++bad;
+                break;
+              }
+              for (size_t j = 0; j < want.items.size(); ++j) {
+                if (got.items[j].item != want.items[j].item ||
+                    got.items[j].score != want.items[j].score) {
+                  ++bad;
+                  break;
+                }
+              }
+              break;
+            }
+            case RecStatus::kShed:
+              ++shed;
+              if (!got.items.empty()) ++bad;
+              break;
+            case RecStatus::kDeadlineExceeded:
+              ++expired;
+              if (!got.items.empty()) ++bad;
+              break;
+            case RecStatus::kBackendError:
+              ++bad;  // the real engine never fails
+              break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(bad.load(), 0);
+  const int total = kThreads * kRounds * static_cast<int>(base.size());
+  EXPECT_EQ(ok.load() + shed.load() + expired.load(), total);
+  EXPECT_EQ(admission.shed_requests(), static_cast<uint64_t>(shed.load()));
+  EXPECT_EQ(admission.deadline_rejections(),
+            static_cast<uint64_t>(expired.load()));
+  // Served = admitted minus the admitted tickets that expired in-queue.
+  EXPECT_LE(static_cast<uint64_t>(ok.load()), admission.admitted_requests());
+  EXPECT_EQ(admission.backend_failures(), 0u);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 //   firzen_cli recommend --embeddings model.fzem --user ID [--k 10]
 //              [--exclude 3,17,42] [--users 1,2,3 [--serve-threads 4]]
 //              [--shards 4] [--admission-batch 64 [--admission-wait-us 200]]
+//              [--deadline-us 5000] [--max-queue-depth 128] [--tenant 0]
 //       Serve top-K recommendations from a serialized model through the
 //       block-streaming ServingEngine. --users serves several users over
 //       ONE shared engine; --serve-threads answers them from concurrent
@@ -23,6 +24,14 @@
 //       batches of up to N, each request waiting at most
 //       --admission-wait-us microseconds for co-riders — responses are
 //       bit-identical with admission on or off, for any batch/wait bound.
+//       Overload protection (attaches admission implicitly when needed):
+//       --deadline-us B gives every request a latency budget of B
+//       microseconds from enqueue (expired requests are rejected with
+//       DEADLINE_EXCEEDED, never scored late), --max-queue-depth D bounds
+//       the admission queue (requests past it are rejected with SHED
+//       instead of blocking), and --tenant T tags the requests with a
+//       fair-share tenant id. Non-OK requests are reported on stderr and
+//       the exit status is nonzero when any request was not served.
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -292,15 +301,27 @@ int RunRecommend(const std::map<std::string, std::string>& flags) {
   // any batch size or wait bound — the flags are pure perf knobs.
   long long admission_batch = 0;
   long long admission_wait_us = 200;
+  long long max_queue_depth = 0;
+  long long deadline_us = -1;
+  long long tenant = 0;
   if (!ParseIntFlag(flags, "admission-batch", 0, &admission_batch) ||
-      !ParseIntFlag(flags, "admission-wait-us", 0, &admission_wait_us)) {
+      !ParseIntFlag(flags, "admission-wait-us", 0, &admission_wait_us) ||
+      !ParseIntFlag(flags, "max-queue-depth", 0, &max_queue_depth) ||
+      !ParseIntFlag(flags, "deadline-us", 0, &deadline_us) ||
+      !ParseIntFlag(flags, "tenant", 0, &tenant)) {
     return 2;
+  }
+  // Deadlines and queue bounds are enforced by the admission layer, so
+  // asking for either implicitly attaches a default-sized controller.
+  if ((max_queue_depth > 0 || deadline_us >= 0) && admission_batch <= 1) {
+    admission_batch = AdmissionOptions{}.max_batch;
   }
   std::unique_ptr<AdmissionController> admission;  // detached after serving
   if (admission_batch > 1) {
     AdmissionOptions admission_options;
     admission_options.max_batch = static_cast<Index>(admission_batch);
     admission_options.max_wait_us = admission_wait_us;
+    admission_options.max_queue_depth = static_cast<Index>(max_queue_depth);
     admission =
         std::make_unique<AdmissionController>(&engine, admission_options);
     engine.AttachAdmission(admission.get());
@@ -310,6 +331,8 @@ int RunRecommend(const std::map<std::string, std::string>& flags) {
   long long k = 10;
   if (!ParseIntFlag(flags, "k", 1, &k)) return 2;
   prototype.k = static_cast<Index>(k);
+  prototype.deadline_us = deadline_us;
+  prototype.tenant = static_cast<Index>(tenant);
   // A serialized model carries no training interactions, so exclusions are
   // whatever the caller passes explicitly.
   const std::string exclude = FlagOr(flags, "exclude", "");
@@ -361,7 +384,17 @@ int RunRecommend(const std::map<std::string, std::string>& flags) {
   if (admission != nullptr) engine.AttachAdmission(nullptr);
 
   const bool tag_user = requests.size() > 1;
+  int not_served = 0;
   for (const RecResponse& response : responses) {
+    if (response.status != RecStatus::kOk) {
+      // Overload rejections and backend failures are per-request outcomes,
+      // not silence: report each one and fail the invocation.
+      std::fprintf(stderr, "user %lld: %s\n",
+                   static_cast<long long>(response.user),
+                   RecStatusName(response.status));
+      ++not_served;
+      continue;
+    }
     for (const Recommendation& rec : response.items) {
       if (tag_user) {
         std::printf("%lld\t%lld\t%.6f\n",
@@ -373,7 +406,7 @@ int RunRecommend(const std::map<std::string, std::string>& flags) {
       }
     }
   }
-  return 0;
+  return not_served > 0 ? 1 : 0;
 }
 
 }  // namespace

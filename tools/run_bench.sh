@@ -10,7 +10,12 @@
 # sharded merge costs and parallel shard ranking buys, and
 # BM_ServingAdmission (8 concurrent single-request threads, admission
 # coalescing off/on, parity-gated, with p50/p95/p99 per-request latency
-# counters) charting the admission-batching win — appended into one file.
+# counters) charting the admission-batching win, and BM_ServingSaturation
+# (open-loop Poisson arrivals at 70/150/300% of the measured closed-loop
+# capacity against a bounded admission queue) charting overload behavior:
+# offered_rps, goodput_rps, shed_rate, and served p50_ms/p99_ms — past
+# saturation the shed rate must go nonzero while p99 stays bounded instead
+# of the queue collapsing — appended into one file.
 # The JSON context block records FIRZEN_NUM_THREADS, the git commit, and
 # the build type, so entries stay attributable when BENCH_kernels.json
 # accumulates runs from different hosts and revisions.
@@ -53,11 +58,13 @@ cmake --build "${BUILD_DIR}" -j --target bench_kernels --target bench_serving \
   "$@"
 
 # End-to-end serving, including the concurrent shared-engine scaling cases,
-# the sharded-catalog cases, and the admission cases (the BM_Serving filter
-# matches BM_ServingConcurrent, BM_ServingSharded, and BM_ServingAdmission
-# too): one repetition is representative (the cases verify
-# fused/materialized, sharded/single, and admission/alone parity internally
-# before timing).
+# the sharded-catalog cases, the admission cases, and the open-loop
+# saturation sweep (the BM_Serving filter matches BM_ServingConcurrent,
+# BM_ServingSharded, BM_ServingAdmission, and BM_ServingSaturation too):
+# one repetition is representative (the cases verify fused/materialized,
+# sharded/single, and admission/alone parity internally before timing; the
+# saturation cases pin their own iteration count so the offered-rate
+# schedule is identical run to run).
 SERVING_OUT="${OUT%.json}_serving.tmp.json"
 # An interrupted run must not leave merge intermediates next to the real
 # JSON (set -e skips the happy-path rm below on any failure).

@@ -11,10 +11,15 @@
 #      and leader-follower dispatcher hand-off under contention. The
 #      -R filter below matches serving_test, serving_admission_test,
 #      serving_concurrency_test, sharded_serving_test, and
-#      scorer_parity_test.
+#      scorer_parity_test;
+#   4. rebuild with -DFIRZEN_SANITIZE=undefined and run the same serving +
+#      admission suites under UBSan — the overload-protection paths
+#      (deadline arithmetic on steady_clock time points, hysteresis
+#      watermark comparisons, fair-share weight indexing) are where signed
+#      overflow or bad shifts would hide.
 #
 # Usage:
-#   tools/run_checks.sh             # all three passes
+#   tools/run_checks.sh             # all four passes
 #   tools/run_checks.sh --fast      # default-build pass only (skip sanitizers)
 #   FIRZEN_NUM_THREADS=4 tools/run_checks.sh
 #
@@ -72,6 +77,14 @@ if [[ "${FAST}" == "0" ]]; then
   # one engine/scorer, so they carry the race coverage.
   TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
     run_pass build-tsan -DFIRZEN_SANITIZE=thread -- -R "serving|scorer"
+
+  echo "== pass 4: UndefinedBehaviorSanitizer build + serving suites =="
+  # Same filter as TSan: the serving/admission binaries exercise the
+  # deadline/shedding/fair-share arithmetic added by the overload-protection
+  # work; halt_on_error turns any UB report into a failing exit code
+  # (UBSan's default is report-and-continue).
+  UBSAN_OPTIONS=${UBSAN_OPTIONS:-halt_on_error=1} \
+    run_pass build-ubsan -DFIRZEN_SANITIZE=undefined -- -R "serving|scorer"
 fi
 
 echo "all checks passed"
