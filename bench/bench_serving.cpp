@@ -3,7 +3,10 @@
 // path (full users x catalog score matrix, then per-user heaps). The fused
 // path's peak transient is user_batch * item_block, independent of catalog
 // size — the label records both footprints. Results are verified
-// bit-identical at startup before timing. BM_ServingAdmission charts what
+// bit-identical at startup before timing. BM_ServingDistributed serves the
+// same catalog through 1/2/4 shard-server sockets behind ONE coordinator,
+// parity-gated against the in-process sharded engine, charting the wire +
+// fan-out overhead. BM_ServingAdmission charts what
 // the admission front end buys: 8 concurrent single-request threads served
 // unbatched vs coalesced into fused user batches (one catalog stream per
 // batch instead of one per request), with p50/p95/p99 per-request latency
@@ -16,6 +19,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -27,6 +31,8 @@
 #include "src/eval/sharded_serving.h"
 #include "src/eval/topk.h"
 #include "src/models/serialize.h"
+#include "src/serve/distributed_serving.h"
+#include "src/serve/shard_server.h"
 #include "src/util/rng.h"
 #include "src/util/thread_pool.h"
 
@@ -325,6 +331,113 @@ BENCHMARK(BM_ServingSharded)
     ->Args({131072, 64, 4})
     ->Threads(1)
     ->Threads(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Distributed serving over real loopback sockets: the same catalog served
+// by 1/2/4 in-process ShardServers (each behind its own TCP connection),
+// fanned out to by ONE DistributedServingEngine. The parity gate at setup
+// asserts the distributed answer is bit-identical to the in-process
+// ShardedServingEngine over the same layout — the contract that makes
+// moving a shard behind a socket observably free — and after timing the
+// run aborts if ANY rpc failed or degraded (a degraded pass would time
+// the timeout path, not serving). Charts the wire + fan-out overhead on
+// top of BM_ServingSharded; counters record the realized bytes per
+// request so protocol bloat shows up in BENCH_kernels.json.
+void BM_ServingDistributed(benchmark::State& state) {
+  const Index num_items = state.range(0);
+  const Index batch = state.range(1);
+  const Index shards = state.range(2);
+  constexpr Index kTop = 20;
+  static ServingWorld* world = nullptr;
+  static std::vector<std::unique_ptr<ShardServer>>* servers = nullptr;
+  static std::unique_ptr<DistributedServingEngine> engine;
+  static Index world_items = -1;
+  static Index world_batch = -1;
+  static Index world_shards = -1;
+  if (world_items != num_items || world_batch != batch ||
+      world_shards != shards) {
+    engine.reset();
+    delete servers;
+    delete world;
+    world = MakeWorld(4096, num_items, 64, batch);
+    const auto shared_state =
+        ServingSharedState::FromDataset(world->dataset, num_items);
+    servers = new std::vector<std::unique_ptr<ShardServer>>();
+    DistributedServingOptions options;
+    ShardServerOptions server_options;
+    server_options.num_users = world->dataset.num_users;
+    for (const ItemBlock& range : MakeShardRanges(num_items, shards)) {
+      servers->push_back(std::make_unique<ShardServer>(
+          world->model.MakeScorer(), shared_state, range, server_options));
+      if (!servers->back()->Start().ok()) std::abort();
+      options.shard_addresses.push_back(servers->back()->bound_address());
+    }
+    auto connected = DistributedServingEngine::Connect(std::move(options));
+    if (!connected.ok()) {
+      std::fprintf(stderr, "%s\n", connected.status().ToString().c_str());
+      std::abort();
+    }
+    engine = std::move(connected.value());
+    // Parity gate: the socket hop must be invisible in the answer.
+    ShardedServingOptions sharded_options;
+    sharded_options.num_shards = shards;
+    const ShardedServingEngine reference(&world->model, world->dataset,
+                                         sharded_options);
+    const auto requests = MakeRequests(world->users, kTop);
+    const auto want = reference.RecommendBatch(requests);
+    const auto got = engine->RecommendBatch(requests);
+    if (got.size() != want.size()) std::abort();
+    for (size_t r = 0; r < got.size(); ++r) {
+      if (got[r].status != RecStatus::kOk ||
+          got[r].items.size() != want[r].items.size()) {
+        std::abort();
+      }
+      for (size_t j = 0; j < want[r].items.size(); ++j) {
+        if (got[r].items[j].item != want[r].items[j].item ||
+            got[r].items[j].score != want[r].items[j].score) {
+          std::fprintf(stderr,
+                       "distributed parity failure at user row %zu "
+                       "(shards=%lld)\n",
+                       r, static_cast<long long>(shards));
+          std::abort();
+        }
+      }
+    }
+    world_items = num_items;
+    world_batch = batch;
+    world_shards = shards;
+  }
+  const auto requests = MakeRequests(world->users, kTop);
+  const uint64_t failed_before = engine->failed_shard_rpcs();
+  const uint64_t bytes_before =
+      engine->bytes_sent() + engine->bytes_received();
+  uint64_t responses_served = 0;
+  for (auto _ : state) {
+    auto responses = engine->RecommendBatch(requests);
+    responses_served += responses.size();
+    benchmark::DoNotOptimize(responses.data());
+  }
+  if (engine->failed_shard_rpcs() != failed_before) {
+    std::fprintf(stderr, "distributed benchmark degraded mid-run\n");
+    std::abort();
+  }
+  state.SetItemsProcessed(state.iterations() * batch * num_items);
+  const uint64_t wire_bytes =
+      engine->bytes_sent() + engine->bytes_received() - bytes_before;
+  state.counters["wire_bytes_per_req"] =
+      responses_served == 0
+          ? 0.0
+          : static_cast<double>(wire_bytes) /
+                static_cast<double>(responses_served);
+  state.SetLabel(FootprintLabel(batch, ShardServerOptions{}.item_block,
+                                num_items) +
+                 " shards=" + std::to_string(shards) + " transport=tcp");
+}
+BENCHMARK(BM_ServingDistributed)
+    ->Args({131072, 64, 1})
+    ->Args({131072, 64, 2})
+    ->Args({131072, 64, 4})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/eval/sharded_serving.h"
+#include "src/serve/distributed_serving.h"
 #include "src/util/check.h"
 
 namespace firzen {
@@ -39,6 +40,19 @@ AdmissionController::AdmissionController(const ServingEngine* engine,
 }
 
 AdmissionController::AdmissionController(const ShardedServingEngine* engine,
+                                         AdmissionOptions options)
+    : options_(std::move(options)) {
+  FIRZEN_CHECK(engine != nullptr);
+  if (options_.resume_queue_depth < 0) {
+    options_.resume_queue_depth = options_.max_queue_depth / 2;
+  }
+  Validate();
+  backend_ = [engine](const std::vector<RecRequest>& requests) {
+    return engine->RecommendBatchDirect(requests);
+  };
+}
+
+AdmissionController::AdmissionController(const DistributedServingEngine* engine,
                                          AdmissionOptions options)
     : options_(std::move(options)) {
   FIRZEN_CHECK(engine != nullptr);

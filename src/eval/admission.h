@@ -66,6 +66,7 @@
 namespace firzen {
 
 class ShardedServingEngine;
+class DistributedServingEngine;
 
 /// How the dispatcher picks which queued tickets ride the next fused pass.
 /// Every policy preserves the coalescing contract — drain order changes
@@ -138,6 +139,11 @@ class AdmissionController {
   explicit AdmissionController(const ServingEngine* engine,
                                AdmissionOptions options = {});
   explicit AdmissionController(const ShardedServingEngine* engine,
+                               AdmissionOptions options = {});
+  /// Fronts a distributed coordinator: admitted batches become the RPC
+  /// unit fanned out to the shard servers. Degraded responses (kDegraded,
+  /// with items) pass through tickets untouched.
+  explicit AdmissionController(const DistributedServingEngine* engine,
                                AdmissionOptions options = {});
   /// Fronts an arbitrary backend (tests, RPC fan-out, ...).
   explicit AdmissionController(Backend backend, AdmissionOptions options = {});

@@ -284,6 +284,8 @@ const char* RecStatusName(RecStatus status) {
       return "DEADLINE_EXCEEDED";
     case RecStatus::kBackendError:
       return "BACKEND_ERROR";
+    case RecStatus::kDegraded:
+      return "DEGRADED";
   }
   return "UNKNOWN";
 }

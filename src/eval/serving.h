@@ -43,9 +43,11 @@ struct Recommendation {
 
 /// Outcome of one RecRequest. The engines' direct paths always serve
 /// (kOk); the non-kOk codes are produced by the overload-protection
-/// policies of an attached AdmissionController (src/eval/admission.h) and
-/// by backend failures during a fused pass. A response with a non-kOk
-/// status carries no items.
+/// policies of an attached AdmissionController (src/eval/admission.h), by
+/// backend failures during a fused pass, and by shard failures under the
+/// DistributedServingEngine (src/serve/distributed_serving.h). A response
+/// with a non-kOk status carries no items — EXCEPT kDegraded, which
+/// carries the best-effort merge over the shards that did answer.
 enum class RecStatus {
   kOk = 0,
   /// Rejected at admission: the ticket queue was over its shedding
@@ -58,6 +60,13 @@ enum class RecStatus {
   /// The fused pass this request rode threw; every coalesced ticket of
   /// that pass is rejected with this status (no torn results).
   kBackendError,
+  /// Served from a PARTIAL catalog: one or more shard servers failed or
+  /// timed out, so the response merges only the surviving shards' top-K
+  /// lists. Unlike the other non-kOk codes it DOES carry items (possibly
+  /// none, when every shard failed); RecResponse::failed_shards lists the
+  /// shards whose slice is missing. Produced only by the distributed
+  /// coordinator.
+  kDegraded,
 };
 
 /// Stable human-readable name ("OK", "SHED", ...) for logs and CLIs.
@@ -104,13 +113,18 @@ struct RecRequest {
 ///
 /// Check `status` first: a request rejected by admission overload
 /// protection (shed, deadline exceeded) or failed by its fused pass
-/// carries a non-kOk status and no items. Served (kOk) responses are
-/// bit-identical to serving the request alone, whatever admission policy
-/// or shard layout routed them.
+/// carries a non-kOk status and no items; a kDegraded response carries
+/// the items merged from the shard servers that did answer. Served (kOk)
+/// responses are bit-identical to serving the request alone, whatever
+/// admission policy or shard layout routed them.
 struct RecResponse {
   Index user = 0;
   RecStatus status = RecStatus::kOk;
   std::vector<Recommendation> items;
+  /// Shard indices (coordinator connection order) whose top-K slice is
+  /// missing from `items`. Non-empty exactly when status == kDegraded;
+  /// empty for every other status.
+  std::vector<Index> failed_shards;
 };
 
 struct ServingEngineOptions {

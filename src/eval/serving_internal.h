@@ -9,8 +9,13 @@
 // the two engines cannot drift apart in exclusion, dedup, cold-shelf, or
 // candidate-pool semantics because they share this code.
 //
+// The distributed shard server (src/serve/shard_server.cc) drives the same
+// core over a socket: it runs PrepareBatch + RankRequestsInRange for its
+// range and ships the heaps' sorted contents as wire frames, which is what
+// makes a distributed response byte-identical to the in-process engines.
+//
 // Internal header: not part of the public serving API; include only from
-// src/eval/*.cc and tests that need the raw machinery.
+// src/eval/*.cc, src/serve/*.cc, and tests that need the raw machinery.
 #ifndef FIRZEN_EVAL_SERVING_INTERNAL_H_
 #define FIRZEN_EVAL_SERVING_INTERNAL_H_
 

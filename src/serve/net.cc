@@ -1,0 +1,364 @@
+#include "src/serve/net.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+namespace firzen {
+namespace net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(Errno("fcntl(O_NONBLOCK)"));
+  }
+  return Status::OK();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  // Best-effort: fails harmlessly on non-TCP sockets.
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+struct ParsedAddress {
+  bool is_unix = false;
+  std::string unix_path;   // is_unix
+  std::string host;        // !is_unix, numeric IPv4
+  uint16_t port = 0;       // !is_unix
+};
+
+Result<ParsedAddress> ParseAddress(const std::string& address) {
+  ParsedAddress out;
+  if (address.rfind("unix:", 0) == 0) {
+    out.is_unix = true;
+    out.unix_path = address.substr(5);
+    if (out.unix_path.empty()) {
+      return Status::InvalidArgument("empty unix socket path: " + address);
+    }
+    sockaddr_un probe;
+    if (out.unix_path.size() >= sizeof(probe.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: " + address);
+    }
+    return out;
+  }
+  size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == address.size()) {
+    return Status::InvalidArgument("address must be host:port or unix:PATH: " +
+                                   address);
+  }
+  out.host = address.substr(0, colon);
+  if (out.host == "localhost") out.host = "127.0.0.1";
+  long port = 0;
+  for (size_t i = colon + 1; i < address.size(); ++i) {
+    char c = address[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad port in address: " + address);
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65535) {
+      return Status::InvalidArgument("port out of range: " + address);
+    }
+  }
+  out.port = static_cast<uint16_t>(port);
+  in_addr probe;
+  if (inet_pton(AF_INET, out.host.c_str(), &probe) != 1) {
+    return Status::InvalidArgument("host must be numeric IPv4 or localhost: " +
+                                   address);
+  }
+  return out;
+}
+
+// Milliseconds left until `deadline`, clamped at 0; -1 when no deadline.
+int RemainingMs(bool has_deadline, Clock::time_point deadline) {
+  if (!has_deadline) return -1;
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - Clock::now())
+                  .count();
+  if (left < 0) return 0;
+  if (left > 1000 * 3600) return 1000 * 3600;
+  return static_cast<int>(left);
+}
+
+// Polls `fd` for `events` until ready, error, or deadline. Returns OK when
+// ready, IOError("... timed out") at the deadline.
+Status PollFor(int fd, short events, bool has_deadline,
+               Clock::time_point deadline, const char* what) {
+  for (;;) {
+    pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    int timeout = RemainingMs(has_deadline, deadline);
+    int rc = poll(&pfd, 1, timeout);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("poll"));
+    }
+    if (rc == 0) {
+      return Status::IOError(std::string(what) + " timed out");
+    }
+    // Readiness OR error/hangup: let the subsequent read/write surface the
+    // concrete errno (POLLHUP still allows draining buffered bytes).
+    return Status::OK();
+  }
+}
+
+Status SendAll(int fd, const uint8_t* data, size_t size, bool has_deadline,
+               Clock::time_point deadline) {
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      Status s = PollFor(fd, POLLOUT, has_deadline, deadline, "send");
+      if (!s.ok()) return s;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IOError(Errno("send"));
+  }
+  return Status::OK();
+}
+
+Status RecvAll(int fd, uint8_t* data, size_t size, bool has_deadline,
+               Clock::time_point deadline) {
+  size_t got = 0;
+  while (got < size) {
+    ssize_t n = recv(fd, data + got, size - got, 0);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) return Status::IOError("connection closed");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      Status s = PollFor(fd, POLLIN, has_deadline, deadline, "recv");
+      if (!s.ok()) return s;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(Errno("recv"));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+UniqueFd& UniqueFd::operator=(UniqueFd&& other) noexcept {
+  if (this != &other) {
+    reset(other.fd_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) close(fd_);
+  fd_ = fd;
+}
+
+Result<UniqueFd> Listen(const std::string& address,
+                        std::string* bound_address) {
+  Result<ParsedAddress> parsed = ParseAddress(address);
+  if (!parsed.ok()) return parsed.status();
+  const ParsedAddress& addr = parsed.value();
+
+  if (addr.is_unix) {
+    UniqueFd fd(socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd) return Status::IOError(Errno("socket(AF_UNIX)"));
+    sockaddr_un sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sun_family = AF_UNIX;
+    std::memcpy(sa.sun_path, addr.unix_path.c_str(), addr.unix_path.size());
+    unlink(addr.unix_path.c_str());  // stale socket file from a dead server
+    if (bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+      return Status::IOError(Errno("bind " + address));
+    }
+    if (listen(fd.get(), 64) < 0) {
+      return Status::IOError(Errno("listen " + address));
+    }
+    if (bound_address != nullptr) *bound_address = address;
+    return fd;
+  }
+
+  UniqueFd fd(socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd) return Status::IOError(Errno("socket(AF_INET)"));
+  int one = 1;
+  setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(addr.port);
+  inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr);
+  if (bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+    return Status::IOError(Errno("bind " + address));
+  }
+  if (listen(fd.get(), 64) < 0) {
+    return Status::IOError(Errno("listen " + address));
+  }
+  if (bound_address != nullptr) {
+    sockaddr_in actual;
+    socklen_t len = sizeof(actual);
+    if (getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual), &len) <
+        0) {
+      return Status::IOError(Errno("getsockname"));
+    }
+    char ip[INET_ADDRSTRLEN];
+    inet_ntop(AF_INET, &actual.sin_addr, ip, sizeof(ip));
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s:%u", ip,
+                  static_cast<unsigned>(ntohs(actual.sin_port)));
+    *bound_address = buf;
+  }
+  return fd;
+}
+
+Result<UniqueFd> Accept(int listen_fd, int64_t timeout_ms) {
+  bool has_deadline = timeout_ms >= 0;
+  Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(has_deadline ? timeout_ms : 0);
+  Status ready = PollFor(listen_fd, POLLIN, has_deadline, deadline, "accept");
+  if (!ready.ok()) {
+    if (ready.message().find("timed out") != std::string::npos) {
+      return UniqueFd();  // timeout: invalid fd, not an error
+    }
+    return ready;
+  }
+  for (;;) {
+    int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      UniqueFd conn(fd);
+      Status s = SetNonBlocking(conn.get());
+      if (!s.ok()) return s;
+      SetNoDelay(conn.get());
+      return conn;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return UniqueFd();  // raced another accepter; treat as timeout
+    }
+    return Status::IOError(Errno("accept"));
+  }
+}
+
+Result<UniqueFd> Connect(const std::string& address, int64_t timeout_ms) {
+  Result<ParsedAddress> parsed = ParseAddress(address);
+  if (!parsed.ok()) return parsed.status();
+  const ParsedAddress& addr = parsed.value();
+  bool has_deadline = timeout_ms >= 0;
+  Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(has_deadline ? timeout_ms : 0);
+
+  UniqueFd fd(socket(addr.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
+  if (!fd) return Status::IOError(Errno("socket"));
+  Status s = SetNonBlocking(fd.get());
+  if (!s.ok()) return s;
+
+  int rc;
+  if (addr.is_unix) {
+    sockaddr_un sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sun_family = AF_UNIX;
+    std::memcpy(sa.sun_path, addr.unix_path.c_str(), addr.unix_path.size());
+    rc = connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  } else {
+    sockaddr_in sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(addr.port);
+    inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr);
+    rc = connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  }
+  if (rc < 0 && errno != EINPROGRESS) {
+    return Status::IOError(Errno("connect " + address));
+  }
+  if (rc < 0) {
+    // Non-blocking connect in flight: wait for writability, then check the
+    // socket's resolved error.
+    Status ready =
+        PollFor(fd.get(), POLLOUT, has_deadline, deadline, "connect");
+    if (!ready.ok()) return ready;
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      return Status::IOError(Errno("getsockopt(SO_ERROR)"));
+    }
+    if (err != 0) {
+      errno = err;
+      return Status::IOError(Errno("connect " + address));
+    }
+  }
+  SetNoDelay(fd.get());
+  return fd;
+}
+
+Status SendFrame(int fd, wire::FrameType type,
+                 const std::vector<uint8_t>& payload, int64_t timeout_ms) {
+  if (payload.size() > wire::kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload over cap");
+  }
+  bool has_deadline = timeout_ms >= 0;
+  Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(has_deadline ? timeout_ms : 0);
+  uint8_t header[wire::kFrameHeaderSize];
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<uint8_t>(len >> (8 * i));
+  }
+  header[4] = static_cast<uint8_t>(type);
+  Status s = SendAll(fd, header, sizeof(header), has_deadline, deadline);
+  if (!s.ok()) return s;
+  if (payload.empty()) return Status::OK();
+  return SendAll(fd, payload.data(), payload.size(), has_deadline, deadline);
+}
+
+Status RecvFrame(int fd, wire::FrameType* type, std::vector<uint8_t>* payload,
+                 int64_t timeout_ms) {
+  bool has_deadline = timeout_ms >= 0;
+  Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(has_deadline ? timeout_ms : 0);
+  uint8_t header[wire::kFrameHeaderSize];
+  Status s = RecvAll(fd, header, sizeof(header), has_deadline, deadline);
+  if (!s.ok()) return s;
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(header[i]) << (8 * i);
+  }
+  if (len > wire::kMaxFramePayload) {
+    return Status::IOError("frame payload over cap (corrupt stream?)");
+  }
+  uint8_t raw_type = header[4];
+  if (raw_type < static_cast<uint8_t>(wire::FrameType::kHello) ||
+      raw_type > static_cast<uint8_t>(wire::FrameType::kError)) {
+    return Status::IOError("unknown frame type (corrupt stream?)");
+  }
+  *type = static_cast<wire::FrameType>(raw_type);
+  payload->resize(len);
+  if (len == 0) return Status::OK();
+  return RecvAll(fd, payload->data(), len, has_deadline, deadline);
+}
+
+}  // namespace net
+}  // namespace firzen

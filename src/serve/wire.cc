@@ -1,0 +1,262 @@
+#include "src/serve/wire.h"
+
+#include <cstring>
+
+namespace firzen {
+namespace wire {
+
+void Writer::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::PutF64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "Real must be a 64-bit double");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void Writer::PutBytes(const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + size);
+}
+
+bool Reader::GetU8(uint8_t* v) {
+  if (remaining() < 1) return false;
+  *v = data_[pos_++];
+  return true;
+}
+
+bool Reader::GetU32(uint32_t* v) {
+  if (remaining() < 4) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(data_[pos_ + static_cast<size_t>(i)])
+           << (8 * i);
+  }
+  pos_ += 4;
+  *v = out;
+  return true;
+}
+
+bool Reader::GetU64(uint64_t* v) {
+  if (remaining() < 8) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)])
+           << (8 * i);
+  }
+  pos_ += 8;
+  *v = out;
+  return true;
+}
+
+bool Reader::GetI64(int64_t* v) {
+  uint64_t bits;
+  if (!GetU64(&bits)) return false;
+  *v = static_cast<int64_t>(bits);
+  return true;
+}
+
+bool Reader::GetF64(double* v) {
+  uint64_t bits;
+  if (!GetU64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+bool Reader::GetCount(size_t min_element_bytes, uint64_t* count) {
+  uint64_t n;
+  if (!GetU64(&n)) return false;
+  // Even zero-byte elements must not overflow size_t arithmetic below.
+  if (min_element_bytes == 0) min_element_bytes = 1;
+  if (n > remaining() / min_element_bytes) return false;
+  *count = n;
+  return true;
+}
+
+namespace {
+
+// Index is int64_t (src/util/common.h); ship it as i64 everywhere so the
+// format never depends on the build's Index width assumptions.
+void PutIndexVector(Writer* w, const std::vector<Index>& v) {
+  w->PutU64(static_cast<uint64_t>(v.size()));
+  for (Index x : v) w->PutI64(static_cast<int64_t>(x));
+}
+
+bool GetIndexVector(Reader* r, std::vector<Index>* v) {
+  uint64_t n;
+  if (!r->GetCount(8, &n)) return false;
+  v->resize(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    int64_t x;
+    if (!r->GetI64(&x)) return false;
+    (*v)[static_cast<size_t>(i)] = static_cast<Index>(x);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeHello() {
+  Writer w;
+  w.PutU32(kMagic);
+  w.PutU32(kProtocolVersion);
+  return w.Take();
+}
+
+bool DecodeHello(const uint8_t* data, size_t size, uint32_t* version) {
+  Reader r(data, size);
+  uint32_t magic;
+  if (!r.GetU32(&magic) || magic != kMagic) return false;
+  if (!r.GetU32(version)) return false;
+  return r.AtEnd();
+}
+
+std::vector<uint8_t> EncodeShardInfo(const ShardInfo& info) {
+  Writer w;
+  w.PutU32(kMagic);
+  w.PutU32(kProtocolVersion);
+  w.PutI64(static_cast<int64_t>(info.shard_begin));
+  w.PutI64(static_cast<int64_t>(info.shard_end));
+  w.PutI64(static_cast<int64_t>(info.num_items));
+  return w.Take();
+}
+
+bool DecodeShardInfo(const uint8_t* data, size_t size, ShardInfo* info) {
+  Reader r(data, size);
+  uint32_t magic, version;
+  if (!r.GetU32(&magic) || magic != kMagic) return false;
+  if (!r.GetU32(&version) || version != kProtocolVersion) return false;
+  int64_t begin, end, num_items;
+  if (!r.GetI64(&begin) || !r.GetI64(&end) || !r.GetI64(&num_items)) {
+    return false;
+  }
+  if (begin < 0 || end < begin || num_items < end) return false;
+  info->shard_begin = static_cast<Index>(begin);
+  info->shard_end = static_cast<Index>(end);
+  info->num_items = static_cast<Index>(num_items);
+  return r.AtEnd();
+}
+
+std::vector<uint8_t> EncodeRequestBatch(
+    const std::vector<RecRequest>& requests) {
+  Writer w;
+  w.PutU64(static_cast<uint64_t>(requests.size()));
+  for (const RecRequest& req : requests) {
+    w.PutI64(static_cast<int64_t>(req.user));
+    w.PutI64(static_cast<int64_t>(req.k));
+    PutIndexVector(&w, req.candidates);
+    w.PutU8(static_cast<uint8_t>(req.exclusion));
+    PutIndexVector(&w, req.exclude);
+    w.PutU8(req.cold_only ? 1 : 0);
+    w.PutI64(req.deadline_us);
+    w.PutI64(static_cast<int64_t>(req.tenant));
+  }
+  return w.Take();
+}
+
+bool DecodeRequestBatch(const uint8_t* data, size_t size,
+                        std::vector<RecRequest>* requests) {
+  Reader r(data, size);
+  // Fixed per-request footprint: user + k + two vector counts + exclusion
+  // byte + cold byte + deadline + tenant = 8+8+8+8+1+1+8+8 = 50 bytes.
+  uint64_t n;
+  if (!r.GetCount(50, &n)) return false;
+  requests->clear();
+  requests->resize(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    RecRequest& req = (*requests)[static_cast<size_t>(i)];
+    int64_t user, k;
+    if (!r.GetI64(&user) || !r.GetI64(&k)) return false;
+    req.user = static_cast<Index>(user);
+    req.k = static_cast<Index>(k);
+    if (!GetIndexVector(&r, &req.candidates)) return false;
+    uint8_t exclusion;
+    if (!r.GetU8(&exclusion)) return false;
+    if (exclusion > static_cast<uint8_t>(ExclusionPolicy::kNone)) return false;
+    req.exclusion = static_cast<ExclusionPolicy>(exclusion);
+    if (!GetIndexVector(&r, &req.exclude)) return false;
+    uint8_t cold;
+    if (!r.GetU8(&cold)) return false;
+    if (cold > 1) return false;
+    req.cold_only = cold != 0;
+    if (!r.GetI64(&req.deadline_us)) return false;
+    int64_t tenant;
+    if (!r.GetI64(&tenant)) return false;
+    req.tenant = static_cast<Index>(tenant);
+  }
+  return r.AtEnd();
+}
+
+std::vector<uint8_t> EncodeReplyBatch(const std::vector<ShardReply>& replies) {
+  Writer w;
+  w.PutU64(static_cast<uint64_t>(replies.size()));
+  for (const ShardReply& reply : replies) {
+    w.PutI64(static_cast<int64_t>(reply.user));
+    w.PutU64(static_cast<uint64_t>(reply.items.size()));
+    for (const ScoredItem& it : reply.items) {
+      w.PutI64(static_cast<int64_t>(it.item));
+      w.PutF64(it.score);  // raw bits: the bit-exactness carrier
+    }
+  }
+  return w.Take();
+}
+
+bool DecodeReplyBatch(const uint8_t* data, size_t size,
+                      std::vector<ShardReply>* replies) {
+  Reader r(data, size);
+  // Per-reply minimum: user + item count = 16 bytes.
+  uint64_t n;
+  if (!r.GetCount(16, &n)) return false;
+  replies->clear();
+  replies->resize(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    ShardReply& reply = (*replies)[static_cast<size_t>(i)];
+    int64_t user;
+    if (!r.GetI64(&user)) return false;
+    reply.user = static_cast<Index>(user);
+    uint64_t items;
+    if (!r.GetCount(16, &items)) return false;  // item i64 + score f64
+    reply.items.resize(static_cast<size_t>(items));
+    for (uint64_t j = 0; j < items; ++j) {
+      int64_t item;
+      double score;
+      if (!r.GetI64(&item) || !r.GetF64(&score)) return false;
+      reply.items[static_cast<size_t>(j)] = {static_cast<Index>(item),
+                                             static_cast<Real>(score)};
+    }
+  }
+  return r.AtEnd();
+}
+
+std::vector<uint8_t> EncodeError(const std::string& message) {
+  Writer w;
+  w.PutU64(static_cast<uint64_t>(message.size()));
+  w.PutBytes(message.data(), message.size());
+  return w.Take();
+}
+
+bool DecodeError(const uint8_t* data, size_t size, std::string* message) {
+  Reader r(data, size);
+  uint64_t n;
+  if (!r.GetCount(1, &n)) return false;
+  message->resize(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint8_t c;
+    if (!r.GetU8(&c)) return false;
+    (*message)[static_cast<size_t>(i)] = static_cast<char>(c);
+  }
+  return r.AtEnd();
+}
+
+}  // namespace wire
+}  // namespace firzen

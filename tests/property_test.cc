@@ -1,11 +1,13 @@
 // Property-based sweeps (TEST_P) over randomized inputs: autograd ops under
 // many shapes, CSR normalization invariants over random graphs, metric
-// ordering properties, kNN graph invariants across K, and split invariants
-// across cold fractions.
+// ordering properties, kNN graph invariants across K, split invariants
+// across cold fractions, sharded top-K over random shard layouts, and
+// distributed wire-format round trips over random frames.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <memory>
 #include <tuple>
 #include <vector>
@@ -17,6 +19,7 @@
 #include "src/eval/topk.h"
 #include "src/graph/knn_graph.h"
 #include "src/models/scorer.h"
+#include "src/serve/wire.h"
 #include "src/tensor/csr.h"
 #include "src/tensor/gradcheck.h"
 #include "src/tensor/ops.h"
@@ -405,6 +408,106 @@ TEST_P(ShardedTopKPropertyTest, MergedTopKEqualsBruteForceFullRowSort) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ShardedTopKPropertyTest,
                          ::testing::Range<uint64_t>(0, 12));
+
+// ---- Distributed wire-format round-trip over random frames ----
+
+class WireRoundTripPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Random request batches and reply batches — arbitrary 64-bit field
+// values, arbitrary score BIT PATTERNS (including NaN payloads and
+// infinities: the format is transparent; semantic NaN filtering happens
+// before serialization) — must survive encode/decode unchanged. This is
+// the property behind the distributed determinism contract: if any value
+// could bend on the wire, byte-identity to the in-process oracle would be
+// unprovable. 10 seeds x 20 trials = 200 randomized round trips.
+TEST_P(WireRoundTripPropertyTest, RandomBatchesSurviveTheWireBitExactly) {
+  Rng rng(GetParam() * 6271 + 3);
+  const auto random_i64 = [&rng] {
+    return static_cast<int64_t>(rng.Next());
+  };
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<RecRequest> requests(static_cast<size_t>(rng.UniformInt(6)));
+    for (RecRequest& request : requests) {
+      request.user = random_i64();
+      request.k = random_i64();
+      for (Index j = rng.UniformInt(5); j > 0; --j) {
+        request.candidates.push_back(random_i64());
+      }
+      const Index mode = rng.UniformInt(3);
+      request.exclusion = mode == 0   ? ExclusionPolicy::kTrainSeen
+                          : mode == 1 ? ExclusionPolicy::kCustom
+                                      : ExclusionPolicy::kNone;
+      for (Index j = rng.UniformInt(4); j > 0; --j) {
+        request.exclude.push_back(random_i64());
+      }
+      request.cold_only = rng.Bernoulli(0.5);
+      request.deadline_us = rng.Bernoulli(0.3) ? -1 : random_i64();
+      request.tenant = random_i64();
+    }
+    const std::vector<uint8_t> encoded = wire::EncodeRequestBatch(requests);
+    std::vector<RecRequest> decoded;
+    ASSERT_TRUE(
+        wire::DecodeRequestBatch(encoded.data(), encoded.size(), &decoded));
+    ASSERT_EQ(decoded.size(), requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      EXPECT_EQ(decoded[i].user, requests[i].user);
+      EXPECT_EQ(decoded[i].k, requests[i].k);
+      EXPECT_EQ(decoded[i].candidates, requests[i].candidates);
+      EXPECT_EQ(decoded[i].exclusion, requests[i].exclusion);
+      EXPECT_EQ(decoded[i].exclude, requests[i].exclude);
+      EXPECT_EQ(decoded[i].cold_only, requests[i].cold_only);
+      EXPECT_EQ(decoded[i].deadline_us, requests[i].deadline_us);
+      EXPECT_EQ(decoded[i].tenant, requests[i].tenant);
+    }
+    // Every truncated prefix of a valid payload fails decode (sampled:
+    // exhaustive prefixes are covered for fixed cases in wire_test.cc).
+    if (!encoded.empty()) {
+      const size_t cut = static_cast<size_t>(
+          rng.UniformInt(static_cast<Index>(encoded.size())));
+      EXPECT_FALSE(wire::DecodeRequestBatch(encoded.data(), cut, &decoded));
+    }
+
+    std::vector<wire::ShardReply> replies(
+        static_cast<size_t>(rng.UniformInt(5)));
+    for (wire::ShardReply& reply : replies) {
+      reply.user = random_i64();
+      for (Index j = rng.UniformInt(8); j > 0; --j) {
+        const uint64_t bits = rng.Next();
+        Real score;
+        std::memcpy(&score, &bits, sizeof(score));
+        reply.items.push_back({random_i64(), score});
+      }
+    }
+    const std::vector<uint8_t> reply_encoded = wire::EncodeReplyBatch(replies);
+    std::vector<wire::ShardReply> reply_decoded;
+    ASSERT_TRUE(wire::DecodeReplyBatch(reply_encoded.data(),
+                                       reply_encoded.size(), &reply_decoded));
+    ASSERT_EQ(reply_decoded.size(), replies.size());
+    for (size_t i = 0; i < replies.size(); ++i) {
+      EXPECT_EQ(reply_decoded[i].user, replies[i].user);
+      ASSERT_EQ(reply_decoded[i].items.size(), replies[i].items.size());
+      for (size_t j = 0; j < replies[i].items.size(); ++j) {
+        EXPECT_EQ(reply_decoded[i].items[j].item, replies[i].items[j].item);
+        // Bit comparison, not ==: random bit patterns include NaNs.
+        uint64_t got_bits, want_bits;
+        std::memcpy(&got_bits, &reply_decoded[i].items[j].score,
+                    sizeof(got_bits));
+        std::memcpy(&want_bits, &replies[i].items[j].score,
+                    sizeof(want_bits));
+        EXPECT_EQ(got_bits, want_bits);
+      }
+    }
+    if (!reply_encoded.empty()) {
+      const size_t cut = static_cast<size_t>(
+          rng.UniformInt(static_cast<Index>(reply_encoded.size())));
+      EXPECT_FALSE(
+          wire::DecodeReplyBatch(reply_encoded.data(), cut, &reply_decoded));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireRoundTripPropertyTest,
+                         ::testing::Range<uint64_t>(0, 10));
 
 }  // namespace
 }  // namespace firzen

@@ -8,9 +8,19 @@
 //       Train any registered model on TSV data, report strict cold-start and
 //       warm-start metrics, optionally serialize the final embeddings.
 //
+//   firzen_cli serve-shard --embeddings model.fzem --shard-range A:B
+//              [--listen 127.0.0.1:0] [--item-block 8192]
+//       Serve one contiguous item-id shard of a serialized model over the
+//       distributed wire protocol (src/serve/wire.h) until SIGINT/SIGTERM.
+//       Prints "listening on ADDR ..." (with the kernel-assigned port
+//       resolved) so orchestration can scrape where it bound. The same
+//       server also ships as the standalone firzen_shard_server binary.
+//
 //   firzen_cli recommend --embeddings model.fzem --user ID [--k 10]
 //              [--exclude 3,17,42] [--users 1,2,3 [--serve-threads 4]]
-//              [--shards 4] [--admission-batch 64 [--admission-wait-us 200]]
+//              [--shards 4] [--shard-servers ADDR,ADDR,...]
+//              [--rpc-timeout-ms 5000]
+//              [--admission-batch 64 [--admission-wait-us 200]]
 //              [--deadline-us 5000] [--max-queue-depth 128] [--tenant 0]
 //       Serve top-K recommendations from a serialized model through the
 //       block-streaming ServingEngine. --users serves several users over
@@ -19,7 +29,12 @@
 //       identical for any thread count). --shards N partitions the item
 //       catalog across N sibling shard views (ShardedServingEngine) with a
 //       bit-exact top-K merge — responses are identical for any shard
-//       count. --admission-batch N (with N > 1) attaches an
+//       count. --shard-servers fans requests out to running serve-shard
+//       processes instead (DistributedServingEngine); on the healthy path
+//       the output is byte-identical to the local engines, and when a
+//       shard server is down the surviving shards still answer, reported
+//       as DEGRADED on stderr (exit stays 0 — degraded is served).
+//       --admission-batch N (with N > 1) attaches an
 //       AdmissionController: concurrent requests coalesce into fused user
 //       batches of up to N, each request waiting at most
 //       --admission-wait-us microseconds for co-riders — responses are
@@ -32,6 +47,8 @@
 //       instead of blocking), and --tenant T tags the requests with a
 //       fair-share tenant id. Non-OK requests are reported on stderr and
 //       the exit status is nonzero when any request was not served.
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -49,6 +66,8 @@
 #include "src/eval/sharded_serving.h"
 #include "src/models/registry.h"
 #include "src/models/serialize.h"
+#include "src/serve/distributed_serving.h"
+#include "src/serve/shard_server.h"
 #include "src/util/logging.h"
 #include "src/util/table_printer.h"
 
@@ -268,6 +287,92 @@ bool ParseIdList(const std::string& flag_name, const std::string& value,
   return true;
 }
 
+// Serves `requests` on `engine` — optional admission front end, optional
+// --serve-threads fan-out — and reports every response: items to stdout,
+// non-OK statuses to stderr. Works for any engine with the common serving
+// surface (ShardedServingEngine, DistributedServingEngine). DEGRADED
+// responses were served (from the surviving shards), so they print their
+// items and keep the exit code 0; every other non-OK status fails the
+// invocation.
+template <typename Engine>
+int ServeRequests(Engine& engine, const std::map<std::string, std::string>& flags,
+                  const std::vector<RecRequest>& requests,
+                  long long admission_batch, long long admission_wait_us,
+                  long long max_queue_depth) {
+  std::unique_ptr<AdmissionController> admission;  // detached after serving
+  if (admission_batch > 1) {
+    AdmissionOptions admission_options;
+    admission_options.max_batch = static_cast<Index>(admission_batch);
+    admission_options.max_wait_us = admission_wait_us;
+    admission_options.max_queue_depth = static_cast<Index>(max_queue_depth);
+    admission =
+        std::make_unique<AdmissionController>(&engine, admission_options);
+    engine.AttachAdmission(admission.get());
+  }
+
+  // One shared engine answers every request. With --serve-threads N the
+  // requests fan out over N concurrent threads — the engine's thread-safety
+  // contract guarantees responses identical to the serial path (and with
+  // admission attached, the concurrent singles coalesce into fused
+  // batches, still bit-identically).
+  std::vector<RecResponse> responses(requests.size());
+  long long serve_threads = 1;
+  if (!ParseIntFlag(flags, "serve-threads", 1, &serve_threads)) return 2;
+  if (serve_threads > 1 && requests.size() > 1) {
+    std::vector<std::thread> threads;
+    const size_t n = static_cast<size_t>(serve_threads);
+    for (size_t t = 0; t < n; ++t) {
+      threads.emplace_back([&, t] {
+        for (size_t i = t; i < requests.size(); i += n) {
+          responses[i] = engine.Recommend(requests[i]);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  } else {
+    responses = engine.RecommendBatch(requests);
+  }
+  // All requests answered: detach before the controller (destroyed first,
+  // being declared later) leaves the engine with a dangling pointer.
+  if (admission != nullptr) engine.AttachAdmission(nullptr);
+
+  const bool tag_user = requests.size() > 1;
+  int not_served = 0;
+  for (const RecResponse& response : responses) {
+    if (response.status == RecStatus::kDegraded) {
+      // Served, but from a partial catalog: say which shards were missing,
+      // then print what the survivors produced.
+      std::string shards;
+      for (Index s : response.failed_shards) {
+        if (!shards.empty()) shards += ",";
+        shards += std::to_string(s);
+      }
+      std::fprintf(stderr, "user %lld: %s (failed shards: %s)\n",
+                   static_cast<long long>(response.user),
+                   RecStatusName(response.status), shards.c_str());
+    } else if (response.status != RecStatus::kOk) {
+      // Overload rejections and backend failures are per-request outcomes,
+      // not silence: report each one and fail the invocation.
+      std::fprintf(stderr, "user %lld: %s\n",
+                   static_cast<long long>(response.user),
+                   RecStatusName(response.status));
+      ++not_served;
+      continue;
+    }
+    for (const Recommendation& rec : response.items) {
+      if (tag_user) {
+        std::printf("%lld\t%lld\t%.6f\n",
+                    static_cast<long long>(response.user),
+                    static_cast<long long>(rec.item), rec.score);
+      } else {
+        std::printf("%lld\t%.6f\n", static_cast<long long>(rec.item),
+                    rec.score);
+      }
+    }
+  }
+  return not_served > 0 ? 1 : 0;
+}
+
 int RunRecommend(const std::map<std::string, std::string>& flags) {
   const std::string path = FlagOr(flags, "embeddings", "");
   if (path.empty()) {
@@ -283,17 +388,6 @@ int RunRecommend(const std::map<std::string, std::string>& flags) {
   empty.num_users = loaded.value()->user_embeddings().rows();
   empty.num_items = loaded.value()->ItemEmbeddings().rows();
   empty.is_cold_item.assign(static_cast<size_t>(empty.num_items), false);
-
-  // --shards N partitions the catalog across N sibling shard views; the
-  // merged responses are bit-identical to the single-engine path, so the
-  // flag only changes how the work is laid out, never what is served.
-  long long shards = 1;
-  if (!ParseIntFlag(flags, "shards", 1, &shards)) return 2;
-  // One shard IS the single-engine path (bit-identical by the shard
-  // invariance contract), so one engine type serves every --shards value.
-  ShardedServingOptions engine_options;
-  engine_options.num_shards = static_cast<Index>(shards);
-  ShardedServingEngine engine(loaded.value().get(), empty, engine_options);
 
   // --admission-batch N > 1 fronts the engine with an AdmissionController:
   // concurrent requests coalesce into fused user batches (one catalog
@@ -315,16 +409,6 @@ int RunRecommend(const std::map<std::string, std::string>& flags) {
   // asking for either implicitly attaches a default-sized controller.
   if ((max_queue_depth > 0 || deadline_us >= 0) && admission_batch <= 1) {
     admission_batch = AdmissionOptions{}.max_batch;
-  }
-  std::unique_ptr<AdmissionController> admission;  // detached after serving
-  if (admission_batch > 1) {
-    AdmissionOptions admission_options;
-    admission_options.max_batch = static_cast<Index>(admission_batch);
-    admission_options.max_wait_us = admission_wait_us;
-    admission_options.max_queue_depth = static_cast<Index>(max_queue_depth);
-    admission =
-        std::make_unique<AdmissionController>(&engine, admission_options);
-    engine.AttachAdmission(admission.get());
   }
 
   RecRequest prototype;
@@ -357,56 +441,131 @@ int RunRecommend(const std::map<std::string, std::string>& flags) {
     requests.push_back(std::move(request));
   }
 
-  // One shared engine answers every request. With --serve-threads N the
-  // requests fan out over N concurrent threads — the engine's thread-safety
-  // contract guarantees responses identical to the serial path (and with
-  // admission attached, the concurrent singles coalesce into fused
-  // batches, still bit-identically).
-  std::vector<RecResponse> responses(requests.size());
-  long long serve_threads = 1;
-  if (!ParseIntFlag(flags, "serve-threads", 1, &serve_threads)) return 2;
-  if (serve_threads > 1 && requests.size() > 1) {
-    std::vector<std::thread> threads;
-    const size_t n = static_cast<size_t>(serve_threads);
-    for (size_t t = 0; t < n; ++t) {
-      threads.emplace_back([&, t] {
-        for (size_t i = t; i < requests.size(); i += n) {
-          responses[i] = engine.Recommend(requests[i]);
-        }
-      });
-    }
-    for (std::thread& thread : threads) thread.join();
-  } else {
-    responses = engine.RecommendBatch(requests);
-  }
-  // All requests answered: detach before the controller (destroyed first,
-  // being declared later) leaves the engine with a dangling pointer.
-  if (admission != nullptr) engine.AttachAdmission(nullptr);
-
-  const bool tag_user = requests.size() > 1;
-  int not_served = 0;
-  for (const RecResponse& response : responses) {
-    if (response.status != RecStatus::kOk) {
-      // Overload rejections and backend failures are per-request outcomes,
-      // not silence: report each one and fail the invocation.
-      std::fprintf(stderr, "user %lld: %s\n",
-                   static_cast<long long>(response.user),
-                   RecStatusName(response.status));
-      ++not_served;
-      continue;
-    }
-    for (const Recommendation& rec : response.items) {
-      if (tag_user) {
-        std::printf("%lld\t%lld\t%.6f\n",
-                    static_cast<long long>(response.user),
-                    static_cast<long long>(rec.item), rec.score);
-      } else {
-        std::printf("%lld\t%.6f\n", static_cast<long long>(rec.item),
-                    rec.score);
+  // --shard-servers fans requests out to running serve-shard processes:
+  // same request/response contract, byte-identical output on the healthy
+  // path (the distributed determinism contract), DEGRADED-but-served when
+  // a shard is down.
+  const std::string shard_servers = FlagOr(flags, "shard-servers", "");
+  if (!shard_servers.empty()) {
+    DistributedServingOptions dist_options;
+    size_t pos = 0;
+    while (pos < shard_servers.size()) {
+      size_t next = shard_servers.find(',', pos);
+      if (next == std::string::npos) next = shard_servers.size();
+      if (next > pos) {
+        dist_options.shard_addresses.push_back(
+            shard_servers.substr(pos, next - pos));
       }
+      pos = next + 1;
+    }
+    long long rpc_timeout_ms = dist_options.rpc_timeout_ms;
+    if (!ParseIntFlag(flags, "rpc-timeout-ms", 1, &rpc_timeout_ms)) return 2;
+    dist_options.rpc_timeout_ms = rpc_timeout_ms;
+    auto engine = DistributedServingEngine::Connect(std::move(dist_options));
+    if (!engine.ok()) {
+      std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+      return 1;
+    }
+    if (engine.value()->num_items() != empty.num_items) {
+      std::fprintf(stderr,
+                   "shard servers cover %lld items but the model has %lld\n",
+                   static_cast<long long>(engine.value()->num_items()),
+                   static_cast<long long>(empty.num_items));
+      return 1;
+    }
+    return ServeRequests(*engine.value(), flags, requests, admission_batch,
+                         admission_wait_us, max_queue_depth);
+  }
+
+  // --shards N partitions the catalog across N sibling shard views; the
+  // merged responses are bit-identical to the single-engine path, so the
+  // flag only changes how the work is laid out, never what is served.
+  long long shards = 1;
+  if (!ParseIntFlag(flags, "shards", 1, &shards)) return 2;
+  // One shard IS the single-engine path (bit-identical by the shard
+  // invariance contract), so one engine type serves every --shards value.
+  ShardedServingOptions engine_options;
+  engine_options.num_shards = static_cast<Index>(shards);
+  ShardedServingEngine engine(loaded.value().get(), empty, engine_options);
+  return ServeRequests(engine, flags, requests, admission_batch,
+                       admission_wait_us, max_queue_depth);
+}
+
+volatile std::sig_atomic_t g_shutdown = 0;
+void OnShutdownSignal(int) { g_shutdown = 1; }
+
+int RunServeShard(const std::map<std::string, std::string>& flags) {
+  const std::string path = FlagOr(flags, "embeddings", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "--embeddings is required\n");
+    return 2;
+  }
+  const std::string range = FlagOr(flags, "shard-range", "");
+  long long begin = 0;
+  long long end = -1;  // -1 = full catalog (resolved after load)
+  if (!range.empty()) {
+    const size_t colon = range.find(':');
+    try {
+      size_t used_a = 0, used_b = 0;
+      if (colon == std::string::npos) throw std::invalid_argument(range);
+      begin = std::stoll(range.substr(0, colon), &used_a);
+      end = std::stoll(range.substr(colon + 1), &used_b);
+      if (used_a != colon || colon + 1 + used_b != range.size() || begin < 0 ||
+          end < begin) {
+        throw std::invalid_argument(range);
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "--shard-range expects A:B with 0 <= A <= B, got '%s'\n",
+                   range.c_str());
+      return 2;
     }
   }
-  return not_served > 0 ? 1 : 0;
+
+  ShardServerOptions options;
+  options.listen_address = FlagOr(flags, "listen", "127.0.0.1:0");
+  long long item_block = options.item_block;
+  if (!ParseIntFlag(flags, "item-block", 1, &item_block)) return 2;
+  options.item_block = static_cast<Index>(item_block);
+  // Fault injection for tests and drills: delay every reply by this many
+  // microseconds so coordinators exercise their deadline budgets.
+  long long stall_us = 0;
+  if (!ParseIntFlag(flags, "stall-replies-us", 0, &stall_us)) return 2;
+  options.stall_replies_us = static_cast<int64_t>(stall_us);
+
+  if (end < 0) {
+    auto probe = LoadEmbeddings(path);
+    if (!probe.ok()) {
+      std::fprintf(stderr, "%s\n", probe.status().ToString().c_str());
+      return 1;
+    }
+    end = probe.value()->ItemEmbeddings().rows();
+  }
+  auto served = ServeEmbeddingsShard(path, static_cast<Index>(begin),
+                                     static_cast<Index>(end), options);
+  if (!served.ok()) {
+    std::fprintf(stderr, "%s\n", served.status().ToString().c_str());
+    return 1;
+  }
+  ShardServer& server = *served.value().server;
+  // First line is machine-scraped (tests, orchestration): the concrete
+  // bound address, kernel-assigned port resolved.
+  std::printf("listening on %s (shard [%lld,%lld) of %lld items)\n",
+              server.bound_address().c_str(),
+              static_cast<long long>(server.shard_begin()),
+              static_cast<long long>(server.shard_end()),
+              static_cast<long long>(server.num_items()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnShutdownSignal);
+  std::signal(SIGTERM, OnShutdownSignal);
+  while (!g_shutdown) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+  std::fprintf(stderr, "served %llu requests in %llu batches\n",
+               static_cast<unsigned long long>(server.requests_served()),
+               static_cast<unsigned long long>(server.batches_served()));
+  return 0;
 }
 
 }  // namespace
@@ -415,7 +574,8 @@ int main(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarning);
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: firzen_cli <synth|train|recommend> [--flag value]...\n");
+                 "usage: firzen_cli <synth|train|recommend|serve-shard> "
+                 "[--flag value]...\n");
     return 2;
   }
   const std::string command = argv[1];
@@ -423,6 +583,7 @@ int main(int argc, char** argv) {
   if (command == "synth") return RunSynth(flags);
   if (command == "train") return RunTrain(flags);
   if (command == "recommend") return RunRecommend(flags);
+  if (command == "serve-shard") return RunServeShard(flags);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 2;
 }

@@ -7,7 +7,11 @@
 # shared-engine throughput scaling, BM_ServingSharded (1/2/4 catalog
 # shards x 1/4 request threads against ONE shared ShardedServingEngine,
 # parity-checked against the single engine at startup) charting what the
-# sharded merge costs and parallel shard ranking buys, and
+# sharded merge costs and parallel shard ranking buys,
+# BM_ServingDistributed (1/2/4 in-process shard servers behind real
+# loopback sockets under ONE coordinator, parity-checked against the
+# in-process sharded engine at startup, with a wire_bytes_per_req counter)
+# charting the wire + fan-out overhead of moving shards behind sockets, and
 # BM_ServingAdmission (8 concurrent single-request threads, admission
 # coalescing off/on, parity-gated, with p50/p95/p99 per-request latency
 # counters) charting the admission-batching win, and BM_ServingSaturation
@@ -58,11 +62,14 @@ cmake --build "${BUILD_DIR}" -j --target bench_kernels --target bench_serving \
   "$@"
 
 # End-to-end serving, including the concurrent shared-engine scaling cases,
-# the sharded-catalog cases, the admission cases, and the open-loop
-# saturation sweep (the BM_Serving filter matches BM_ServingConcurrent,
-# BM_ServingSharded, BM_ServingAdmission, and BM_ServingSaturation too):
+# the sharded-catalog cases, the distributed socket fan-out cases, the
+# admission cases, and the open-loop saturation sweep (the BM_Serving
+# filter matches BM_ServingConcurrent, BM_ServingSharded,
+# BM_ServingDistributed, BM_ServingAdmission, and BM_ServingSaturation
+# too):
 # one repetition is representative (the cases verify fused/materialized,
-# sharded/single, and admission/alone parity internally before timing; the
+# sharded/single, distributed/sharded, and admission/alone parity
+# internally before timing; the
 # saturation cases pin their own iteration count so the offered-rate
 # schedule is identical run to run).
 SERVING_OUT="${OUT%.json}_serving.tmp.json"

@@ -10,8 +10,13 @@
 #      the admission stress exercises the AdmissionController ticket queue
 #      and leader-follower dispatcher hand-off under contention. The
 #      -R filter below matches serving_test, serving_admission_test,
-#      serving_concurrency_test, sharded_serving_test, and
-#      scorer_parity_test;
+#      serving_concurrency_test, sharded_serving_test,
+#      distributed_serving_test (the socket fan-out coordinator, shard
+#      servers, kill/stall/reconnect matrix — its server accept/handler
+#      threads and per-shard exchange threads are the race canary for the
+#      distributed tier), and scorer_parity_test. distributed_e2e_test
+#      (real child processes, fork/exec) runs in the default pass only:
+#      sanitizer runtimes and fork don't mix;
 #   4. rebuild with -DFIRZEN_SANITIZE=undefined and run the same serving +
 #      admission suites under UBSan — the overload-protection paths
 #      (deadline arithmetic on steady_clock time points, hysteresis
