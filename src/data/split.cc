@@ -131,8 +131,20 @@ Dataset MakeNormalColdProtocol(const Dataset& dataset, Rng* rng) {
     // least one revealed link.
     std::unordered_map<Index, std::vector<Interaction>> by_item;
     for (const Interaction& x : in) by_item[x.item].push_back(x);
-    for (auto& [item, rows] : by_item) {
-      (void)item;
+    // Visit items in sorted id order, NOT hash order: each group consumes
+    // rng draws (Shuffle) and appends to the output splits, so iterating the
+    // map directly would make the protocol depend on the standard library's
+    // hash — a different split on every platform despite the fixed seed.
+    std::vector<Index> item_ids;
+    item_ids.reserve(by_item.size());
+    // firzen-lint: allow(unordered-iteration) -- keys only, sorted below.
+    for (const auto& [item, rows] : by_item) {
+      (void)rows;
+      item_ids.push_back(item);
+    }
+    std::sort(item_ids.begin(), item_ids.end());
+    for (Index item : item_ids) {
+      std::vector<Interaction>& rows = by_item[item];
       rng->Shuffle(&rows);
       const size_t known_count = rows.size() / 2;
       for (size_t k = 0; k < rows.size(); ++k) {

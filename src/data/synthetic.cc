@@ -6,6 +6,7 @@
 #include "src/data/split.h"
 #include "src/data/synthetic_kg.h"
 #include "src/util/check.h"
+#include "src/util/ranking.h"
 
 namespace firzen {
 namespace {
@@ -157,7 +158,7 @@ Dataset GenerateSyntheticDataset(const SyntheticConfig& config,
         Poisson(config.mean_interactions_per_user, &rng));
     const Index n_u = std::min<Index>(want, pool_size - 1);
     std::vector<Index> pool = rng.SampleWithoutReplacement(items, pool_size);
-    std::vector<std::pair<Real, Index>> scored;
+    std::vector<ScoredItem> scored;
     scored.reserve(pool.size());
     for (Index i : pool) {
       Real affinity = 0.0;
@@ -167,14 +168,15 @@ Dataset GenerateSyntheticDataset(const SyntheticConfig& config,
       const Real score =
           affinity / config.preference_temperature +
           std::log(item_popularity[static_cast<size_t>(i)]) + rng.Gumbel();
-      scored.emplace_back(score, i);
+      scored.push_back({i, score});
     }
+    // RanksBefore, not a bare score comparator: ties (however unlikely with
+    // Gumbel noise) must break by item id or the generated dataset depends
+    // on the sort implementation.
     std::partial_sort(scored.begin(), scored.begin() + n_u, scored.end(),
-                      [](const auto& a, const auto& b) {
-                        return a.first > b.first;
-                      });
+                      RanksBefore);
     for (Index j = 0; j < n_u; ++j) {
-      interactions.push_back({u, scored[static_cast<size_t>(j)].second});
+      interactions.push_back({u, scored[static_cast<size_t>(j)].item});
     }
   }
 

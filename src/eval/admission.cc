@@ -6,8 +6,12 @@
 #include <utility>
 
 #include "src/eval/sharded_serving.h"
-#include "src/serve/distributed_serving.h"
 #include "src/util/check.h"
+
+// The DistributedServingEngine constructor overload lives in
+// src/serve/distributed_serving.cc: eval/ must not include serve/ (layering
+// — see tools/firzen_lint.py), and a member function of AdmissionController
+// is free to be defined in the TU that owns the full engine type.
 
 namespace firzen {
 
@@ -40,19 +44,6 @@ AdmissionController::AdmissionController(const ServingEngine* engine,
 }
 
 AdmissionController::AdmissionController(const ShardedServingEngine* engine,
-                                         AdmissionOptions options)
-    : options_(std::move(options)) {
-  FIRZEN_CHECK(engine != nullptr);
-  if (options_.resume_queue_depth < 0) {
-    options_.resume_queue_depth = options_.max_queue_depth / 2;
-  }
-  Validate();
-  backend_ = [engine](const std::vector<RecRequest>& requests) {
-    return engine->RecommendBatchDirect(requests);
-  };
-}
-
-AdmissionController::AdmissionController(const DistributedServingEngine* engine,
                                          AdmissionOptions options)
     : options_(std::move(options)) {
   FIRZEN_CHECK(engine != nullptr);
@@ -117,7 +108,7 @@ bool AdmissionController::SweepExpired(Clock::time_point now) const {
                                   return t->state == Ticket::State::kDone;
                                 }),
                  queue_.end());
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
   }
   return any;
 }
@@ -200,7 +191,7 @@ std::vector<RecResponse> AdmissionController::RecommendBatch(
   // do not return until every ticket is done, so queued pointers into it
   // are valid for exactly as long as the queue can hold them.
   std::vector<Ticket> tickets(requests.size());
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto now = Clock::now();
   size_t enqueued_count = 0;
   for (size_t i = 0; i < requests.size(); ++i) {
@@ -228,7 +219,7 @@ std::vector<RecResponse> AdmissionController::RecommendBatch(
   admitted_.fetch_add(enqueued_count, std::memory_order_relaxed);
   // A collecting leader may be blocked waiting for its batch to fill (or
   // for the nearest deadline); wake it to re-evaluate.
-  if (enqueued_count > 0 && leader_active_) queue_cv_.notify_one();
+  if (enqueued_count > 0 && leader_active_) queue_cv_.NotifyOne();
 
   const auto all_done = [&] {
     for (const Ticket& t : tickets) {
@@ -272,11 +263,11 @@ std::vector<RecResponse> AdmissionController::RecommendBatch(
           }
           return true;
         };
-        while (!none_claimed()) done_cv_.wait(lock);
+        while (!none_claimed()) done_cv_.Wait(lock);
         throw;
       }
     } else {
-      done_cv_.wait(lock);
+      done_cv_.Wait(lock);
     }
   }
   for (size_t i = 0; i < requests.size(); ++i) {
@@ -285,8 +276,7 @@ std::vector<RecResponse> AdmissionController::RecommendBatch(
   return responses;
 }
 
-void AdmissionController::ServeOneBatch(
-    std::unique_lock<std::mutex>* lock) const {
+void AdmissionController::ServeOneBatch(MutexLock* lock) const {
   leader_active_ = true;
   // Hold the batch open for co-riders until it is full, the OLDEST queued
   // ticket has waited its bound (so no request's added latency exceeds
@@ -304,7 +294,7 @@ void AdmissionController::ServeOneBatch(
       if (Clock::now() >= target) break;
       // Wakes on new arrivals (batch may be full, or a nearer deadline
       // arrived — recompute either way) and on timeout.
-      queue_cv_.wait_until(*lock, target);
+      queue_cv_.WaitUntil(*lock, target);
     }
   }
   // Expired tickets are rejected, never scored late — whatever the drain
@@ -313,7 +303,7 @@ void AdmissionController::ServeOneBatch(
   if (queue_.empty()) {
     // Everything queued expired while we collected; nothing to serve.
     leader_active_ = false;
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
     return;
   }
 
@@ -328,7 +318,7 @@ void AdmissionController::ServeOneBatch(
     for (const Ticket* t : claimed) batch.push_back(*t->request);
   } catch (...) {
     leader_active_ = false;
-    done_cv_.notify_all();  // a waiting caller can take over leadership
+    done_cv_.NotifyAll();  // a waiting caller can take over leadership
     throw;
   }
   // Point of no return: only non-throwing operations between here and the
@@ -343,20 +333,27 @@ void AdmissionController::ServeOneBatch(
                               }),
                queue_.end());
   leader_active_ = false;
-  if (!queue_.empty()) done_cv_.notify_all();
+  if (!queue_.empty()) done_cv_.NotifyAll();
   fused_.fetch_add(1, std::memory_order_relaxed);
-  lock->unlock();
   std::vector<RecResponse> results;
-  try {
-    results = backend_(batch);
-  } catch (...) {
+  bool backend_threw = false;
+  {
+    // Drop the lock only around the backend pass; the catch-all keeps any
+    // exception from escaping the unlocked region (see MutexUnlock).
+    MutexUnlock unlock(*lock, mu_);
+    try {
+      results = backend_(batch);
+    } catch (...) {
+      backend_threw = true;
+    }
+  }
+  if (backend_threw) {
     // Structured failure fan-out: the pass is gone, so EVERY coalesced
     // ticket it carried completes with an explicit per-ticket error
     // status — no exception propagation, no torn results, no follower
     // left blocked. The queue was already consistent (claimed tickets
     // left it above), so unrelated batches are unaffected and the
     // controller keeps serving.
-    lock->lock();
     backend_failures_.fetch_add(1, std::memory_order_relaxed);
     for (Ticket* t : claimed) {
       t->response.user = t->request->user;
@@ -364,17 +361,16 @@ void AdmissionController::ServeOneBatch(
       t->response.items.clear();
       t->state = Ticket::State::kDone;
     }
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
     return;
   }
-  lock->lock();
   FIRZEN_CHECK_EQ(static_cast<Index>(results.size()),
                   static_cast<Index>(claimed.size()));
   for (size_t i = 0; i < claimed.size(); ++i) {
     claimed[i]->response = std::move(results[i]);
     claimed[i]->state = Ticket::State::kDone;
   }
-  done_cv_.notify_all();
+  done_cv_.NotifyAll();
 }
 
 }  // namespace firzen

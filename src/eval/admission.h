@@ -55,13 +55,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <vector>
 
 #include "src/eval/serving.h"
+#include "src/util/thread_annotations.h"
 
 namespace firzen {
 
@@ -213,45 +212,46 @@ class AdmissionController {
   void Validate() const;
 
   /// Completes `ticket` without serving it: status, user, empty items.
-  /// Called with mu_ held.
-  void Reject(Ticket* ticket, RecStatus status) const;
+  void Reject(Ticket* ticket, RecStatus status) const FIRZEN_REQUIRES(mu_);
 
   /// True when a NEW request must be shed right now; updates the
-  /// hysteresis state machine. Called with mu_ held, before enqueueing.
-  bool ShouldShed() const;
+  /// hysteresis state machine. Called before enqueueing.
+  bool ShouldShed() const FIRZEN_REQUIRES(mu_);
 
   /// Completes every queued ticket whose deadline has passed with
-  /// kDeadlineExceeded and removes it from the queue. Called with mu_
-  /// held. Returns true when any ticket was rejected.
-  bool SweepExpired(std::chrono::steady_clock::time_point now) const;
+  /// kDeadlineExceeded and removes it from the queue. Returns true when
+  /// any ticket was rejected.
+  bool SweepExpired(std::chrono::steady_clock::time_point now) const
+      FIRZEN_REQUIRES(mu_);
 
   /// Picks up to max_batch queued tickets under options_.drain_policy,
-  /// removes them from the queue, and returns them in drain order. Called
-  /// with mu_ held.
-  std::vector<Ticket*> SelectBatch() const;
+  /// removes them from the queue, and returns them in drain order.
+  std::vector<Ticket*> SelectBatch() const FIRZEN_REQUIRES(mu_);
 
   /// Claims up to max_batch queued tickets and serves them in one fused
-  /// backend pass. Called with `lock` held; temporarily releases it around
-  /// the backend call. A throwing backend is absorbed: every claimed
-  /// ticket completes with kBackendError. (Allocation failures before the
-  /// claim still propagate; the queue is untouched then.)
-  void ServeOneBatch(std::unique_lock<std::mutex>* lock) const;
+  /// backend pass. Called with `lock` (over mu_) held; temporarily
+  /// releases it around the backend call (MutexUnlock). A throwing backend
+  /// is absorbed: every claimed ticket completes with kBackendError.
+  /// (Allocation failures before the claim still propagate; the queue is
+  /// untouched then.)
+  void ServeOneBatch(MutexLock* lock) const FIRZEN_REQUIRES(mu_);
 
   Backend backend_;
   AdmissionOptions options_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // Signals the collecting leader that the queue grew (its batch may now be
   // full, or a nearer deadline arrived). Followers and leaders-to-be wait on
   // done_cv_: it fires when a batch completes AND when leadership frees up
   // with tickets still queued.
-  mutable std::condition_variable queue_cv_;
-  mutable std::condition_variable done_cv_;
-  mutable std::vector<Ticket*> queue_;  // FIFO; tickets live on caller stacks
-  mutable bool leader_active_ = false;
+  mutable CondVar queue_cv_;
+  mutable CondVar done_cv_;
+  // FIFO; tickets live on caller stacks.
+  mutable std::vector<Ticket*> queue_ FIRZEN_GUARDED_BY(mu_);
+  mutable bool leader_active_ FIRZEN_GUARDED_BY(mu_) = false;
   // Hysteresis state: shedding new arrivals until the queue drains to the
   // resume watermark.
-  mutable bool shedding_ = false;
+  mutable bool shedding_ FIRZEN_GUARDED_BY(mu_) = false;
 
   mutable std::atomic<uint64_t> admitted_{0};
   mutable std::atomic<uint64_t> fused_{0};

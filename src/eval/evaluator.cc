@@ -1,7 +1,6 @@
 #include "src/eval/evaluator.h"
 
 #include <algorithm>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -9,6 +8,7 @@
 #include "src/eval/topk.h"
 #include "src/util/check.h"
 #include "src/util/table_printer.h"
+#include "src/util/thread_annotations.h"
 
 namespace firzen {
 
@@ -29,6 +29,8 @@ EvalResult EvaluateRanking(const Dataset& dataset,
   }
   std::vector<Index> eval_users;
   eval_users.reserve(relevant_by_user.size());
+  // Hash order never escapes: the keys are sorted before any use.
+  // firzen-lint: allow(unordered-iteration)
   for (const auto& [user, items] : relevant_by_user) {
     (void)items;
     eval_users.push_back(user);
@@ -53,7 +55,7 @@ EvalResult EvaluateRanking(const Dataset& dataset,
 
   MetricBundle total;
   Index counted = 0;
-  std::mutex total_mu;
+  Mutex total_mu;
 
   // Catalog shards: the offline protocol ranks through the same
   // shard-partition + per-shard-view + merge machinery the online
@@ -169,7 +171,7 @@ EvalResult EvaluateRanking(const Dataset& dataset,
                                         options.k);
             ++local_count;
           }
-          std::lock_guard<std::mutex> lock(total_mu);
+          MutexLock lock(total_mu);
           total += local;
           counted += local_count;
         },

@@ -8,28 +8,12 @@
 #include <vector>
 
 #include "src/util/common.h"
+// ScoredItem and RanksBefore — THE ranking total order — live in the util
+// layer (src/util/ranking.h) so lower layers can share them; this header
+// re-exports them for all historical includers.
+#include "src/util/ranking.h"
 
 namespace firzen {
-
-/// One scored candidate.
-struct ScoredItem {
-  Index item;
-  Real score;
-};
-
-/// THE ranking total order: true when `a` ranks strictly before `b` —
-/// descending score, ties broken by ascending item id. Item ids are unique
-/// within a ranking, so this is a strict total order: any top-k selection
-/// under it is a unique set in a unique order, no matter how the candidates
-/// were partitioned or in which order they were offered. That property is
-/// what makes per-shard top-k lists mergeable bit-exactly (MergeTopK in
-/// src/eval/sharded_serving.h): every ranking path — TopKHeap, the sharded
-/// merge, brute-force references in tests — must compare through this one
-/// function. NaN never reaches it (TopKHeap drops NaN pushes; a NaN here
-/// would break the strict weak ordering).
-inline bool RanksBefore(const ScoredItem& a, const ScoredItem& b) {
-  return a.score != b.score ? a.score > b.score : a.item < b.item;
-}
 
 /// Reusable bounded top-k selector. Ordering is deterministic: higher score
 /// first, ties broken by lower item id (RanksBefore above) — identical to

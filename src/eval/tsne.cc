@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/util/check.h"
+#include "src/util/ranking.h"
 
 namespace firzen {
 namespace {
@@ -158,7 +159,7 @@ MixingStats ComputeMixingStats(const Matrix& embeddings,
 
   Index cold_count = 0;
   Real mix_total = 0.0;
-  std::vector<std::pair<Real, Index>> scored;
+  std::vector<ScoredItem> scored;
   for (Index i = 0; i < n; ++i) {
     if (!is_cold[static_cast<size_t>(i)]) continue;
     ++cold_count;
@@ -167,16 +168,17 @@ MixingStats ComputeMixingStats(const Matrix& embeddings,
       if (j == i) continue;
       Real sim = 0.0;
       for (Index c = 0; c < norm.cols(); ++c) sim += norm(i, c) * norm(j, c);
-      scored.emplace_back(sim, j);
+      scored.push_back({j, sim});
     }
     const size_t keep =
         std::min<size_t>(static_cast<size_t>(knn_k), scored.size());
-    std::partial_sort(
-        scored.begin(), scored.begin() + keep, scored.end(),
-        [](const auto& a, const auto& b) { return a.first > b.first; });
+    // RanksBefore: similarity ties must break by item id, or the reported
+    // neighbor mix depends on the sort implementation.
+    std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                      RanksBefore);
     Index warm_neighbors = 0;
     for (size_t j = 0; j < keep; ++j) {
-      if (!is_cold[static_cast<size_t>(scored[j].second)]) ++warm_neighbors;
+      if (!is_cold[static_cast<size_t>(scored[j].item)]) ++warm_neighbors;
     }
     mix_total += static_cast<Real>(warm_neighbors) / static_cast<Real>(keep);
   }

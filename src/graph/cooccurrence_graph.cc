@@ -39,9 +39,16 @@ CsrMatrix BuildUserCooccurrenceGraph(
       }
     }
     if (counts.empty()) continue;
+    // Hash order is immediately erased by the strict total order below
+    // (count desc, peer id asc — peer ids are unique), so the kept prefix
+    // is identical for any iteration order.
+    // firzen-lint: allow(unordered-iteration)
     std::vector<std::pair<Index, Index>> scored(counts.begin(), counts.end());
     const size_t keep =
         std::min<size_t>(static_cast<size_t>(top_k), scored.size());
+    // Integer co-occurrence counts, not float scores: (count desc, id asc)
+    // is already a strict total order, RanksBefore does not apply.
+    // firzen-lint: allow(raw-sort)
     std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
                       [](const auto& a, const auto& b) {
                         return a.second != b.second ? a.second > b.second

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 
 #include "src/util/check.h"
+#include "src/util/ranking.h"
+#include "src/util/thread_annotations.h"
 
 namespace firzen {
 namespace {
@@ -46,12 +47,12 @@ CsrMatrix BuildItemKnnAdjacency(const Matrix& features,
   FIRZEN_CHECK_GT(k, 0);
 
   std::vector<CooEntry> entries;
-  std::mutex entries_mu;
+  Mutex entries_mu;
 
   ParallelFor(
       options.pool, static_cast<Index>(queries.size()),
       [&](Index begin, Index end) {
-        std::vector<std::pair<Real, Index>> scored;
+        std::vector<ScoredItem> scored;
         std::vector<CooEntry> local;
         for (Index qi = begin; qi < end; ++qi) {
           const Index a = queries[static_cast<size_t>(qi)];
@@ -63,21 +64,17 @@ CsrMatrix BuildItemKnnAdjacency(const Matrix& features,
             const Real* brow = normalized.row(b);
             Real sim = 0.0;
             for (Index c = 0; c < d; ++c) sim += arow[c] * brow[c];
-            scored.emplace_back(sim, b);
+            scored.push_back({b, sim});
           }
           const size_t keep =
               std::min<size_t>(static_cast<size_t>(k), scored.size());
           std::partial_sort(scored.begin(), scored.begin() + keep,
-                            scored.end(),
-                            [](const auto& x, const auto& y) {
-                              return x.first != y.first ? x.first > y.first
-                                                        : x.second < y.second;
-                            });
+                            scored.end(), RanksBefore);
           for (size_t j = 0; j < keep; ++j) {
-            local.push_back({a, scored[j].second, 1.0});
+            local.push_back({a, scored[j].item, 1.0});
           }
         }
-        std::lock_guard<std::mutex> lock(entries_mu);
+        MutexLock lock(entries_mu);
         entries.insert(entries.end(), local.begin(), local.end());
       });
 

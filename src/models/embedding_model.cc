@@ -1,5 +1,7 @@
 #include "src/models/embedding_model.h"
 
+// Known back-edge: training-time validation metrics (see registry.h).
+// firzen-lint: allow(include-layering)
 #include "src/eval/evaluator.h"
 #include "src/util/check.h"
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+// Known back-edge: training-time validation metrics (see registry.h).
+// firzen-lint: allow(include-layering)
 #include "src/eval/evaluator.h"
 #include "src/models/sampler.h"
 #include "src/tensor/init.h"

@@ -7,6 +7,10 @@
 #include <string>
 #include <vector>
 
+// Known back-edge: the registry's training loops report validation metrics
+// through EvaluateRanking, so models depends on eval here by design (the
+// protocol lives with the models that run it).
+// firzen-lint: allow(include-layering)
 #include "src/eval/evaluator.h"
 #include "src/models/recommender.h"
 

@@ -62,7 +62,7 @@ ArenaPool::Lease::~Lease() {
 
 ArenaPool::Lease ArenaPool::Acquire() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!free_.empty()) {
       std::unique_ptr<ScoringArena> arena = std::move(free_.back());
       free_.pop_back();
@@ -73,7 +73,7 @@ ArenaPool::Lease ArenaPool::Acquire() {
 }
 
 void ArenaPool::Release(std::unique_ptr<ScoringArena> arena) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   free_.push_back(std::move(arena));
 }
 

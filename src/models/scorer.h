@@ -23,10 +23,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "src/tensor/matrix.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/thread_pool.h"
 
 namespace firzen {
@@ -112,14 +112,14 @@ class ArenaPool {
   ArenaPool& operator=(const ArenaPool&) = delete;
 
   /// Returns a leased arena: a recycled one when available, else fresh.
-  Lease Acquire();
+  Lease Acquire() FIRZEN_EXCLUDES(mu_);
 
  private:
   friend class Lease;
-  void Release(std::unique_ptr<ScoringArena> arena);
+  void Release(std::unique_ptr<ScoringArena> arena) FIRZEN_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::vector<std::unique_ptr<ScoringArena>> free_;
+  Mutex mu_;
+  std::vector<std::unique_ptr<ScoringArena>> free_ FIRZEN_GUARDED_BY(mu_);
 };
 
 /// Streaming scorer handle. Holds whatever read-only per-inference state the

@@ -10,6 +10,22 @@
 
 namespace firzen {
 
+// Defined here rather than in src/eval/admission.cc so the eval layer never
+// includes serve/ (include layering; see tools/firzen_lint.py). Mirrors the
+// ServingEngine / ShardedServingEngine overloads verbatim.
+AdmissionController::AdmissionController(const DistributedServingEngine* engine,
+                                         AdmissionOptions options)
+    : options_(std::move(options)) {
+  FIRZEN_CHECK(engine != nullptr);
+  if (options_.resume_queue_depth < 0) {
+    options_.resume_queue_depth = options_.max_queue_depth / 2;
+  }
+  Validate();
+  backend_ = [engine](const std::vector<RecRequest>& requests) {
+    return engine->RecommendBatchDirect(requests);
+  };
+}
+
 namespace {
 
 using Clock = std::chrono::steady_clock;
@@ -247,7 +263,7 @@ std::vector<RecResponse> DistributedServingEngine::RecommendBatchDirect(
   for (size_t s = 0; s < num_shards && budget_us > 0; ++s) {
     threads.emplace_back([&, s] {
       Conn* conn = conns_[s].get();
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(conn->mu);
       Status status = ExchangeOnShard(conn, payload, requests.size(), deadline,
                                       &shard_replies[s]);
       if (!status.ok()) {

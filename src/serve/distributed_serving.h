@@ -46,7 +46,6 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -55,6 +54,7 @@
 #include "src/serve/net.h"
 #include "src/serve/wire.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace firzen {
 
@@ -148,10 +148,13 @@ class DistributedServingEngine {
   /// the wire protocol has no request ids, so a connection must carry one
   /// exchange at a time. `fd` is invalid while the shard is down.
   struct Conn {
-    std::mutex mu;
-    net::UniqueFd fd;
+    Mutex mu;
+    net::UniqueFd fd FIRZEN_GUARDED_BY(mu);
+    // Written once at Connect (before the engine is shared) and never
+    // mutated again — a re-dial only COMPARES the announced info against
+    // this copy — so lock-free reads (shard_range, shard_address) are safe.
     std::string address;
-    wire::ShardInfo info;  // fixed at Connect; re-validated on re-dial
+    wire::ShardInfo info;
   };
 
   DistributedServingEngine() = default;
@@ -161,13 +164,14 @@ class DistributedServingEngine {
   Status DialShard(const std::string& address, int64_t timeout_ms,
                    net::UniqueFd* fd, wire::ShardInfo* info) const;
 
-  /// Runs one request/reply exchange on shard `s` (conn.mu held by the
+  /// Runs one request/reply exchange on shard `s` (conn->mu held by the
   /// caller), reconnecting first if the shard is down. `deadline` bounds
   /// everything; failure resets the connection.
   Status ExchangeOnShard(Conn* conn, const std::vector<uint8_t>& payload,
                          size_t expected_replies,
                          std::chrono::steady_clock::time_point deadline,
-                         std::vector<wire::ShardReply>* replies) const;
+                         std::vector<wire::ShardReply>* replies) const
+      FIRZEN_REQUIRES(conn->mu);
 
   std::vector<std::unique_ptr<Conn>> conns_;
   Index num_items_ = 0;

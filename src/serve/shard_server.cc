@@ -60,13 +60,13 @@ void ShardServer::Stop() {
   {
     // Wake handlers blocked in recv: a shutdown makes their pending read
     // return "connection closed" and the handler exits on its own.
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     for (int fd : live_conn_fds_) shutdown(fd, SHUT_RDWR);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> handlers;
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     handlers.swap(handlers_);
   }
   for (std::thread& t : handlers) {
@@ -81,7 +81,7 @@ void ShardServer::AcceptLoop() {
     Result<net::UniqueFd> conn = net::Accept(listen_fd_.get(), kAcceptPollMs);
     if (!conn.ok()) return;        // listener broke; nothing to serve
     if (!conn.value()) continue;   // poll tick: re-check the stop flag
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     if (stopping_.load(std::memory_order_relaxed)) return;
     net::UniqueFd fd = std::move(conn.value());
     live_conn_fds_.push_back(fd.get());
@@ -125,7 +125,7 @@ void ShardServer::HandleConnection(net::UniqueFd conn) {
     ShardServer* server;
     int fd;
     ~Deregister() {
-      std::lock_guard<std::mutex> lock(server->conn_mu_);
+      MutexLock lock(server->conn_mu_);
       auto& fds = server->live_conn_fds_;
       for (size_t i = 0; i < fds.size(); ++i) {
         if (fds[i] == fd) {

@@ -26,7 +26,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -36,6 +35,7 @@
 #include "src/models/serialize.h"
 #include "src/serve/net.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace firzen {
 
@@ -126,9 +126,11 @@ class ShardServer {
   std::atomic<bool> stopping_{false};
   bool started_ = false;
 
-  std::mutex conn_mu_;
-  std::vector<std::thread> handlers_;       // joined in Stop()
-  std::vector<int> live_conn_fds_;          // shut down in Stop()
+  Mutex conn_mu_;
+  // Joined in Stop().
+  std::vector<std::thread> handlers_ FIRZEN_GUARDED_BY(conn_mu_);
+  // Shut down in Stop().
+  std::vector<int> live_conn_fds_ FIRZEN_GUARDED_BY(conn_mu_);
 
   mutable ArenaPool arenas_;
   std::atomic<uint64_t> requests_served_{0};

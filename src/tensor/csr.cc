@@ -177,6 +177,9 @@ CsrMatrix CsrMatrix::RowNormalized() const {
   CsrMatrix m = *this;
   m.transpose_cache_ = std::make_shared<TransposeCache>();
   for (Index r = 0; r < rows_; ++r) {
+    // Sequential fixed-order scalar reduction: deterministic as written; the
+    // sanctioned fma kernels (matrix.cc) exist for blocked/parallel panels.
+    // firzen-lint: allow(raw-float-accum)
     Real sum = 0.0;
     for (Index p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
       sum += std::abs(values_[static_cast<size_t>(p)]);
@@ -226,6 +229,9 @@ CsrMatrix CsrMatrix::RowSoftmax() const {
     for (Index p = begin + 1; p < end; ++p) {
       max_v = std::max(max_v, values_[static_cast<size_t>(p)]);
     }
+    // Sequential fixed-order scalar reduction: deterministic as written; the
+    // sanctioned fma kernels (matrix.cc) exist for blocked/parallel panels.
+    // firzen-lint: allow(raw-float-accum)
     Real denom = 0.0;
     for (Index p = begin; p < end; ++p) {
       m.values_[static_cast<size_t>(p)] =

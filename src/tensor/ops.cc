@@ -313,6 +313,9 @@ Tensor RowL2Normalize(const Tensor& x, Real eps) {
         const Real* g = self->grad.row(r);
         const Real* y = self->value.row(r);
         Real* gx = x_node->grad.row(r);
+        // Sequential fixed-order scalar reduction: deterministic as written; the
+        // sanctioned fma kernels (matrix.cc) exist for blocked/parallel panels.
+        // firzen-lint: allow(raw-float-accum)
         Real gy = 0.0;
         for (Index c = 0; c < d; ++c) gy += g[c] * y[c];
         const Real inv = 1.0 / norms[static_cast<size_t>(r)];
@@ -412,6 +415,9 @@ Tensor RowSoftmax(const Tensor& x) {
     Real* dst = node->value.row(r);
     Real max_v = src[0];
     for (Index c = 1; c < d; ++c) max_v = std::max(max_v, src[c]);
+    // Sequential fixed-order scalar reduction: deterministic as written; the
+    // sanctioned fma kernels (matrix.cc) exist for blocked/parallel panels.
+    // firzen-lint: allow(raw-float-accum)
     Real denom = 0.0;
     for (Index c = 0; c < d; ++c) {
       dst[c] = std::exp(src[c] - max_v);
@@ -427,6 +433,9 @@ Tensor RowSoftmax(const Tensor& x) {
         const Real* g = self->grad.row(r);
         const Real* y = self->value.row(r);
         Real* gx = x_node->grad.row(r);
+        // Sequential fixed-order scalar reduction: deterministic as written; the
+        // sanctioned fma kernels (matrix.cc) exist for blocked/parallel panels.
+        // firzen-lint: allow(raw-float-accum)
         Real gy = 0.0;
         for (Index c = 0; c < d; ++c) gy += g[c] * y[c];
         for (Index c = 0; c < d; ++c) gx[c] += (g[c] - gy) * y[c];
@@ -487,6 +496,9 @@ Tensor RowScale(const Tensor& x, const Tensor& w) {
         if (w_node->requires_grad) {
           w_node->EnsureGrad();
           const Real* xv = x_node->value.row(r);
+          // Sequential fixed-order scalar reduction: deterministic as written; the
+          // sanctioned fma kernels (matrix.cc) exist for blocked/parallel panels.
+          // firzen-lint: allow(raw-float-accum)
           Real acc = 0.0;
           for (Index c = 0; c < d; ++c) acc += g[c] * xv[c];
           w_node->grad(r, 0) += acc;
@@ -538,6 +550,9 @@ Tensor RowDot(const Tensor& a, const Tensor& b) {
   for (Index r = 0; r < n; ++r) {
     const Real* av = a.value().row(r);
     const Real* bv = b.value().row(r);
+    // Sequential fixed-order scalar reduction: deterministic as written; the
+    // sanctioned fma kernels (matrix.cc) exist for blocked/parallel panels.
+    // firzen-lint: allow(raw-float-accum)
     Real acc = 0.0;
     for (Index c = 0; c < d; ++c) acc += av[c] * bv[c];
     node->value(r, 0) = acc;
@@ -569,6 +584,9 @@ Tensor RowDot(const Tensor& a, const Tensor& b) {
 Tensor ReduceSum(const Tensor& x) {
   auto node = NewNode("reduce_sum", {x.node()});
   node->value.Resize(1, 1);
+  // Sequential fixed-order scalar reduction: deterministic as written; the
+  // sanctioned fma kernels (matrix.cc) exist for blocked/parallel panels.
+  // firzen-lint: allow(raw-float-accum)
   Real acc = 0.0;
   const Index n = x.value().size();
   for (Index i = 0; i < n; ++i) acc += x.value().data()[i];
@@ -597,6 +615,9 @@ Tensor RowSum(const Tensor& x) {
   node->value.Resize(n, 1);
   for (Index r = 0; r < n; ++r) {
     const Real* src = x.value().row(r);
+    // Sequential fixed-order scalar reduction: deterministic as written; the
+    // sanctioned fma kernels (matrix.cc) exist for blocked/parallel panels.
+    // firzen-lint: allow(raw-float-accum)
     Real acc = 0.0;
     for (Index c = 0; c < d; ++c) acc += src[c];
     node->value(r, 0) = acc;

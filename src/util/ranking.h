@@ -1,0 +1,37 @@
+// THE canonical ranking order, promoted to the util layer so EVERY layer —
+// data generation, graph construction, evaluation, serving — can route its
+// score sorts through one total order without an upward #include (the
+// determinism linter bans raw comparator sorts on score floats; see
+// tools/firzen_lint.py and docs/static_analysis.md). Historically this lived
+// in src/eval/topk.h, which re-exports it unchanged.
+#ifndef FIRZEN_UTIL_RANKING_H_
+#define FIRZEN_UTIL_RANKING_H_
+
+#include "src/util/common.h"
+
+namespace firzen {
+
+/// One scored candidate.
+struct ScoredItem {
+  Index item;
+  Real score;
+};
+
+/// THE ranking total order: true when `a` ranks strictly before `b` —
+/// descending score, ties broken by ascending item id. Item ids are unique
+/// within a ranking, so this is a strict total order: any top-k selection
+/// under it is a unique set in a unique order, no matter how the candidates
+/// were partitioned or in which order they were offered. That property is
+/// what makes per-shard top-k lists mergeable bit-exactly (MergeTopK in
+/// src/eval/sharded_serving.h): every ranking path — TopKHeap, the sharded
+/// merge, kNN/co-occurrence graph truncation, brute-force references in
+/// tests — must compare through this one function. NaN never reaches it
+/// (TopKHeap drops NaN pushes; a NaN here would break the strict weak
+/// ordering).
+inline bool RanksBefore(const ScoredItem& a, const ScoredItem& b) {
+  return a.score != b.score ? a.score > b.score : a.item < b.item;
+}
+
+}  // namespace firzen
+
+#endif  // FIRZEN_UTIL_RANKING_H_

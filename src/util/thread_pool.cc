@@ -21,10 +21,10 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  task_cv_.notify_all();
+  task_cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
@@ -34,17 +34,17 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_cv_.notify_one();
+  task_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
   if (num_threads_ == 0) return;
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) done_cv_.Wait(lock);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -52,16 +52,16 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && tasks_.empty()) task_cv_.Wait(lock);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) done_cv_.notify_all();
+      MutexLock lock(mu_);
+      if (--in_flight_ == 0) done_cv_.NotifyAll();
     }
   }
 }
@@ -98,21 +98,21 @@ void ParallelFor(ThreadPool* pool, Index n,
   // ParallelFor callers — e.g. serving requests sharing the global pool —
   // therefore do not block on each other's work.
   struct Group {
-    std::mutex mu;
-    std::condition_variable cv;
-    Index pending;
+    Mutex mu;
+    CondVar cv;
+    Index pending FIRZEN_GUARDED_BY(mu);
   };
   Group group{{}, {}, (n + shard - 1) / shard};
   for (Index begin = 0; begin < n; begin += shard) {
     const Index end = std::min(begin + shard, n);
     pool->Submit([&fn, &group, begin, end] {
       fn(begin, end);
-      std::lock_guard<std::mutex> lock(group.mu);
-      if (--group.pending == 0) group.cv.notify_one();
+      MutexLock lock(group.mu);
+      if (--group.pending == 0) group.cv.NotifyOne();
     });
   }
-  std::unique_lock<std::mutex> lock(group.mu);
-  group.cv.wait(lock, [&group] { return group.pending == 0; });
+  MutexLock lock(group.mu);
+  while (group.pending != 0) group.cv.Wait(lock);
 }
 
 }  // namespace firzen

@@ -4,14 +4,13 @@
 #ifndef FIRZEN_UTIL_THREAD_POOL_H_
 #define FIRZEN_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "src/util/common.h"
+#include "src/util/thread_annotations.h"
 
 namespace firzen {
 
@@ -27,10 +26,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task for execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) FIRZEN_EXCLUDES(mu_);
 
   /// Block until all submitted tasks have completed.
-  void Wait();
+  void Wait() FIRZEN_EXCLUDES(mu_);
 
   int num_threads() const { return num_threads_; }
 
@@ -48,12 +47,12 @@ class ThreadPool {
 
   int num_threads_;
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_cv_;
-  std::condition_variable done_cv_;
-  int in_flight_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  std::queue<std::function<void()>> tasks_ FIRZEN_GUARDED_BY(mu_);
+  CondVar task_cv_;
+  CondVar done_cv_;
+  int in_flight_ FIRZEN_GUARDED_BY(mu_) = 0;
+  bool stop_ FIRZEN_GUARDED_BY(mu_) = false;
 };
 
 /// Splits [0, n) into contiguous shards and runs `fn(begin, end)` on the pool.

@@ -130,6 +130,35 @@ TEST(SplitTest, NormalColdProtocolRevealsHalfTheLinks) {
   normal.CheckValid();
 }
 
+TEST(SplitTest, NormalColdProtocolIsHashOrderIndependent) {
+  // Regression: MakeNormalColdProtocol used to iterate its per-item
+  // unordered_map grouping directly, consuming rng draws and appending to
+  // the output splits in HASH order — the same seed produced a different
+  // split on every standard library. The fix visits items in sorted id
+  // order, which is observable: each split is a per-item sequence of
+  // groups, so item ids must appear in non-decreasing runs.
+  const Dataset strict = GenerateSyntheticDataset(BeautySConfig(0.2));
+  Rng rng(3);
+  const Dataset normal = MakeNormalColdProtocol(strict, &rng);
+  auto expect_sorted_groups = [](const std::vector<Interaction>& split,
+                                 const char* name) {
+    for (size_t i = 1; i < split.size(); ++i) {
+      ASSERT_LE(split[i - 1].item, split[i].item)
+          << name << " not grouped in ascending item order at row " << i;
+    }
+  };
+  expect_sorted_groups(normal.cold_val, "cold_val");
+  expect_sorted_groups(normal.cold_test, "cold_test");
+  // Same seed => byte-identical protocol, independent of container state.
+  Rng rng2(3);
+  const Dataset again = MakeNormalColdProtocol(strict, &rng2);
+  ASSERT_EQ(normal.cold_known.size(), again.cold_known.size());
+  for (size_t i = 0; i < normal.cold_known.size(); ++i) {
+    EXPECT_EQ(normal.cold_known[i].user, again.cold_known[i].user);
+    EXPECT_EQ(normal.cold_known[i].item, again.cold_known[i].item);
+  }
+}
+
 TEST(SplitTest, RepairGuaranteesTrainCoverage) {
   // Adversarial tiny input: item 1 appears once, in what would be val/test.
   std::vector<Interaction> interactions;

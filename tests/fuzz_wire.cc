@@ -1,0 +1,287 @@
+// Fuzz harness for the wire-protocol decoders (src/serve/wire.h) — the
+// only code in the stack that parses REMOTE bytes. Every decoder must be
+// total: any byte string either decodes or returns false, never reads out
+// of bounds, never aborts, and never allocates absurdly (length fields are
+// attacker-controlled). On top of memory safety the harness checks the
+// bit-exactness contract: anything that decodes must re-encode to a
+// payload that decodes to the identical value (scores compared as raw
+// IEEE-754 bits, so NaN payloads round-trip too).
+//
+// Input format: byte 0 selects the decoder (mod 5), the rest is the
+// payload. Build modes:
+//   * -DFIRZEN_FUZZ=ON + Clang: libFuzzer binary `fuzz_wire`
+//     (-fsanitize=fuzzer,address). run_static.sh smokes it for 30s, seeded
+//     from `fuzz_wire_replay --emit-corpus`.
+//   * -DFIRZEN_FUZZ=ON, any compiler: replay binary `fuzz_wire_replay`
+//     (FIRZEN_FUZZ_REPLAY_MAIN) — `--emit-corpus DIR` writes the seed
+//     corpus using the real encoders; `--self-test` emits to a temp dir
+//     and replays every seed; file arguments replay crash artifacts. The
+//     self-test runs under ctest, so the harness itself is exercised even
+//     on gcc-only hosts.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/serve/wire.h"
+
+// assert() compiles out under NDEBUG; the round-trip invariants must hold
+// in every build the fuzzer runs in.
+#define FUZZ_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "FUZZ_CHECK failed: %s at %s:%d\n", #cond, \
+                   __FILE__, __LINE__);                               \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)
+
+namespace {
+
+using firzen::Index;
+using firzen::RecRequest;
+using firzen::ScoredItem;
+
+uint64_t Bits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+void CheckRequestsEqual(const std::vector<RecRequest>& a,
+                        const std::vector<RecRequest>& b) {
+  FUZZ_CHECK(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    FUZZ_CHECK(a[i].user == b[i].user);
+    FUZZ_CHECK(a[i].k == b[i].k);
+    FUZZ_CHECK(a[i].candidates == b[i].candidates);
+    FUZZ_CHECK(a[i].exclusion == b[i].exclusion);
+    FUZZ_CHECK(a[i].exclude == b[i].exclude);
+    FUZZ_CHECK(a[i].cold_only == b[i].cold_only);
+    FUZZ_CHECK(a[i].deadline_us == b[i].deadline_us);
+    FUZZ_CHECK(a[i].tenant == b[i].tenant);
+  }
+}
+
+void CheckRepliesEqual(const std::vector<firzen::wire::ShardReply>& a,
+                       const std::vector<firzen::wire::ShardReply>& b) {
+  FUZZ_CHECK(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    FUZZ_CHECK(a[i].user == b[i].user);
+    FUZZ_CHECK(a[i].items.size() == b[i].items.size());
+    for (size_t j = 0; j < a[i].items.size(); ++j) {
+      FUZZ_CHECK(a[i].items[j].item == b[i].items[j].item);
+      FUZZ_CHECK(Bits(a[i].items[j].score) == Bits(b[i].items[j].score));
+    }
+  }
+}
+
+void FuzzOne(const uint8_t* data, size_t size) {
+  if (size == 0) return;
+  const uint8_t selector = data[0] % 5;
+  const uint8_t* payload = data + 1;
+  const size_t payload_size = size - 1;
+
+  switch (selector) {
+    case 0: {
+      uint32_t version = 0;
+      (void)firzen::wire::DecodeHello(payload, payload_size, &version);
+      break;
+    }
+    case 1: {
+      firzen::wire::ShardInfo info;
+      if (firzen::wire::DecodeShardInfo(payload, payload_size, &info)) {
+        firzen::wire::ShardInfo again;
+        const std::vector<uint8_t> re = firzen::wire::EncodeShardInfo(info);
+        FUZZ_CHECK(firzen::wire::DecodeShardInfo(re.data(), re.size(), &again));
+        FUZZ_CHECK(again.shard_begin == info.shard_begin);
+        FUZZ_CHECK(again.shard_end == info.shard_end);
+        FUZZ_CHECK(again.num_items == info.num_items);
+      }
+      break;
+    }
+    case 2: {
+      std::vector<RecRequest> requests;
+      if (firzen::wire::DecodeRequestBatch(payload, payload_size,
+                                           &requests)) {
+        const std::vector<uint8_t> re =
+            firzen::wire::EncodeRequestBatch(requests);
+        std::vector<RecRequest> again;
+        FUZZ_CHECK(firzen::wire::DecodeRequestBatch(re.data(), re.size(),
+                                                &again));
+        CheckRequestsEqual(requests, again);
+      }
+      break;
+    }
+    case 3: {
+      std::vector<firzen::wire::ShardReply> replies;
+      if (firzen::wire::DecodeReplyBatch(payload, payload_size, &replies)) {
+        const std::vector<uint8_t> re =
+            firzen::wire::EncodeReplyBatch(replies);
+        std::vector<firzen::wire::ShardReply> again;
+        FUZZ_CHECK(firzen::wire::DecodeReplyBatch(re.data(), re.size(), &again));
+        CheckRepliesEqual(replies, again);
+      }
+      break;
+    }
+    default: {
+      std::string message;
+      if (firzen::wire::DecodeError(payload, payload_size, &message)) {
+        const std::vector<uint8_t> re = firzen::wire::EncodeError(message);
+        std::string again;
+        FUZZ_CHECK(firzen::wire::DecodeError(re.data(), re.size(), &again));
+        FUZZ_CHECK(again == message);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  FuzzOne(data, size);
+  return 0;
+}
+
+#if defined(FIRZEN_FUZZ_REPLAY_MAIN)
+
+namespace {
+
+// The seed corpus: representative frames from the real encoders (the same
+// shapes wire_test pins), each prefixed with its selector byte, plus a few
+// deliberately hostile payloads (truncation, huge length fields).
+std::vector<std::vector<uint8_t>> SeedCorpus() {
+  std::vector<std::vector<uint8_t>> seeds;
+  auto add = [&seeds](uint8_t selector, std::vector<uint8_t> payload) {
+    std::vector<uint8_t> seed;
+    seed.push_back(selector);
+    seed.insert(seed.end(), payload.begin(), payload.end());
+    seeds.push_back(std::move(seed));
+  };
+
+  add(0, firzen::wire::EncodeHello());
+
+  firzen::wire::ShardInfo info;
+  info.shard_begin = 128;
+  info.shard_end = 4096;
+  info.num_items = 16384;
+  add(1, firzen::wire::EncodeShardInfo(info));
+
+  std::vector<RecRequest> requests(2);
+  requests[0].user = 7;
+  requests[0].k = 20;
+  requests[0].candidates = {3, 1, 4, 1, 5};
+  requests[0].exclusion = firzen::ExclusionPolicy::kCustom;
+  requests[0].exclude = {9, 2, 6};
+  requests[0].cold_only = true;
+  requests[0].deadline_us = 250000;
+  requests[0].tenant = 3;
+  requests[1].user = 11;
+  requests[1].k = 1;
+  add(2, firzen::wire::EncodeRequestBatch(requests));
+
+  std::vector<firzen::wire::ShardReply> replies(2);
+  replies[0].user = 7;
+  replies[0].items = {{12, 3.5}, {44, 3.5}, {2, -0.25}};
+  replies[1].user = 11;
+  replies[1].items = {{0, 1e300}};
+  add(3, firzen::wire::EncodeReplyBatch(replies));
+
+  add(4, firzen::wire::EncodeError("shard on fire"));
+
+  // Hostile shapes: empty, truncated handshake, a length field claiming
+  // ~2^64 entries.
+  seeds.push_back({});
+  add(1, {0x01, 0x02});
+  add(2, {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+  return seeds;
+}
+
+int Replay(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "fuzz_wire_replay: cannot open %s\n", path);
+    return 1;
+  }
+  std::vector<uint8_t> data;
+  uint8_t buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.insert(data.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  LLVMFuzzerTestOneInput(data.data(), data.size());
+  return 0;
+}
+
+int EmitCorpus(const std::string& dir) {
+  const std::vector<std::vector<uint8_t>> seeds = SeedCorpus();
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    const std::string path = dir + "/seed_" + std::to_string(i) + ".bin";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "fuzz_wire_replay: cannot write %s\n",
+                   path.c_str());
+      return 1;
+    }
+    if (!seeds[i].empty()) {
+      std::fwrite(seeds[i].data(), 1, seeds[i].size(), f);
+    }
+    std::fclose(f);
+  }
+  std::printf("fuzz_wire_replay: wrote %zu seeds to %s\n", seeds.size(),
+              dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::string(argv[1]) == "--emit-corpus") {
+    return EmitCorpus(argv[2]);
+  }
+  if (argc >= 2 && std::string(argv[1]) == "--self-test") {
+    // Feed every seed (and a few mutations of each) straight through the
+    // harness in-process: the gcc-reachable smoke of the fuzz target.
+    size_t executed = 0;
+    for (const std::vector<uint8_t>& seed : SeedCorpus()) {
+      LLVMFuzzerTestOneInput(seed.data(), seed.size());
+      ++executed;
+      std::vector<uint8_t> mutated = seed;
+      for (size_t cut = 0; cut < mutated.size();
+           cut += 1 + mutated.size() / 8) {
+        // Truncations exercise every length-check branch.
+        LLVMFuzzerTestOneInput(mutated.data(), cut);
+        ++executed;
+      }
+      if (!mutated.empty()) {
+        for (size_t flip = 0; flip < mutated.size();
+             flip += 1 + mutated.size() / 16) {
+          mutated[flip] ^= 0xff;
+          LLVMFuzzerTestOneInput(mutated.data(), mutated.size());
+          mutated[flip] ^= 0xff;
+          ++executed;
+        }
+      }
+    }
+    std::printf("fuzz_wire_replay: self-test OK (%zu inputs)\n", executed);
+    return 0;
+  }
+  if (argc >= 2) {
+    for (int i = 1; i < argc; ++i) {
+      const int rc = Replay(argv[i]);
+      if (rc != 0) return rc;
+    }
+    std::printf("fuzz_wire_replay: replayed %d file(s)\n", argc - 1);
+    return 0;
+  }
+  std::fprintf(stderr,
+               "usage: fuzz_wire_replay --emit-corpus DIR | --self-test | "
+               "FILE...\n");
+  return 2;
+}
+
+#endif  // FIRZEN_FUZZ_REPLAY_MAIN

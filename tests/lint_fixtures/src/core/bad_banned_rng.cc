@@ -1,0 +1,10 @@
+// Lint fixture: NOT built. Non-seeded randomness outside util/rng.h.
+// Expected findings: banned-rng (two lines).
+#include <cstdlib>
+#include <random>
+
+int DrawUnseeded() {
+  std::mt19937 gen;
+  gen.seed(std::random_device{}());
+  return static_cast<int>(gen());
+}

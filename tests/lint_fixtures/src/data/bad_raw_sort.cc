@@ -1,0 +1,11 @@
+// Lint fixture: NOT built. Float-score sort with a bare comparator — ties
+// resolve to whatever the sort implementation does instead of RanksBefore.
+// Expected finding: raw-sort.
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+void SortScores(std::vector<std::pair<float, int>>* scored) {
+  std::sort(scored->begin(), scored->end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+}

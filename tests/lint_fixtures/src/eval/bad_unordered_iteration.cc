@@ -1,0 +1,16 @@
+// Lint fixture: NOT built. Hash-order iteration reaching output order.
+// Expected finding: unordered-iteration.
+#include <unordered_map>
+#include <vector>
+
+std::vector<int> CollectInHashOrder() {
+  std::unordered_map<int, int> counts;
+  counts[3] = 1;
+  counts[7] = 2;
+  std::vector<int> out;
+  for (const auto& [key, value] : counts) {
+    (void)value;
+    out.push_back(key);
+  }
+  return out;
+}

@@ -1,0 +1,6 @@
+// Lint fixture: NOT built. An #include running up the layer stack
+// (graph -> serve).
+// Expected finding: include-layering.
+#include "src/serve/wire.h"
+
+int LayeringViolation() { return 0; }

@@ -1,0 +1,10 @@
+// Lint fixture: NOT built. Wall-clock reads in a core path.
+// Expected findings: banned-time (two sites).
+#include <chrono>
+#include <ctime>
+
+long long WallClockSeed() {
+  const auto now = std::chrono::system_clock::now();
+  (void)now;
+  return static_cast<long long>(time(nullptr));
+}

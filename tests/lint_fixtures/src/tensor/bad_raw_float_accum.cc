@@ -1,0 +1,10 @@
+// Lint fixture: NOT built. Naked float accumulation in tensor/ outside the
+// sanctioned kernels in matrix.cc.
+// Expected finding: raw-float-accum.
+using Real = double;
+
+Real NakedSum(const Real* values, int n) {
+  Real acc = 0.0;
+  for (int i = 0; i < n; ++i) acc += values[i];
+  return acc;
+}

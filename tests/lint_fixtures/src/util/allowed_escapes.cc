@@ -1,0 +1,40 @@
+// Lint fixture: NOT built. Every banned pattern below carries a
+// firzen-lint allow() escape, so this file must produce ZERO findings —
+// it pins the escape mechanism itself (same line, preceding line, and the
+// commented-out-code path through the stripper).
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+// Escape on a preceding line, fixture justification.
+// firzen-lint: allow(include-layering)
+#include "src/serve/wire.h"
+
+std::vector<int> EscapedEverywhere() {
+  std::unordered_map<int, int> counts;
+  counts[1] = 1;
+  std::vector<int> out;
+  // firzen-lint: allow(unordered-iteration) -- fixture: escape mechanism.
+  for (const auto& [key, value] : counts) {
+    (void)value;
+    out.push_back(key);
+  }
+
+  std::vector<std::pair<float, int>> scored{{1.0f, 2}};
+  // firzen-lint: allow(raw-sort) -- fixture: escape mechanism.
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  int draw = rand();  // firzen-lint: allow(banned-rng) -- same-line escape.
+  (void)draw;
+
+  // A commented-out banned call must not fire either (stripper):
+  // long long t = time(nullptr);
+
+  // "time(nullptr)" inside a string literal must not fire (stripper):
+  const char* doc = "never call time(nullptr) here";
+  (void)doc;
+  return out;
+}

@@ -1,5 +1,10 @@
 #!/usr/bin/env bash
 # CI-style check runner:
+#   0. static analysis (tools/run_static.sh): determinism linter, the
+#      clang-tidy baseline when installed, a -DFIRZEN_WERROR=ON
+#      warnings-as-errors build (Clang additionally arms -Wthread-safety),
+#      and the wire-decoder fuzz smoke. --fast skips clang-tidy but NEVER
+#      the determinism linter;
 #   1. configure + build the default tree and run the full ctest suite;
 #   2. rebuild with -DFIRZEN_SANITIZE=address and re-run ctest under ASan;
 #   3. rebuild with -DFIRZEN_SANITIZE=thread and run the serving suites
@@ -24,8 +29,9 @@
 #      overflow or bad shifts would hide.
 #
 # Usage:
-#   tools/run_checks.sh             # all four passes
-#   tools/run_checks.sh --fast      # default-build pass only (skip sanitizers)
+#   tools/run_checks.sh             # all five passes
+#   tools/run_checks.sh --fast      # linter + default-build pass only
+#                                   # (skips clang-tidy and the sanitizers)
 #   FIRZEN_NUM_THREADS=4 tools/run_checks.sh
 #
 # Extra arguments are forwarded to ctest (e.g. -R serving_test).
@@ -65,6 +71,13 @@ run_pass() {
 }
 
 CTEST_ARGS=("$@")
+
+echo "== pass 0: static analysis =="
+if [[ "${FAST}" == "1" ]]; then
+  tools/run_static.sh --fast
+else
+  tools/run_static.sh
+fi
 
 echo "== pass 1: default build + ctest =="
 run_pass build
