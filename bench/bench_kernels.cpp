@@ -15,6 +15,7 @@
 #include "src/tensor/csr.h"
 #include "src/tensor/init.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/quantized.h"
 #include "src/tensor/optim.h"
 #include "src/util/rng.h"
 #include "src/util/thread_pool.h"
@@ -244,6 +245,42 @@ void BM_GemmScoreBT(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmScoreBT)->Arg(256)->Arg(512);
 
+// Quantized scoring kernel at the same shapes as BM_GemmScoreBT (its fp32
+// baseline in BENCH_kernels.json): user batch pre-quantized once per
+// iteration — as DotProductScorer does per request batch — against the
+// pre-built int8 catalog, on whatever SIMD tier dispatch picked (recorded
+// in the JSON context as firzen_simd_tier). The footprint_reduction_x
+// counter is the resident fp32/Real item table size over the quantized
+// table size (codes + scales + row sums) — the ~4x memory claim.
+void BM_GemmBTQuant(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Index k = 64;
+  Rng rng(3);
+  Matrix a(n, k);
+  a.FillNormal(&rng, 1.0);
+  Matrix b(n, k);
+  b.FillNormal(&rng, 1.0);
+  const QuantizedMatrix qb = QuantizedMatrix::FromMatrix(b);
+  std::vector<int8_t> qa(static_cast<size_t>(n * qb.stride()));
+  std::vector<float> qa_scales(static_cast<size_t>(n));
+  Matrix c(n, n);
+  for (auto _ : state) {
+    for (Index r = 0; r < n; ++r) {
+      QuantizeRow(a.row(r), k, qb.stride(), qa.data() + r * qb.stride(),
+                  &qa_scales[static_cast<size_t>(r)]);
+    }
+    GemmBTQuant(qa.data(), n, k, qb.stride(), qa_scales.data(), qb, 0, n,
+                MatrixView(&c));
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * k);
+  const double real_bytes = static_cast<double>(n) * k * sizeof(Real);
+  state.counters["footprint_reduction_x"] =
+      real_bytes / static_cast<double>(qb.byte_size());
+  state.SetLabel(std::string("tier=") + SimdTierName(DispatchedSimdTier()));
+}
+BENCHMARK(BM_GemmBTQuant)->Arg(256)->Arg(512);
+
 void BM_KnnGraphBuild(benchmark::State& state) {
   const Index items = state.range(0);
   Rng rng(4);
@@ -392,4 +429,16 @@ BENCHMARK(BM_AutogradBprStep)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace firzen
 
-BENCHMARK_MAIN();
+// Hand-rolled main (instead of BENCHMARK_MAIN) so the JSON context records
+// which SIMD tier the quantized kernels actually dispatched — a perf number
+// without its tier is not comparable across hosts or FIRZEN_SIMD overrides.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext(
+      "firzen_simd_tier",
+      firzen::SimdTierName(firzen::DispatchedSimdTier()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -33,6 +33,7 @@
 #include "src/models/serialize.h"
 #include "src/serve/distributed_serving.h"
 #include "src/serve/shard_server.h"
+#include "src/tensor/quantized.h"
 #include "src/util/rng.h"
 #include "src/util/thread_pool.h"
 
@@ -555,6 +556,71 @@ BENCHMARK(BM_ServingAdmission)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Quantized serving end to end: the fused engine minting its scorer at
+// --precision int8 (per-row symmetric int8 catalog + GemmBTQuant on the
+// dispatched SIMD tier, recorded in the JSON context) vs the identical
+// engine at fp32 (precision=0, the baseline row). The parity gate at setup
+// is the int8 bit-identity contract, not fp32 equality (int8 scores
+// legitimately differ): the same int8 requests served through a 3-shard
+// engine must reproduce the single-engine int8 answer bit-for-bit before
+// timing — quality vs fp32 is the quant_quality_test ctest gate's job.
+void BM_ServingQuantized(benchmark::State& state) {
+  const Index num_items = state.range(0);
+  const Index batch = state.range(1);
+  const bool int8 = state.range(2) != 0;
+  constexpr Index kTop = 20;
+  static ServingWorld* world = nullptr;
+  static Index world_items = -1;
+  static Index world_batch = -1;
+  if (world_items != num_items || world_batch != batch) {
+    delete world;
+    world = MakeWorld(4096, num_items, 64, batch);
+    world_items = num_items;
+    world_batch = batch;
+  }
+  ServingEngineOptions options;
+  options.precision =
+      int8 ? ScoringPrecision::kInt8 : ScoringPrecision::kFp32;
+  ServingEngine engine(&world->model, world->dataset, options);
+  const auto requests = MakeRequests(world->users, kTop);
+  if (int8) {
+    ShardedServingOptions sharded_options;
+    sharded_options.num_shards = 3;
+    sharded_options.precision = ScoringPrecision::kInt8;
+    const ShardedServingEngine sharded(&world->model, world->dataset,
+                                       sharded_options);
+    const auto want = engine.RecommendBatch(requests);
+    const auto got = sharded.RecommendBatch(requests);
+    if (got.size() != want.size()) std::abort();
+    for (size_t r = 0; r < got.size(); ++r) {
+      if (got[r].items.size() != want[r].items.size()) std::abort();
+      for (size_t j = 0; j < want[r].items.size(); ++j) {
+        if (got[r].items[j].item != want[r].items[j].item ||
+            got[r].items[j].score != want[r].items[j].score) {
+          std::fprintf(stderr,
+                       "quantized bit-identity failure at user row %zu\n", r);
+          std::abort();
+        }
+      }
+    }
+  } else {
+    CheckParity(*world, engine, kTop);  // fp32 row: the usual seed parity
+  }
+  for (auto _ : state) {
+    auto responses = engine.RecommendBatch(requests);
+    benchmark::DoNotOptimize(responses.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * num_items);
+  state.SetLabel(FootprintLabel(batch, options.item_block, num_items) +
+                 (int8 ? std::string(" precision=int8 tier=") +
+                             SimdTierName(DispatchedSimdTier())
+                       : " precision=fp32"));
+}
+BENCHMARK(BM_ServingQuantized)
+    ->Args({131072, 256, 0})
+    ->Args({131072, 256, 1})
+    ->Unit(benchmark::kMillisecond);
+
 // Open-loop saturation sweep: Poisson arrivals fired at a configured
 // offered rate REGARDLESS of whether the server keeps up (open-loop — the
 // arrival process never backs off, unlike the closed-loop benchmarks above
@@ -726,4 +792,15 @@ BENCHMARK(BM_ServingSaturation)
 }  // namespace
 }  // namespace firzen
 
-BENCHMARK_MAIN();
+// Hand-rolled main (instead of BENCHMARK_MAIN) so the JSON context records
+// which SIMD tier the quantized serving rows dispatched.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext(
+      "firzen_simd_tier",
+      firzen::SimdTierName(firzen::DispatchedSimdTier()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

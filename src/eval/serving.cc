@@ -23,9 +23,10 @@ bool Excluded(const serving_internal::PreparedRequest& prepared, Index item) {
 
 namespace serving_internal {
 
-std::unique_ptr<Scorer> MintScorer(const Recommender* model) {
+std::unique_ptr<Scorer> MintScorer(const Recommender* model,
+                                   ScoringPrecision precision) {
   FIRZEN_CHECK(model != nullptr);
-  return model->MakeScorer();
+  return model->MakeScorer(precision);
 }
 
 std::vector<PreparedRequest> PrepareRequests(
@@ -308,7 +309,8 @@ std::shared_ptr<const ServingSharedState> ServingSharedState::FromDataset(
 
 ServingEngine::ServingEngine(const Recommender* model, const Dataset& dataset,
                              ServingEngineOptions options)
-    : ServingEngine(serving_internal::MintScorer(model), dataset, options) {}
+    : ServingEngine(serving_internal::MintScorer(model, options.precision),
+                    dataset, options) {}
 
 ServingEngine::ServingEngine(std::unique_ptr<Scorer> scorer,
                              const Dataset& dataset,

@@ -135,6 +135,13 @@ struct ServingEngineOptions {
   /// ThreadPool::Global(). Scoring kernels themselves parallelize over the
   /// global pool, as everywhere in the tensor layer.
   ThreadPool* pool = nullptr;
+  /// Numeric tier for the minted scorer (model-based constructor only; an
+  /// explicitly passed scorer keeps its own). kInt8 scores through the
+  /// quantized catalog (docs/quantization.md); models without a factorized
+  /// path silently keep fp32. For a fixed precision + SIMD tier + catalog,
+  /// responses stay bit-identical across shard layouts, batch sizes, and
+  /// thread counts — the quant suites pin this.
+  ScoringPrecision precision = ScoringPrecision::kFp32;
 };
 
 /// Immutable per-catalog serving state: sorted train items per user (the

@@ -29,9 +29,11 @@
 namespace firzen {
 namespace serving_internal {
 
-/// Null-checked Recommender::MakeScorer, shared by both engines' model
-/// constructors.
-std::unique_ptr<Scorer> MintScorer(const Recommender* model);
+/// Null-checked Recommender::MakeScorer(precision), shared by both engines'
+/// model constructors. kFp32 preserves the historical mint exactly.
+std::unique_ptr<Scorer> MintScorer(
+    const Recommender* model,
+    ScoringPrecision precision = ScoringPrecision::kFp32);
 
 /// Shard-independent resolved state for one RecRequest: the exclusion list
 /// to binary-search (sorted, global ids) and, for explicit pools, the

@@ -55,8 +55,9 @@ std::vector<ScoredItem> MergeTopK(std::vector<ScoredItem> entries, Index k) {
 ShardedServingEngine::ShardedServingEngine(const Recommender* model,
                                            const Dataset& dataset,
                                            ShardedServingOptions options)
-    : ShardedServingEngine(serving_internal::MintScorer(model), dataset,
-                           options) {}
+    : ShardedServingEngine(serving_internal::MintScorer(model,
+                                                        options.precision),
+                           dataset, options) {}
 
 ShardedServingEngine::ShardedServingEngine(std::unique_ptr<Scorer> scorer,
                                            const Dataset& dataset,

@@ -84,6 +84,11 @@ struct ShardedServingOptions {
   /// Pool the shards (and the fused ranking loops inside each shard) run
   /// on; nullptr = ThreadPool::Global().
   ThreadPool* pool = nullptr;
+  /// Numeric tier for the minted base scorer (model-based constructor
+  /// only). The per-shard ItemRangeScorer views inherit it — all shards of
+  /// one engine always score at one precision, so the merged top-K stays
+  /// bit-identical for any shard layout (quant bit-identity suite).
+  ScoringPrecision precision = ScoringPrecision::kFp32;
 };
 
 /// Request/response serving over a partitioned catalog. Drop-in for

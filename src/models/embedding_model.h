@@ -19,6 +19,10 @@ class EmbeddingModel : public Recommender {
   /// outlive the scorer.
   std::unique_ptr<Scorer> MakeScorer() const override;
 
+  /// kInt8 mints a DotProductScorer over a once-quantized final_item_
+  /// table (see docs/quantization.md); kFp32 is MakeScorer().
+  std::unique_ptr<Scorer> MakeScorer(ScoringPrecision precision) const override;
+
   Matrix ItemEmbeddings() const override { return final_item_; }
 
   Matrix UserEmbeddings() const override { return final_user_; }

@@ -30,6 +30,14 @@ class Kgcn : public EmbeddingModel {
   /// factorized models.
   std::unique_ptr<Scorer> MakeScorer() const override;
 
+  /// The tanh tower has no Gemm hot loop to quantize: every precision falls
+  /// back to the native fp32 scorer (the quant quality gate then compares
+  /// it against itself and trivially passes).
+  std::unique_ptr<Scorer> MakeScorer(ScoringPrecision precision) const override {
+    (void)precision;
+    return MakeScorer();
+  }
+
   Matrix ItemEmbeddings() const override;
 
   /// KGCN scores are user-conditioned (not a plain dot product), so there is

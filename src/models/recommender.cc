@@ -18,6 +18,14 @@ std::unique_ptr<Scorer> Recommender::MakeScorer() const {
       probe.cols());
 }
 
+std::unique_ptr<Scorer> Recommender::MakeScorer(
+    ScoringPrecision precision) const {
+  // fp32 fallback for models without a quantizable Gemm path; dot-product
+  // models override to honor kInt8.
+  (void)precision;
+  return MakeScorer();
+}
+
 void Recommender::Score(const std::vector<Index>& users,
                         Matrix* scores) const {
   MakeScorer()->ScoreAll(users, scores);

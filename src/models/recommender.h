@@ -60,6 +60,15 @@ class Recommender {
   /// one 0-row Score() call).
   virtual std::unique_ptr<Scorer> MakeScorer() const;
 
+  /// Precision-selecting mint. kFp32 is always MakeScorer(). kInt8 is
+  /// honored by models whose scores are dot products over frozen final
+  /// tables (EmbeddingModel descendants, StaticRecommender); the default
+  /// here falls back to the fp32 scorer for everything else (block-native
+  /// scorers like KGCN's tanh tower and FullScoreAdapter models have no
+  /// Gemm hot loop to quantize), so callers can request int8 uniformly —
+  /// the quant quality gate then trivially passes for fallback models.
+  virtual std::unique_ptr<Scorer> MakeScorer(ScoringPrecision precision) const;
+
   /// Deprecated full-matrix scoring: fills `scores`
   /// (users.size() x num_items) via one catalog-wide ScoreBlock. Kept so
   /// existing call sites migrate without behavior change; prefer

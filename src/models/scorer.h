@@ -26,10 +26,26 @@
 #include <vector>
 
 #include "src/tensor/matrix.h"
+#include "src/tensor/quantized.h"
 #include "src/util/thread_annotations.h"
 #include "src/util/thread_pool.h"
 
 namespace firzen {
+
+/// Numeric tier a scorer computes in. kFp32 is the exactly-rounded
+/// fma-chain path (the parity/quality oracle); kInt8 scores through the
+/// per-row symmetric int8 catalog and GemmBTQuant (src/tensor/quantized.h),
+/// trading bounded ranking drift — gated by the Recall@K/NDCG quality ctest
+/// (label `quant`) — for a ~4x smaller resident catalog and vectorized
+/// integer throughput. Models without a factorized scoring path ignore
+/// kInt8 and fall back to fp32 (Recommender::MakeScorer(precision) default).
+enum class ScoringPrecision {
+  kFp32 = 0,
+  kInt8 = 1,
+};
+
+/// Stable lowercase name ("fp32", "int8") for flags, logs, and docs.
+const char* ScoringPrecisionName(ScoringPrecision precision);
 
 /// Half-open range [begin, end) of item ids.
 struct ItemBlock {
@@ -74,6 +90,14 @@ class ScoringArena {
   // Transient per-call id-translation buffer (ItemRangeScorer): valid only
   // within one call, never cached across calls.
   std::vector<Index> translated_ids;
+  // Int8 scoring scratch (DotProductScorer in kInt8 mode). The quantized
+  // user batch is cached under `cached_users` exactly like `user_batch`;
+  // the candidate-side buffers are per-call gathers of catalog rows.
+  std::vector<int8_t> q_user_codes;    // quantized user rows, padded stride
+  std::vector<float> q_user_scales;    // one scale per cached user row
+  std::vector<int8_t> q_cand_codes;    // gathered quantized candidate rows
+  std::vector<float> q_cand_scales;    // per-candidate scales
+  std::vector<int32_t> q_cand_sums;    // per-candidate code sums (VNNI)
 
  private:
   uint64_t owner_id_ = 0;  // 0 = unbound; scorer ids start at 1
@@ -186,12 +210,20 @@ class Scorer {
 /// gathered user batch lives in the arena and is cached across consecutive
 /// calls with the same users, so streaming a catalog block-by-block gathers
 /// each batch once per arena.
+///
+/// In kInt8 mode the scorer quantizes the item table ONCE at mint time
+/// (per-row symmetric int8, src/tensor/quantized.h) and scores blocks
+/// through GemmBTQuant; the user batch is quantized per call into the
+/// arena, cached under the same users key as the fp32 gather. The fp32
+/// table reference is kept either way — it stays the oracle the quant
+/// quality gate compares against.
 class DotProductScorer : public Scorer {
  public:
   /// `user_emb`: num_users x d, `item_emb`: num_items x d. Both must stay
   /// alive and unchanged for the scorer's lifetime.
   DotProductScorer(const Matrix& user_emb, const Matrix& item_emb,
-                   ThreadPool* pool = nullptr);
+                   ThreadPool* pool = nullptr,
+                   ScoringPrecision precision = ScoringPrecision::kFp32);
 
   using Scorer::ScoreBlock;
   using Scorer::ScoreCandidates;
@@ -205,13 +237,20 @@ class DotProductScorer : public Scorer {
                        const std::vector<Index>& candidates, MatrixView out,
                        ScoringArena* arena) const override;
 
+  /// The precision this scorer actually computes in.
+  ScoringPrecision precision() const { return precision_; }
+
  private:
   const Matrix& BatchFor(const std::vector<Index>& users,
                          ScoringArena* arena) const;
+  void QuantBatchFor(const std::vector<Index>& users,
+                     ScoringArena* arena) const;
 
   const Matrix& user_emb_;
   const Matrix& item_emb_;
   ThreadPool* pool_;
+  ScoringPrecision precision_;
+  QuantizedMatrix quant_items_;  // built at mint time in kInt8 mode
 };
 
 /// Item-range-restricted view of a base scorer: presents the contiguous

@@ -59,6 +59,12 @@ std::unique_ptr<Scorer> StaticRecommender::MakeScorer() const {
   return std::make_unique<DotProductScorer>(user_emb_, item_emb_);
 }
 
+std::unique_ptr<Scorer> StaticRecommender::MakeScorer(
+    ScoringPrecision precision) const {
+  return std::make_unique<DotProductScorer>(user_emb_, item_emb_,
+                                            /*pool=*/nullptr, precision);
+}
+
 Status SaveEmbeddings(const Recommender& model, const Matrix& user_emb,
                       const Matrix& item_emb, const std::string& path) {
   if (user_emb.empty() || item_emb.empty()) {

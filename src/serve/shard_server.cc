@@ -234,9 +234,12 @@ Result<EmbeddingShardServer> ServeEmbeddingsShard(
   empty.is_cold_item.assign(static_cast<size_t>(num_items), false);
   auto state = ServingSharedState::FromDataset(empty, num_items);
   options.num_users = num_users;
+  // Mint before the make_unique call: options is moved into it, and
+  // argument evaluation order is unspecified.
+  std::unique_ptr<Scorer> scorer = out.model->MakeScorer(options.precision);
   out.server = std::make_unique<ShardServer>(
-      out.model->MakeScorer(), std::move(state),
-      ItemBlock{shard_begin, shard_end}, std::move(options));
+      std::move(scorer), std::move(state), ItemBlock{shard_begin, shard_end},
+      std::move(options));
   Status started = out.server->Start();
   if (!started.ok()) return started;
   return out;

@@ -53,6 +53,12 @@ struct ShardServerOptions {
   Index num_users = 0;
   /// Fault injection for tests: sleep this long before sending each reply.
   int64_t stall_replies_us = 0;
+  /// Numeric tier for the scorer ServeEmbeddingsShard mints from the loaded
+  /// embeddings (a ShardServer built over an explicit scorer keeps that
+  /// scorer's precision). Every shard server of one catalog must run the
+  /// same precision — the coordinator merge is precision-agnostic and
+  /// cannot reconcile mixed tiers.
+  ScoringPrecision precision = ScoringPrecision::kFp32;
 };
 
 /// Serves one contiguous item-id shard of a catalog over the wire

@@ -1,0 +1,489 @@
+// Int8 catalog quantization and the GemmBTQuant kernel family.
+//
+// THE SINGLE DISPATCH TU: every cpuid probe (__builtin_cpu_supports) in the
+// tree lives here, behind DispatchedSimdTier(). Kernels are compiled with
+// function-level target attributes so this file builds at the baseline
+// -march; tools/firzen_lint.py's stray-cpuid rule keeps feature detection
+// from leaking into other TUs, where a second, differently-capped probe
+// could silently split one process across tiers.
+//
+// Determinism: int8*int8 products are <= 127 * 127 = 16129 and any
+// embedding-width sum of them is far below INT32_MAX, so the int32
+// accumulator is EXACT — integer addition is associative, and every tier,
+// sharding, and batch shape yields the same acc bit for bit. The only
+// floating-point arithmetic is the shared Dequant epilogue, written once
+// with a fixed association, so quantized scores carry the same
+// bit-identical-across-everything contract the fp32 path earns with
+// p-ordered fma chains (src/tensor/matrix.cc).
+#include "src/tensor/quantized.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/env.h"
+#include "src/util/thread_pool.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define FIRZEN_QUANT_X86 1
+#include <immintrin.h>
+#endif
+
+namespace firzen {
+
+namespace {
+
+// Rows are padded to this int8 stride multiple with zeros, so every SIMD
+// tier streams full vectors with no tail loop: padding products are 0 and
+// add nothing to an exact integer sum.
+constexpr Index kQuantPad = 64;
+
+Index RoundUpPad(Index k) {
+  return (k + kQuantPad - 1) / kQuantPad * kQuantPad;
+}
+
+// THE dequantization epilogue — the one place float arithmetic touches a
+// quantized score. Fixed left-to-right association; every kernel tier funnels
+// its exact int32 accumulator through here, so tiers cannot round apart.
+inline Real Dequant(int32_t acc, float a_scale, float b_scale) {
+  return static_cast<Real>(acc) * static_cast<Real>(a_scale) *
+         static_cast<Real>(b_scale);
+}
+
+// Argument pack for the per-tier column kernels: A is m x k int8 rows
+// (stride a_stride), B is the catalog slice being scored (stride b_stride),
+// both zero-padded to kQuantPad multiples.
+struct QuantGemmArgs {
+  const int8_t* a;
+  Index m;
+  Index k;
+  Index a_stride;
+  const float* a_scales;
+  const int8_t* b;
+  Index b_stride;
+  const float* b_scales;
+  const int32_t* b_row_sums;
+  MatrixView out;
+};
+
+// ---------------------------------------------------------------------------
+// Scalar reference tier: plain int32-accumulate loops. Always built, always
+// selectable (FIRZEN_SIMD=scalar) — the sanitizer passes in
+// tools/run_checks.sh force this tier so UBSan sees the narrowing arithmetic
+// without vector intrinsics in the way.
+// ---------------------------------------------------------------------------
+
+void QuantColumnsScalar(const QuantGemmArgs& g, Index j_begin, Index j_end) {
+  for (Index i = 0; i < g.m; ++i) {
+    const int8_t* a_row = g.a + i * g.a_stride;
+    const float a_scale = g.a_scales[i];
+    Real* dst = g.out.row(i);
+    for (Index j = j_begin; j < j_end; ++j) {
+      const int8_t* b_row = g.b + j * g.b_stride;
+      int32_t acc = 0;
+      for (Index p = 0; p < g.k; ++p) {
+        acc += static_cast<int32_t>(a_row[p]) * static_cast<int32_t>(b_row[p]);
+      }
+      dst[j] = Dequant(acc, a_scale, g.b_scales[j]);
+    }
+  }
+}
+
+#ifdef FIRZEN_QUANT_X86
+
+// ---------------------------------------------------------------------------
+// AVX2 tier: sign-extend int8 halves to i16 and _mm256_madd_epi16 into i32
+// lanes. madd pairs are exact here (|product| <= 16129, pair sum <= 32258
+// fits i16-pair i32 output), so the vector accumulator holds the same
+// integers the scalar loop computes. Note maddubs (u8 x s8 -> saturating
+// i16) is deliberately NOT used: its intermediate can saturate and silently
+// corrupt scores.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) int32_t DotI8Avx2(const int8_t* a,
+                                                  const int8_t* b, Index kp) {
+  __m256i acc = _mm256_setzero_si256();
+  for (Index p = 0; p < kp; p += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + p));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + p));
+    const __m256i a_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(va));
+    const __m256i a_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(va, 1));
+    const __m256i b_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(vb));
+    const __m256i b_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(vb, 1));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a_lo, b_lo));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a_hi, b_hi));
+  }
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                            _mm256_extracti128_si256(acc, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+__attribute__((target("avx2"))) void QuantColumnsAvx2(const QuantGemmArgs& g,
+                                                      Index j_begin,
+                                                      Index j_end) {
+  const Index kp = RoundUpPad(g.k);
+  for (Index i = 0; i < g.m; ++i) {
+    const int8_t* a_row = g.a + i * g.a_stride;
+    const float a_scale = g.a_scales[i];
+    Real* dst = g.out.row(i);
+    for (Index j = j_begin; j < j_end; ++j) {
+      const int32_t acc = DotI8Avx2(a_row, g.b + j * g.b_stride, kp);
+      dst[j] = Dequant(acc, a_scale, g.b_scales[j]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512/VNNI tier: _mm512_dpbusd_epi32 multiplies u8 x s8, so the signed A
+// codes are biased to unsigned by XOR 0x80 (== +128 on a two's-complement
+// byte) and the bias is removed after the loop with the precomputed B row
+// sum: sum((a + 128) * b) = dot(a, b) + 128 * sum(b). Padding bytes bias to
+// 128 but multiply B's zero padding, adding nothing. dpbusd accumulates
+// wrapping i32 (not the saturating dpbusds), and lane totals stay far below
+// INT32_MAX for any realistic embedding width, so this tier is exact too.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx512f,avx512bw,avx512vnni"))) int32_t DotI8Avx512(
+    const int8_t* a, const int8_t* b, Index kp, int32_t b_sum) {
+  const __m512i bias = _mm512_set1_epi8(static_cast<char>(0x80));
+  __m512i acc = _mm512_setzero_si512();
+  for (Index p = 0; p < kp; p += 64) {
+    const __m512i va = _mm512_loadu_si512(a + p);
+    const __m512i vb = _mm512_loadu_si512(b + p);
+    acc = _mm512_dpbusd_epi32(acc, _mm512_xor_si512(va, bias), vb);
+  }
+  // Lane reduction through a spilled array instead of
+  // _mm512_reduce_add_epi32: gcc 12's inline expansions of the 512-bit
+  // extract/shuffle/cast intrinsics all route through
+  // _mm512_undefined_epi32 and trip -Wmaybe-uninitialized under -O2, which
+  // the WErrors static pass rejects. Integer adds in any order — same bits
+  // — and the optimizer folds this back into vector shuffles anyway.
+  alignas(64) int32_t lanes[16];
+  _mm512_storeu_si512(lanes, acc);
+  int32_t total = 0;
+  for (int l = 0; l < 16; ++l) total += lanes[l];
+  return total - 128 * b_sum;
+}
+
+// Packs 16 catalog rows (columns of the output) into dpbusd feed order:
+// 64-byte groups holding 4 consecutive k-values from each of the 16 rows,
+// so one dpbusd against a broadcast 4-byte chunk of A advances all 16
+// output columns at once — no per-cell horizontal reduction anywhere.
+__attribute__((target("avx512f,avx512bw,avx512vnni"))) void PackB16Avx512(
+    const int8_t* b, Index b_stride, Index j0, Index kp, int8_t* packed) {
+  for (Index p = 0; p < kp; p += 4) {
+    int8_t* dst = packed + p * 16;
+    for (Index c = 0; c < 16; ++c) {
+      std::memcpy(dst + c * 4, b + (j0 + c) * b_stride + p, 4);
+    }
+  }
+}
+
+// The 16-column VNNI panel: A's 4-byte chunk is biased unsigned (XOR
+// 0x80808080 == +128 per byte) and broadcast; each dpbusd then adds 4
+// k-values into all 16 column lanes. The +128 bias is removed vectorially
+// with the precomputed B row sums before the epilogue. The column blocks
+// [j0, j0+16) x 4 are unrolled in the caller so four accumulators share one
+// A broadcast — that amortization is where the throughput comes from.
+__attribute__((target("avx512f,avx512bw,avx512vnni"))) void Panel16Avx512(
+    const QuantGemmArgs& g, const int8_t* packed, Index j0, Index kp) {
+  const __m512i comp = _mm512_mullo_epi32(
+      _mm512_loadu_si512(g.b_row_sums + j0), _mm512_set1_epi32(128));
+  for (Index i = 0; i < g.m; ++i) {
+    const int8_t* a_row = g.a + i * g.a_stride;
+    __m512i acc = _mm512_setzero_si512();
+    for (Index p = 0; p < kp; p += 4) {
+      uint32_t av;
+      std::memcpy(&av, a_row + p, 4);
+      const __m512i a_b =
+          _mm512_set1_epi32(static_cast<int32_t>(av ^ 0x80808080u));
+      acc = _mm512_dpbusd_epi32(
+          acc, a_b, _mm512_loadu_si512(packed + p * 16));
+    }
+    acc = _mm512_sub_epi32(acc, comp);
+    alignas(64) int32_t lanes[16];
+    _mm512_store_si512(lanes, acc);
+    Real* dst = g.out.row(i);
+    const float a_scale = g.a_scales[i];
+    for (int c = 0; c < 16; ++c) {
+      dst[j0 + c] = Dequant(lanes[c], a_scale, g.b_scales[j0 + c]);
+    }
+  }
+}
+
+// Four 16-column panels fused: one A broadcast feeds four dpbusd, so the
+// per-chunk overhead (load + xor + vpbroadcastd) is paid once per 256 MACs
+// instead of once per 64.
+__attribute__((target("avx512f,avx512bw,avx512vnni"))) void Panel64Avx512(
+    const QuantGemmArgs& g, const int8_t* packed, Index j0, Index kp) {
+  const __m512i k128 = _mm512_set1_epi32(128);
+  const __m512i comp0 =
+      _mm512_mullo_epi32(_mm512_loadu_si512(g.b_row_sums + j0), k128);
+  const __m512i comp1 =
+      _mm512_mullo_epi32(_mm512_loadu_si512(g.b_row_sums + j0 + 16), k128);
+  const __m512i comp2 =
+      _mm512_mullo_epi32(_mm512_loadu_si512(g.b_row_sums + j0 + 32), k128);
+  const __m512i comp3 =
+      _mm512_mullo_epi32(_mm512_loadu_si512(g.b_row_sums + j0 + 48), k128);
+  const size_t panel_bytes = static_cast<size_t>(kp) * 16;
+  for (Index i = 0; i < g.m; ++i) {
+    const int8_t* a_row = g.a + i * g.a_stride;
+    __m512i acc0 = _mm512_setzero_si512();
+    __m512i acc1 = _mm512_setzero_si512();
+    __m512i acc2 = _mm512_setzero_si512();
+    __m512i acc3 = _mm512_setzero_si512();
+    for (Index p = 0; p < kp; p += 4) {
+      uint32_t av;
+      std::memcpy(&av, a_row + p, 4);
+      const __m512i a_b =
+          _mm512_set1_epi32(static_cast<int32_t>(av ^ 0x80808080u));
+      const int8_t* base = packed + p * 16;
+      acc0 = _mm512_dpbusd_epi32(acc0, a_b, _mm512_loadu_si512(base));
+      acc1 = _mm512_dpbusd_epi32(acc1, a_b,
+                                 _mm512_loadu_si512(base + panel_bytes));
+      acc2 = _mm512_dpbusd_epi32(acc2, a_b,
+                                 _mm512_loadu_si512(base + 2 * panel_bytes));
+      acc3 = _mm512_dpbusd_epi32(acc3, a_b,
+                                 _mm512_loadu_si512(base + 3 * panel_bytes));
+    }
+    alignas(64) int32_t lanes[64];
+    _mm512_store_si512(lanes, _mm512_sub_epi32(acc0, comp0));
+    _mm512_store_si512(lanes + 16, _mm512_sub_epi32(acc1, comp1));
+    _mm512_store_si512(lanes + 32, _mm512_sub_epi32(acc2, comp2));
+    _mm512_store_si512(lanes + 48, _mm512_sub_epi32(acc3, comp3));
+    Real* dst = g.out.row(i);
+    const float a_scale = g.a_scales[i];
+    for (int c = 0; c < 64; ++c) {
+      dst[j0 + c] = Dequant(lanes[c], a_scale, g.b_scales[j0 + c]);
+    }
+  }
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vnni"))) void QuantColumnsAvx512(
+    const QuantGemmArgs& g, Index j_begin, Index j_end) {
+  const Index kp = RoundUpPad(g.k);
+  // Pack buffer for up to four 16-column panels, laid out panel-major so
+  // Panel64 can stride between them. Integer sums are order-independent, so
+  // the blocking below is purely a throughput choice — the bits match the
+  // scalar reference exactly.
+  std::vector<int8_t> packed(static_cast<size_t>(4 * 16 * kp));
+  Index j = j_begin;
+  for (; j + 64 <= j_end; j += 64) {
+    const size_t panel_bytes = static_cast<size_t>(kp) * 16;
+    for (Index blk = 0; blk < 4; ++blk) {
+      PackB16Avx512(g.b, g.b_stride, j + blk * 16, kp,
+                    packed.data() + static_cast<size_t>(blk) * panel_bytes);
+    }
+    Panel64Avx512(g, packed.data(), j, kp);
+  }
+  for (; j + 16 <= j_end; j += 16) {
+    PackB16Avx512(g.b, g.b_stride, j, kp, packed.data());
+    Panel16Avx512(g, packed.data(), j, kp);
+  }
+  // Ragged tail (< 16 columns): the per-column dot kernel.
+  for (Index i = 0; i < g.m; ++i) {
+    const int8_t* a_row = g.a + i * g.a_stride;
+    const float a_scale = g.a_scales[i];
+    Real* dst = g.out.row(i);
+    for (Index jj = j; jj < j_end; ++jj) {
+      const int32_t acc = DotI8Avx512(a_row, g.b + jj * g.b_stride, kp,
+                                      g.b_row_sums[jj]);
+      dst[jj] = Dequant(acc, a_scale, g.b_scales[jj]);
+    }
+  }
+}
+
+#endif  // FIRZEN_QUANT_X86
+
+// ---------------------------------------------------------------------------
+// Dispatch. Probed once, pinned for the process: a serving process must not
+// change tiers between responses even though tiers agree bit for bit — the
+// pinned tier is what the bench context and logs attribute numbers to.
+// ---------------------------------------------------------------------------
+
+SimdTier BestCpuTier() {
+#ifdef FIRZEN_QUANT_X86
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512vnni")) {
+    return SimdTier::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return SimdTier::kAvx2;
+#endif
+  return SimdTier::kScalar;
+}
+
+SimdTier ResolveTier() {
+  SimdTier tier = BestCpuTier();
+  const std::string env = GetEnvString("FIRZEN_SIMD", "");
+  if (!env.empty()) {
+    SimdTier cap = SimdTier::kScalar;
+    if (env == "scalar") {
+      cap = SimdTier::kScalar;
+    } else if (env == "avx2") {
+      cap = SimdTier::kAvx2;
+    } else if (env == "avx512") {
+      cap = SimdTier::kAvx512;
+    } else {
+      std::fprintf(stderr,
+                   "FIRZEN_SIMD='%s' is not a valid tier; valid choices: "
+                   "scalar, avx2, avx512\n",
+                   env.c_str());
+      std::abort();
+    }
+    // The override CAPS the tier: requesting a tier the CPU lacks runs the
+    // best supported one (results are bit-identical either way).
+    if (cap < tier) tier = cap;
+  }
+  return tier;
+}
+
+}  // namespace
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+SimdTier DispatchedSimdTier() {
+  static const SimdTier tier = ResolveTier();
+  return tier;
+}
+
+void QuantizeRow(const Real* src, Index cols, Index stride, int8_t* out,
+                 float* scale) {
+  FIRZEN_CHECK_GE(stride, cols);
+  FIRZEN_CHECK_EQ(stride % kQuantPad, 0);
+  Real max_abs = 0.0;
+  for (Index c = 0; c < cols; ++c) {
+    const Real v = src[c];
+    if (!std::isfinite(v)) {
+      std::fprintf(stderr,
+                   "QuantizeRow: non-finite embedding value %f at column %lld"
+                   " — refusing to quantize a corrupt table\n",
+                   static_cast<double>(v), static_cast<long long>(c));
+      std::abort();
+    }
+    max_abs = std::max(max_abs, std::fabs(v));
+  }
+  // inv goes non-finite only when max_abs is zero or so deeply subnormal
+  // that 127/max_abs overflows; either way the row carries no signal at int8
+  // resolution and quantizes to all-zero codes under scale 0 — the
+  // documented all-zero-row contract, with no division by the zero max.
+  Real inv = 0.0;
+  if (max_abs > 0.0) {
+    inv = 127.0 / max_abs;
+    if (!std::isfinite(inv)) inv = 0.0;
+  }
+  if (inv == 0.0) {
+    std::fill(out, out + stride, static_cast<int8_t>(0));
+    *scale = 0.0f;
+    return;
+  }
+  for (Index c = 0; c < cols; ++c) {
+    // lround: half away from zero, independent of the FP environment —
+    // the same input bits quantize to the same code on every host.
+    const long q = std::lround(src[c] * inv);
+    out[c] = static_cast<int8_t>(
+        std::clamp<long>(q, -127, 127));
+  }
+  std::fill(out + cols, out + stride, static_cast<int8_t>(0));
+  *scale = static_cast<float>(max_abs / 127.0);
+}
+
+QuantizedMatrix QuantizedMatrix::FromMatrix(const Matrix& m, ThreadPool* pool) {
+  QuantizedMatrix q;
+  q.rows_ = m.rows();
+  q.cols_ = m.cols();
+  q.stride_ = RoundUpPad(m.cols());
+  q.data_.resize(static_cast<size_t>(q.rows_ * q.stride_));
+  q.scales_.resize(static_cast<size_t>(q.rows_));
+  q.row_sums_.resize(static_cast<size_t>(q.rows_));
+  if (q.rows_ == 0 || q.cols_ == 0) return q;
+  if (pool == nullptr) pool = ThreadPool::Global();
+  // Each row quantizes independently from its own fp32 bits, so the build is
+  // bit-identical for any pool size (pinned by quantized_matrix_test).
+  const Index min_rows =
+      std::max<Index>(1, 65536 / std::max<Index>(1, q.cols_));
+  ParallelFor(
+      pool, q.rows_,
+      [&](Index begin, Index end) {
+        for (Index r = begin; r < end; ++r) {
+          int8_t* out = q.data_.data() + r * q.stride_;
+          QuantizeRow(m.row(r), q.cols_, q.stride_, out,
+                      &q.scales_[static_cast<size_t>(r)]);
+          int32_t sum = 0;
+          for (Index c = 0; c < q.cols_; ++c) sum += out[c];
+          q.row_sums_[static_cast<size_t>(r)] = sum;
+        }
+      },
+      min_rows);
+  return q;
+}
+
+void GemmBTQuant(const int8_t* a, Index m, Index k, Index a_stride,
+                 const float* a_scales, const int8_t* b, Index n,
+                 Index b_stride, const float* b_scales,
+                 const int32_t* b_row_sums, MatrixView out, ThreadPool* pool) {
+  FIRZEN_CHECK_GE(k, 0);
+  FIRZEN_CHECK_GE(a_stride, k);
+  FIRZEN_CHECK_GE(b_stride, k);
+  FIRZEN_CHECK_EQ(a_stride % kQuantPad, 0);
+  FIRZEN_CHECK_EQ(b_stride % kQuantPad, 0);
+  FIRZEN_CHECK_EQ(out.rows(), m);
+  FIRZEN_CHECK_EQ(out.cols(), n);
+  if (m == 0 || n == 0) return;
+  if (pool == nullptr) pool = ThreadPool::Global();
+  const QuantGemmArgs g{a,        m,        k,           a_stride, a_scales,
+                        b,        b_stride, b_scales,    b_row_sums, out};
+  const SimdTier tier = DispatchedSimdTier();
+  // Columns shard across the pool (serving shape: small user batches, vast
+  // item blocks). Exact integer accumulation makes any sharding — and any
+  // tier — produce the same bits, so this is purely a parallelization
+  // choice, never a numerical one.
+  const Index min_cols = std::max<Index>(1, 65536 / std::max<Index>(1, m * k));
+  ParallelFor(
+      pool, n,
+      [&](Index j_begin, Index j_end) {
+        switch (tier) {
+#ifdef FIRZEN_QUANT_X86
+          case SimdTier::kAvx512:
+            QuantColumnsAvx512(g, j_begin, j_end);
+            return;
+          case SimdTier::kAvx2:
+            QuantColumnsAvx2(g, j_begin, j_end);
+            return;
+#endif
+          default:
+            QuantColumnsScalar(g, j_begin, j_end);
+            return;
+        }
+      },
+      min_cols);
+}
+
+void GemmBTQuant(const int8_t* a, Index m, Index k, Index a_stride,
+                 const float* a_scales, const QuantizedMatrix& b, Index b_begin,
+                 Index n, MatrixView out, ThreadPool* pool) {
+  FIRZEN_CHECK_GE(b_begin, 0);
+  FIRZEN_CHECK_LE(b_begin + n, b.rows());
+  FIRZEN_CHECK_EQ(k, b.cols());
+  GemmBTQuant(a, m, k, a_stride, a_scales, b.row(b_begin), n, b.stride(),
+              b.scales() + b_begin, b.row_sums() + b_begin, out, pool);
+}
+
+}  // namespace firzen

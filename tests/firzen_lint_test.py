@@ -19,6 +19,8 @@ EXPECTED = sorted([
     ("src/data/bad_raw_sort.cc", "raw-sort"),
     ("src/eval/bad_unordered_iteration.cc", "unordered-iteration"),
     ("src/graph/bad_include_layering.cc", "include-layering"),
+    ("src/models/bad_stray_cpuid.cc", "stray-cpuid"),
+    ("src/models/bad_stray_cpuid.cc", "stray-cpuid"),
     ("src/serve/bad_banned_time.cc", "banned-time"),
     ("src/serve/bad_banned_time.cc", "banned-time"),
     ("src/tensor/bad_raw_float_accum.cc", "raw-float-accum"),

@@ -1,0 +1,12 @@
+// Lint fixture: NOT built. CPU feature detection outside the single
+// runtime-dispatch TU (src/tensor/quantized.cc). A second dispatch site can
+// resolve to a different SIMD tier than the pinned one mid-process.
+// Expected findings: stray-cpuid (twice).
+
+bool HasAvx2() { return __builtin_cpu_supports("avx2"); }
+
+unsigned ProbeLeaf(unsigned leaf) {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  __get_cpuid(leaf, &eax, &ebx, &ecx, &edx);
+  return ecx;
+}

@@ -1,0 +1,137 @@
+// Quantization quality gate (ctest label `quant`): for EVERY registered
+// model, the int8 scorer minted by MakeScorer(ScoringPrecision::kInt8) must
+// agree with the fp32 scorer on what matters for serving — the top-K lists
+// overlap by at least 95% on average, and offline NDCG@20 moves by at most
+// a small bound. Per-row symmetric int8 keeps ~0.4% relative quantization
+// error on each embedding coordinate, which dot products average down
+// further, so ranking agreement this tight is the EXPECTED behavior; a
+// model that fails here has a genuinely broken quantized path, not a noisy
+// test. Models without a factorized embedding head fall back to fp32 in
+// MakeScorer(precision) and pass trivially by construction — keeping them
+// in the sweep pins that the fallback stays wired.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/data/synthetic.h"
+#include "src/eval/evaluator.h"
+#include "src/models/registry.h"
+#include "src/tensor/matrix.h"
+#include "src/util/logging.h"
+#include "src/util/ranking.h"
+
+namespace firzen {
+namespace {
+
+constexpr Index kTopK = 20;
+constexpr double kMinOverlap = 0.95;
+constexpr double kMaxNdcgDelta = 0.02;
+
+const Dataset& QualityDataset() {
+  static const Dataset* dataset = [] {
+    return new Dataset(GenerateSyntheticDataset(BeautySConfig(0.12)));
+  }();
+  return *dataset;
+}
+
+TrainOptions QualityTrainOptions() {
+  TrainOptions options;
+  options.embedding_dim = 8;
+  options.epochs = 2;
+  options.eval_every = 8;  // skip mid-training validation
+  options.batch_size = 256;
+  options.seed = 321;
+  return options;
+}
+
+// Top-k item set of one score row under the serving total order
+// (RanksBefore: score desc, ties by ascending item id).
+std::vector<Index> TopKItems(const Real* scores, Index num_items, Index k) {
+  std::vector<ScoredItem> entries;
+  entries.reserve(static_cast<size_t>(num_items));
+  for (Index i = 0; i < num_items; ++i) entries.push_back({i, scores[i]});
+  const Index keep = std::min(k, num_items);
+  std::partial_sort(entries.begin(), entries.begin() + keep, entries.end(),
+                    RanksBefore);
+  std::vector<Index> items;
+  items.reserve(static_cast<size_t>(keep));
+  for (Index j = 0; j < keep; ++j) items.push_back(entries[j].item);
+  return items;
+}
+
+class QuantQualityTest : public ::testing::TestWithParam<ModelInfo> {};
+
+TEST_P(QuantQualityTest, Int8TopKOverlapsFp32AndNdcgHolds) {
+  SetLogLevel(LogLevel::kError);
+  const Dataset& dataset = QualityDataset();
+  auto model = CreateModel(GetParam().name);
+  ASSERT_NE(model, nullptr) << GetParam().name;
+  model->Fit(dataset, QualityTrainOptions());
+
+  const auto fp32 = model->MakeScorer(ScoringPrecision::kFp32);
+  const auto int8 = model->MakeScorer(ScoringPrecision::kInt8);
+  ASSERT_NE(fp32, nullptr);
+  ASSERT_NE(int8, nullptr);
+  ASSERT_EQ(fp32->num_items(), dataset.num_items);
+  ASSERT_EQ(int8->num_items(), dataset.num_items);
+
+  // Average per-user |top-20(fp32) ∩ top-20(int8)| / 20 over every user.
+  const ItemBlock catalog{0, dataset.num_items};
+  ScoringArena fp32_arena;
+  ScoringArena int8_arena;
+  double overlap_sum = 0.0;
+  Index scored_users = 0;
+  const Index user_batch = 64;
+  for (Index begin = 0; begin < dataset.num_users; begin += user_batch) {
+    const Index end = std::min(begin + user_batch, dataset.num_users);
+    std::vector<Index> users;
+    for (Index u = begin; u < end; ++u) users.push_back(u);
+    Matrix fp32_scores(end - begin, dataset.num_items);
+    Matrix int8_scores(end - begin, dataset.num_items);
+    fp32->ScoreBlock(users, catalog, MatrixView(&fp32_scores), &fp32_arena);
+    int8->ScoreBlock(users, catalog, MatrixView(&int8_scores), &int8_arena);
+    for (Index r = 0; r < end - begin; ++r) {
+      const std::vector<Index> want =
+          TopKItems(fp32_scores.row(r), dataset.num_items, kTopK);
+      std::vector<Index> got =
+          TopKItems(int8_scores.row(r), dataset.num_items, kTopK);
+      std::sort(got.begin(), got.end());
+      Index hits = 0;
+      for (Index item : want) {
+        if (std::binary_search(got.begin(), got.end(), item)) ++hits;
+      }
+      overlap_sum +=
+          static_cast<double>(hits) / static_cast<double>(want.size());
+      ++scored_users;
+    }
+  }
+  ASSERT_GT(scored_users, 0);
+  const double mean_overlap = overlap_sum / static_cast<double>(scored_users);
+  EXPECT_GE(mean_overlap, kMinOverlap)
+      << GetParam().name << ": int8 top-" << kTopK
+      << " diverged from fp32 beyond the quality gate";
+
+  // Offline metric drift: the all-ranking NDCG@20 on the warm test split
+  // must not move materially under quantization.
+  EvalOptions eval_options;
+  eval_options.k = kTopK;
+  const EvalResult fp32_eval = EvaluateRanking(
+      dataset, dataset.warm_test, EvalSetting::kWarm, *fp32, eval_options);
+  const EvalResult int8_eval = EvaluateRanking(
+      dataset, dataset.warm_test, EvalSetting::kWarm, *int8, eval_options);
+  EXPECT_EQ(fp32_eval.num_users, int8_eval.num_users);
+  const double delta =
+      std::abs(fp32_eval.metrics.ndcg - int8_eval.metrics.ndcg);
+  EXPECT_LE(delta, kMaxNdcgDelta)
+      << GetParam().name << ": NDCG@20 fp32=" << fp32_eval.metrics.ndcg
+      << " int8=" << int8_eval.metrics.ndcg;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, QuantQualityTest,
+                         ::testing::ValuesIn(AllModels()),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace firzen

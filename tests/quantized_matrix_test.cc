@@ -1,0 +1,247 @@
+// QuantizedMatrix / GemmBTQuant unit suite: the quantization edge cases
+// (all-zero rows, int8 saturation, non-finite rejection, thread-count-
+// invariant builds), the rounding contract (lround half-away-from-zero),
+// and kernel exactness — GemmBTQuant must match a plainly written int32
+// reference BIT FOR BIT on whatever SIMD tier dispatch picked, because the
+// int32 accumulation is exact and the dequant epilogue is written once.
+// Running this suite under FIRZEN_SIMD=scalar (tools/run_checks.sh --simd
+// scalar) turns the same assertions into the scalar-reference check, so
+// every tier is pinned against the same oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+#include "src/tensor/quantized.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace firzen {
+namespace {
+
+Matrix RandomEmb(Index rows, Index cols, uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  m.FillNormal(&rng, 1.0);
+  return m;
+}
+
+// The reference scorer: plain int32 loops plus the documented epilogue
+// association Real(acc) * Real(a_scale) * Real(b_scale). GemmBTQuant output
+// must equal this exactly on every tier.
+Real RefQuantScore(const int8_t* a_row, float a_scale, const int8_t* b_row,
+                   float b_scale, Index k) {
+  int32_t acc = 0;
+  for (Index p = 0; p < k; ++p) {
+    acc += static_cast<int32_t>(a_row[p]) * static_cast<int32_t>(b_row[p]);
+  }
+  return static_cast<Real>(acc) * static_cast<Real>(a_scale) *
+         static_cast<Real>(b_scale);
+}
+
+TEST(QuantizedMatrixTest, RepresentationBasics) {
+  const Matrix m = RandomEmb(11, 24, 7);
+  const QuantizedMatrix q = QuantizedMatrix::FromMatrix(m);
+  EXPECT_EQ(q.rows(), 11);
+  EXPECT_EQ(q.cols(), 24);
+  // Stride rounds up to the 64-element pad grid and the pad is zero.
+  EXPECT_EQ(q.stride(), 64);
+  for (Index r = 0; r < q.rows(); ++r) {
+    for (Index c = q.cols(); c < q.stride(); ++c) {
+      EXPECT_EQ(q.row(r)[c], 0) << "pad row " << r << " col " << c;
+    }
+    // Codes are symmetric int8: never -128.
+    int32_t sum = 0;
+    Index max_code = 0;
+    for (Index c = 0; c < q.cols(); ++c) {
+      EXPECT_GE(q.row(r)[c], -127);
+      sum += q.row(r)[c];
+      max_code = std::max<Index>(max_code, std::abs(q.row(r)[c]));
+    }
+    // Per-row symmetric scaling puts the row's max-magnitude element at
+    // exactly +/-127.
+    EXPECT_EQ(max_code, 127) << "row " << r;
+    EXPECT_EQ(q.row_sum(r), sum) << "row " << r;
+    EXPECT_GT(q.scale(r), 0.0f) << "row " << r;
+  }
+}
+
+TEST(QuantizedMatrixTest, AllZeroRowGetsScaleZeroAndScoresZero) {
+  Matrix m = RandomEmb(4, 16, 11);
+  for (Index c = 0; c < m.cols(); ++c) m(2, c) = 0.0;
+  const QuantizedMatrix q = QuantizedMatrix::FromMatrix(m);
+  EXPECT_EQ(q.scale(2), 0.0f);
+  EXPECT_EQ(q.row_sum(2), 0);
+  for (Index c = 0; c < q.stride(); ++c) EXPECT_EQ(q.row(2)[c], 0);
+
+  // Scoring against the zero row produces exact 0.0, never NaN/Inf from a
+  // divided-by-zero scale.
+  std::vector<int8_t> user(static_cast<size_t>(q.stride()), 0);
+  float user_scale = 0.0f;
+  const Matrix u = RandomEmb(1, 16, 12);
+  QuantizeRow(u.row(0), 16, q.stride(), user.data(), &user_scale);
+  Matrix out(1, 4);
+  GemmBTQuant(user.data(), 1, 16, q.stride(), &user_scale, q, 0, 4,
+              MatrixView(&out));
+  EXPECT_EQ(out(0, 2), 0.0);
+  EXPECT_TRUE(std::isfinite(out(0, 0)));
+}
+
+TEST(QuantizedMatrixTest, SubnormalMaxRowDegradesToZeroRowNotInf) {
+  Matrix m(2, 8, 0.0);
+  m(0, 3) = std::numeric_limits<Real>::denorm_min();  // 127/x overflows
+  m(1, 1) = 1.0;
+  const QuantizedMatrix q = QuantizedMatrix::FromMatrix(m);
+  EXPECT_EQ(q.scale(0), 0.0f);
+  for (Index c = 0; c < q.stride(); ++c) EXPECT_EQ(q.row(0)[c], 0);
+}
+
+TEST(QuantizedMatrixTest, ExtremesSaturateSymmetrically) {
+  Matrix m(1, 4, 0.0);
+  m(0, 0) = 3.0;
+  m(0, 1) = -3.0;
+  m(0, 2) = 1.5;
+  m(0, 3) = -0.1;
+  const QuantizedMatrix q = QuantizedMatrix::FromMatrix(m);
+  EXPECT_EQ(q.row(0)[0], 127);
+  EXPECT_EQ(q.row(0)[1], -127);  // symmetric: the negative extreme is -127
+  EXPECT_EQ(q.row(0)[2], 64)
+      << "1.5 * (127/3) = 63.5 rounds half away from zero";
+  EXPECT_FLOAT_EQ(q.scale(0), static_cast<float>(3.0 / 127.0));
+}
+
+TEST(QuantizedMatrixTest, RoundsHalfAwayFromZeroBothSigns) {
+  // max_abs = 254 makes inv exactly 0.5: +/-1 land exactly on +/-0.5.
+  Matrix m(1, 4, 0.0);
+  m(0, 0) = 254.0;
+  m(0, 1) = 1.0;
+  m(0, 2) = -1.0;
+  m(0, 3) = 3.0;
+  const QuantizedMatrix q = QuantizedMatrix::FromMatrix(m);
+  EXPECT_EQ(q.row(0)[1], 1);    // 0.5 -> 1 (away from zero, not to-even 0)
+  EXPECT_EQ(q.row(0)[2], -1);   // -0.5 -> -1
+  EXPECT_EQ(q.row(0)[3], 2);    // 1.5 -> 2
+}
+
+TEST(QuantizedMatrixDeathTest, NonFiniteInputRejectedWithClearError) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Matrix nan_m = RandomEmb(3, 8, 13);
+  nan_m(1, 4) = std::numeric_limits<Real>::quiet_NaN();
+  EXPECT_DEATH(QuantizedMatrix::FromMatrix(nan_m), "non-finite");
+  Matrix inf_m = RandomEmb(3, 8, 14);
+  inf_m(2, 0) = std::numeric_limits<Real>::infinity();
+  EXPECT_DEATH(QuantizedMatrix::FromMatrix(inf_m), "non-finite");
+}
+
+TEST(QuantizedMatrixTest, BuildIsBitIdenticalAcrossThreadCounts) {
+  const Matrix m = RandomEmb(301, 48, 21);
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  const QuantizedMatrix a = QuantizedMatrix::FromMatrix(m, &pool1);
+  const QuantizedMatrix b = QuantizedMatrix::FromMatrix(m, &pool4);
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.stride(), b.stride());
+  for (Index r = 0; r < a.rows(); ++r) {
+    EXPECT_EQ(a.scale(r), b.scale(r)) << "row " << r;
+    EXPECT_EQ(a.row_sum(r), b.row_sum(r)) << "row " << r;
+    for (Index c = 0; c < a.stride(); ++c) {
+      ASSERT_EQ(a.row(r)[c], b.row(r)[c]) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(QuantizedMatrixTest, FootprintIsRoughlyQuarterOfTheRealTable) {
+  const Index rows = 512, cols = 64;
+  const Matrix m = RandomEmb(rows, cols, 31);
+  const QuantizedMatrix q = QuantizedMatrix::FromMatrix(m);
+  const size_t real_bytes =
+      static_cast<size_t>(rows) * static_cast<size_t>(cols) * sizeof(Real);
+  // The ISSUE floor is ~4x vs an fp32 table; with Real = double the codes
+  // shrink 8x and the per-row scale + sum overhead still leaves > 4x.
+  EXPECT_GE(static_cast<double>(real_bytes) /
+                static_cast<double>(q.byte_size()),
+            4.0);
+}
+
+TEST(GemmBTQuantTest, MatchesInt32ReferenceBitExactOnDispatchedTier) {
+  // Odd dims exercise the zero pad; m spans 1 to past the fp32 dispatch
+  // cutoffs (irrelevant here, but the serving shapes are the same).
+  for (const Index k : {Index{8}, Index{37}, Index{64}, Index{100}}) {
+    const Index n = 157;
+    const QuantizedMatrix items =
+        QuantizedMatrix::FromMatrix(RandomEmb(n, k, 41 + k));
+    for (const Index m : {Index{1}, Index{5}, Index{40}}) {
+      const Matrix users = RandomEmb(m, k, 77 + m);
+      std::vector<int8_t> a(static_cast<size_t>(m * items.stride()));
+      std::vector<float> a_scales(static_cast<size_t>(m));
+      for (Index r = 0; r < m; ++r) {
+        QuantizeRow(users.row(r), k, items.stride(),
+                    a.data() + r * items.stride(),
+                    &a_scales[static_cast<size_t>(r)]);
+      }
+      Matrix out(m, n);
+      GemmBTQuant(a.data(), m, k, items.stride(), a_scales.data(), items, 0,
+                  n, MatrixView(&out));
+      for (Index i = 0; i < m; ++i) {
+        for (Index j = 0; j < n; ++j) {
+          const Real want = RefQuantScore(
+              a.data() + i * items.stride(), a_scales[static_cast<size_t>(i)],
+              items.row(j), items.scale(j), k);
+          ASSERT_EQ(out(i, j), want)
+              << "tier=" << SimdTierName(DispatchedSimdTier()) << " k=" << k
+              << " m=" << m << " cell (" << i << "," << j << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmBTQuantTest, BlockPartitioningAndPoolSizeNeverChangeBits) {
+  const Index k = 24, n = 203, m = 7;
+  const QuantizedMatrix items = QuantizedMatrix::FromMatrix(RandomEmb(n, k, 3));
+  const Matrix users = RandomEmb(m, k, 4);
+  std::vector<int8_t> a(static_cast<size_t>(m * items.stride()));
+  std::vector<float> a_scales(static_cast<size_t>(m));
+  for (Index r = 0; r < m; ++r) {
+    QuantizeRow(users.row(r), k, items.stride(), a.data() + r * items.stride(),
+                &a_scales[static_cast<size_t>(r)]);
+  }
+  ThreadPool pool1(1);
+  Matrix want(m, n);
+  GemmBTQuant(a.data(), m, k, items.stride(), a_scales.data(), items, 0, n,
+              MatrixView(&want), &pool1);
+
+  ThreadPool pool4(4);
+  for (const Index block : {Index{1}, Index{13}, Index{64}, n}) {
+    Matrix got(m, n);
+    for (Index begin = 0; begin < n; begin += block) {
+      const Index size = std::min(block, n - begin);
+      GemmBTQuant(a.data(), m, k, items.stride(), a_scales.data(), items,
+                  begin, size, MatrixView::Columns(&got, begin, size), &pool4);
+    }
+    for (Index i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got.data()[i], want.data()[i]) << "block=" << block;
+    }
+  }
+}
+
+TEST(SimdDispatchTest, TierNameAndOverrideContract) {
+  const SimdTier tier = DispatchedSimdTier();
+  const std::string name = SimdTierName(tier);
+  EXPECT_TRUE(name == "scalar" || name == "avx2" || name == "avx512") << name;
+  // The FIRZEN_SIMD override caps the tier; when the harness forces scalar
+  // (tools/run_checks.sh --simd scalar) the pin must have taken.
+  const char* forced = std::getenv("FIRZEN_SIMD");
+  if (forced != nullptr && std::string(forced) == "scalar") {
+    EXPECT_EQ(tier, SimdTier::kScalar);
+  }
+  // Pinned for the process lifetime.
+  EXPECT_EQ(DispatchedSimdTier(), tier);
+}
+
+}  // namespace
+}  // namespace firzen

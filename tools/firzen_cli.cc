@@ -10,6 +10,7 @@
 //
 //   firzen_cli serve-shard --embeddings model.fzem --shard-range A:B
 //              [--listen 127.0.0.1:0] [--item-block 8192]
+//              [--precision fp32|int8]
 //       Serve one contiguous item-id shard of a serialized model over the
 //       distributed wire protocol (src/serve/wire.h) until SIGINT/SIGTERM.
 //       Prints "listening on ADDR ..." (with the kernel-assigned port
@@ -18,6 +19,7 @@
 //
 //   firzen_cli recommend --embeddings model.fzem --user ID [--k 10]
 //              [--exclude 3,17,42] [--users 1,2,3 [--serve-threads 4]]
+//              [--precision fp32|int8]
 //              [--shards 4] [--shard-servers ADDR,ADDR,...]
 //              [--rpc-timeout-ms 5000]
 //              [--admission-batch 64 [--admission-wait-us 200]]
@@ -47,6 +49,11 @@
 //       instead of blocking), and --tenant T tags the requests with a
 //       fair-share tenant id. Non-OK requests are reported on stderr and
 //       the exit status is nonzero when any request was not served.
+//       --precision int8 serves through the quantized catalog
+//       (docs/quantization.md): ~4x smaller resident item table, SIMD
+//       integer scoring, rankings gated by the Recall@K quality ctest. With
+//       --shard-servers the flag is ignored here — each serve-shard process
+//       picks its own (start them all with the same value).
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -95,8 +102,52 @@ std::string FlagOr(const std::map<std::string, std::string>& flags,
   return it == flags.end() ? def : it->second;
 }
 
+// THE string-enum flag parser: every choice-valued flag (--profile,
+// --precision, ...) goes through here, so an unknown value is an error
+// listing the valid choices — never a silent fallthrough to a default
+// (which is how `--profile beuaty` used to quietly synthesize the beauty
+// profile). `*value` carries the default in and the parsed choice out.
+bool ParseChoiceFlag(const std::map<std::string, std::string>& flags,
+                     const std::string& key,
+                     const std::vector<std::string>& choices,
+                     std::string* value) {
+  const std::string got = FlagOr(flags, key, *value);
+  for (const std::string& choice : choices) {
+    if (got == choice) {
+      *value = got;
+      return true;
+    }
+  }
+  std::string valid;
+  for (const std::string& choice : choices) {
+    if (!valid.empty()) valid += ", ";
+    valid += choice;
+  }
+  std::fprintf(stderr, "--%s expects one of {%s}, got '%s'\n", key.c_str(),
+               valid.c_str(), got.c_str());
+  return false;
+}
+
+// Parses --precision into the scorer tier (fp32 default; see
+// docs/quantization.md for what int8 trades).
+bool ParsePrecisionFlag(const std::map<std::string, std::string>& flags,
+                        ScoringPrecision* precision) {
+  std::string name = "fp32";
+  if (!ParseChoiceFlag(flags, "precision", {"fp32", "int8"}, &name)) {
+    return false;
+  }
+  *precision = name == "int8" ? ScoringPrecision::kInt8
+                              : ScoringPrecision::kFp32;
+  return true;
+}
+
 int RunSynth(const std::map<std::string, std::string>& flags) {
-  const std::string profile = FlagOr(flags, "profile", "beauty");
+  std::string profile = "beauty";
+  if (!ParseChoiceFlag(flags, "profile",
+                       {"beauty", "cellphones", "clothing", "weixin"},
+                       &profile)) {
+    return 2;
+  }
   const double scale = std::stod(FlagOr(flags, "scale", "0.4"));
   const std::string out = FlagOr(flags, "out", ".");
   SyntheticConfig config =
@@ -441,12 +492,24 @@ int RunRecommend(const std::map<std::string, std::string>& flags) {
     requests.push_back(std::move(request));
   }
 
+  // Parsed up front so an invalid value errors on every path; the local
+  // engines honor it below, while with --shard-servers the precision is
+  // whatever each serve-shard process was started with (the coordinator
+  // merge is precision-agnostic).
+  ScoringPrecision precision = ScoringPrecision::kFp32;
+  if (!ParsePrecisionFlag(flags, &precision)) return 2;
+
   // --shard-servers fans requests out to running serve-shard processes:
   // same request/response contract, byte-identical output on the healthy
   // path (the distributed determinism contract), DEGRADED-but-served when
   // a shard is down.
   const std::string shard_servers = FlagOr(flags, "shard-servers", "");
   if (!shard_servers.empty()) {
+    if (flags.count("precision") != 0) {
+      std::fprintf(stderr,
+                   "note: --precision is ignored with --shard-servers; the "
+                   "serve-shard processes' own --precision applies\n");
+    }
     DistributedServingOptions dist_options;
     size_t pos = 0;
     while (pos < shard_servers.size()) {
@@ -486,6 +549,7 @@ int RunRecommend(const std::map<std::string, std::string>& flags) {
   // invariance contract), so one engine type serves every --shards value.
   ShardedServingOptions engine_options;
   engine_options.num_shards = static_cast<Index>(shards);
+  engine_options.precision = precision;
   ShardedServingEngine engine(loaded.value().get(), empty, engine_options);
   return ServeRequests(engine, flags, requests, admission_batch,
                        admission_wait_us, max_queue_depth);
@@ -531,6 +595,7 @@ int RunServeShard(const std::map<std::string, std::string>& flags) {
   long long stall_us = 0;
   if (!ParseIntFlag(flags, "stall-replies-us", 0, &stall_us)) return 2;
   options.stall_replies_us = static_cast<int64_t>(stall_us);
+  if (!ParsePrecisionFlag(flags, &options.precision)) return 2;
 
   if (end < 0) {
     auto probe = LoadEmbeddings(path);

@@ -16,8 +16,12 @@ to tests that all run on one platform with one standard library:
   * rand()/random_device/mt19937 instead of the seeded util/rng.h stream,
     or wall-clock reads (time(), system_clock) instead of injected clocks;
   * float accumulation loops in tensor/ outside the sanctioned kernels in
-    matrix.cc, whose fixed p-ordered fma loops ARE the accumulation
-    contract;
+    matrix.cc and quantized.cc, whose fixed p-ordered fma loops (and the
+    int8 kernels' single dequant epilogue) ARE the accumulation contract;
+  * CPU feature probes (__builtin_cpu_supports, __get_cpuid, raw cpuid)
+    outside the single runtime-dispatch TU src/tensor/quantized.cc — a
+    second dispatch site can resolve to a DIFFERENT SIMD tier than the
+    pinned one and split the process across numeric behaviors;
   * #include edges that run up the layer stack (util < tensor < data <
     graph < {core, models} < eval < serve), which is how "the eval layer
     depends on the wire protocol" happens one convenience include at a
@@ -80,7 +84,10 @@ RULES = {
         "wall-clock read; inject the clock or use steady_clock",
     "raw-float-accum":
         "float accumulation loop in tensor/ outside the sanctioned "
-        "kernels (matrix.cc)",
+        "kernels (matrix.cc, quantized.cc)",
+    "stray-cpuid":
+        "CPU feature probe outside the dispatch TU "
+        "(src/tensor/quantized.cc); use DispatchedSimdTier()",
     "include-layering":
         "#include from a higher layer (util < tensor < data < graph < "
         "{core, models} < eval < serve)",
@@ -108,6 +115,19 @@ BANNED_TIME_RE = re.compile(
 
 ACCUM_DECL_RE = re.compile(r"\b(?:Real|float|double)\s+(\w+)\s*=\s*0")
 ACCUM_WINDOW = 6
+
+# The fixed-order accumulation contract lives in these tensor/ TUs: the
+# fp32 Gemm/panel kernels, and the int8 kernels whose int32 accumulators
+# are exact (dequant is a single product, but QuantizeRow's max-abs scan
+# keeps the file on the sanctioned list).
+ACCUM_SANCTIONED = {"matrix.cc", "quantized.cc"}
+
+STRAY_CPUID_RE = re.compile(
+    r"\b__builtin_cpu_supports\s*\(|\b__get_cpuid(?:_count)?\s*\(|"
+    r"\b__cpuid(?:ex)?\s*\(|\b_may_i_use_cpu_feature\s*\(")
+# The one TU allowed to probe the CPU: runtime SIMD dispatch is resolved
+# once there and pinned for the process lifetime.
+DISPATCH_TU = "src/tensor/quantized.cc"
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"src/([a-z_]+)/')
 
@@ -246,10 +266,16 @@ def lint_file(path, rel, raw_text):
         if BANNED_TIME_RE.search(line):
             emit(i, "banned-time")
 
-    # --- raw-float-accum (tensor/ only, matrix.cc is the sanctioned home) ---
+    # --- stray-cpuid (everywhere but the single dispatch TU) ---
+    if rel.replace("\\", "/") != DISPATCH_TU:
+        for i, line in enumerate(code_lines):
+            if STRAY_CPUID_RE.search(line):
+                emit(i, "stray-cpuid")
+
+    # --- raw-float-accum (tensor/ only, outside the sanctioned kernels) ---
     parts = rel.replace("\\", "/").split("/")
     in_tensor = len(parts) >= 2 and parts[0] == "src" and parts[1] == "tensor"
-    if in_tensor and os.path.basename(rel) != "matrix.cc":
+    if in_tensor and os.path.basename(rel) not in ACCUM_SANCTIONED:
         for i, line in enumerate(code_lines):
             for m in ACCUM_DECL_RE.finditer(line):
                 name = m.group(1)

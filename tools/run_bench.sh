@@ -19,10 +19,16 @@
 # capacity against a bounded admission queue) charting overload behavior:
 # offered_rps, goodput_rps, shed_rate, and served p50_ms/p99_ms — past
 # saturation the shed rate must go nonzero while p99 stays bounded instead
-# of the queue collapsing — appended into one file.
-# The JSON context block records FIRZEN_NUM_THREADS, the git commit, and
-# the build type, so entries stay attributable when BENCH_kernels.json
-# accumulates runs from different hosts and revisions.
+# of the queue collapsing — appended into one file. The quantized rows —
+# BM_GemmBTQuant (int8 catalog scoring vs the BM_GemmScoreBT fp32 baseline,
+# with a footprint_reduction_x counter) and BM_ServingQuantized (the fused
+# engine at --precision int8 vs fp32, bit-identity-gated across a 3-shard
+# layout at startup) — ride the same filters.
+# The JSON context block records FIRZEN_NUM_THREADS, the git commit, the
+# build type, the SIMD tier the quantized kernels dispatched
+# (firzen_simd_tier, stamped by the binaries themselves), and any
+# FIRZEN_SIMD override, so entries stay attributable when
+# BENCH_kernels.json accumulates runs from different hosts and revisions.
 #
 # Usage:
 #   tools/run_bench.sh                    # full sweep, JSON + console
@@ -83,8 +89,14 @@ trap 'rm -f "${SERVING_OUT}" "${OUT}.merged"' EXIT
   --benchmark_out_format=json
 
 # Provenance for cross-host/cross-revision comparisons: the pool size the
-# kernels actually ran with, the code revision, and the build type.
+# kernels actually ran with, the code revision, and the build type. The
+# DISPATCHED SIMD tier is already in the context — the bench binaries stamp
+# firzen_simd_tier themselves via AddCustomContext (they are the only ones
+# who know what the runtime dispatch resolved to); here we record whether a
+# FIRZEN_SIMD override was forcing it, so a scalar-pinned run can never be
+# mistaken for the host's natural tier.
 FIRZEN_THREADS_VALUE=${FIRZEN_NUM_THREADS:-auto}
+FIRZEN_SIMD_VALUE=${FIRZEN_SIMD:-auto}
 GIT_COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 # Dirty = modified tracked files OR untracked sources (CMake GLOBs compile
 # untracked .cc files into the benchmarks, so they count).
@@ -104,10 +116,12 @@ if command -v jq >/dev/null; then
     --arg threads "${FIRZEN_THREADS_VALUE}" \
     --arg commit "${GIT_COMMIT}" \
     --arg build "${BUILD_TYPE}" \
+    --arg simd "${FIRZEN_SIMD_VALUE}" \
     '.[0].benchmarks += .[1].benchmarks
      | .[0].context += {firzen_num_threads: $threads,
                         git_commit: $commit,
-                        build_type: $build}
+                        build_type: $build,
+                        firzen_simd_override: $simd}
      | .[0]' \
     "${OUT}" "${SERVING_OUT}" > "${OUT}.merged" \
     && mv "${OUT}.merged" "${OUT}"

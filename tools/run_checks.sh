@@ -26,12 +26,22 @@
 #      admission suites under UBSan — the overload-protection paths
 #      (deadline arithmetic on steady_clock time points, hysteresis
 #      watermark comparisons, fair-share weight indexing) are where signed
-#      overflow or bad shifts would hide.
+#      overflow or bad shifts would hide, and the quant suites (also in the
+#      -R filter) cover the int8 kernels' conversion/clamp arithmetic;
+#   5. re-run the quant suites in the pass-1 build with FIRZEN_SIMD=scalar,
+#      pinning the dispatch to the scalar reference kernel — the passes
+#      above ran on the host's best tier, so together the two runs assert
+#      every tier produces the same bits (the in-test int32 reference is
+#      tier-independent).
 #
 # Usage:
-#   tools/run_checks.sh             # all five passes
+#   tools/run_checks.sh             # all six passes
 #   tools/run_checks.sh --fast      # linter + default-build pass only
-#                                   # (skips clang-tidy and the sanitizers)
+#                                   # (skips clang-tidy, the sanitizers, and
+#                                   # the forced-scalar re-run)
+#   tools/run_checks.sh --simd TIER # export FIRZEN_SIMD=TIER for every pass
+#                                   # (scalar|avx2|avx512; caps, never
+#                                   # raises, the dispatched tier)
 #   FIRZEN_NUM_THREADS=4 tools/run_checks.sh
 #
 # Extra arguments are forwarded to ctest (e.g. -R serving_test).
@@ -39,9 +49,20 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
-if [[ "${1:-}" == "--fast" ]]; then
-  FAST=1
-  shift
+FORCED_SIMD=""
+while [[ "${1:-}" == "--fast" || "${1:-}" == "--simd" ]]; do
+  if [[ "${1}" == "--fast" ]]; then
+    FAST=1
+    shift
+  else
+    FORCED_SIMD="${2:?--simd needs a tier (scalar|avx2|avx512)}"
+    shift 2
+  fi
+done
+if [[ -n "${FORCED_SIMD}" ]]; then
+  # The dispatcher validates the value itself (unknown tiers abort with the
+  # valid choices), so just export and let pass 1 fail fast on a typo.
+  export FIRZEN_SIMD="${FORCED_SIMD}"
 fi
 
 run_pass() {
@@ -97,12 +118,24 @@ if [[ "${FAST}" == "0" ]]; then
     run_pass build-tsan -DFIRZEN_SANITIZE=thread -- -R "serving|scorer"
 
   echo "== pass 4: UndefinedBehaviorSanitizer build + serving suites =="
-  # Same filter as TSan: the serving/admission binaries exercise the
-  # deadline/shedding/fair-share arithmetic added by the overload-protection
-  # work; halt_on_error turns any UB report into a failing exit code
-  # (UBSan's default is report-and-continue).
+  # TSan's filter plus the quant suites: the serving/admission binaries
+  # exercise the deadline/shedding/fair-share arithmetic added by the
+  # overload-protection work, and the quantization binaries exercise the
+  # int8 conversion/clamp/saturation arithmetic — exactly where UB (bad
+  # float-to-int casts, shifts, misaligned SIMD loads) would hide;
+  # halt_on_error turns any UB report into a failing exit code (UBSan's
+  # default is report-and-continue).
   UBSAN_OPTIONS=${UBSAN_OPTIONS:-halt_on_error=1} \
-    run_pass build-ubsan -DFIRZEN_SANITIZE=undefined -- -R "serving|scorer"
+    run_pass build-ubsan -DFIRZEN_SANITIZE=undefined -- \
+    -R "serving|scorer|quant"
+
+  echo "== pass 5: forced-scalar quant suites (FIRZEN_SIMD=scalar) =="
+  # The quant tests compare against a tier-independent int32 reference, so
+  # re-running them with the dispatch pinned to scalar (the passes above
+  # used the host's best tier, unless --simd already forced one) proves
+  # scalar and vector tiers produce identical bits.
+  (cd build && FIRZEN_SIMD=scalar ctest --output-on-failure -j "$(nproc)" \
+    -L quant ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"})
 fi
 
 echo "all checks passed"
